@@ -1,0 +1,20 @@
+# Convenience targets for the SDRaD reproduction.
+
+.PHONY: install test bench tables examples all
+
+install:
+	pip install -e . --no-build-isolation || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	pytest benchmarks/ --benchmark-only
+
+tables:
+	pytest benchmarks/ -s --benchmark-disable
+
+examples:
+	@for f in examples/*.py; do echo "== $$f =="; python $$f; done
+
+all: install test bench

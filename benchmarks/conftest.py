@@ -1,0 +1,21 @@
+"""Shared helpers for the experiment benchmarks.
+
+Every benchmark prints the table/series it reproduces (run with ``-s`` to
+see them); ``pytest-benchmark`` additionally times the representative
+operation so regressions in the simulator itself are visible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def print_experiment(title: str, body: str) -> None:
+    """Uniform experiment output block (quoted in EXPERIMENTS.md)."""
+    bar = "=" * max(len(title), 40)
+    print(f"\n{bar}\n{title}\n{bar}\n{body}\n")
+
+
+@pytest.fixture
+def experiment_printer():
+    return print_experiment

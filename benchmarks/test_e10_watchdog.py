@@ -1,0 +1,110 @@
+"""E10 (extension) — quarantine closes the fault-spin energy hole.
+
+Rewind makes each fault nearly free, so an attacker can spin the
+fault→rewind loop indefinitely, and §IV's energy accounting should charge
+that CPU somewhere. This extension shows the watchdog
+(:mod:`repro.sdrad.watchdog`) bounding the attacker's cost: after the
+threshold, requests are refused at the front door for an escalating
+quarantine, so sustained attack CPU drops from O(attack rate) to O(1).
+
+Expected shape: without the watchdog, total rewind time grows linearly with
+the number of attack requests; with it, rewinds cap at the threshold per
+quarantine period and the virtual time consumed by the attacker flattens.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.memcached_server import MemcachedServer
+from repro.sdrad.runtime import SdradRuntime
+from repro.sdrad.watchdog import FaultWatchdog, WatchdogConfig
+from repro.sustainability.report import format_seconds, format_table
+
+ATTACK = b"get " + b"K" * 270 + b"\r\n"
+
+
+def run_attack(n_attacks: int, with_watchdog: bool) -> dict:
+    runtime = SdradRuntime()
+    watchdog = None
+    if with_watchdog:
+        watchdog = FaultWatchdog(
+            runtime.clock,
+            WatchdogConfig(threshold=5, window=10.0, quarantine_period=120.0),
+        )
+    server = MemcachedServer(runtime, watchdog=watchdog)
+    server.connect("mallory")
+    server.connect("alice")
+    start = runtime.clock.now
+    for _ in range(n_attacks):
+        server.handle("mallory", ATTACK)
+    attacker_time = runtime.clock.now - start
+    # benign client still served afterwards
+    assert server.handle("alice", b"set k 0 0 2\r\nhi\r\n") == b"STORED\r\n"
+    return {
+        "rewinds": server.metrics.rewinds,
+        "refusals": server.metrics.quarantine_refusals,
+        "attacker_cpu": attacker_time,
+    }
+
+
+def test_e10_attack_cost_table(experiment_printer):
+    rows = []
+    for n in (10, 100, 1000):
+        without = run_attack(n, with_watchdog=False)
+        with_wd = run_attack(n, with_watchdog=True)
+        rows.append(
+            (
+                n,
+                without["rewinds"],
+                format_seconds(without["attacker_cpu"]),
+                with_wd["rewinds"],
+                with_wd["refusals"],
+                format_seconds(with_wd["attacker_cpu"]),
+            )
+        )
+    experiment_printer(
+        "E10 — sustained attack cost, with/without quarantine watchdog "
+        "(threshold 5 faults / 10 s, 120 s quarantine)",
+        format_table(
+            (
+                "attacks",
+                "rewinds (no wd)",
+                "cpu (no wd)",
+                "rewinds (wd)",
+                "refused (wd)",
+                "cpu (wd)",
+            ),
+            rows,
+        ),
+    )
+
+
+def test_e10_rewinds_unbounded_without_watchdog():
+    result = run_attack(500, with_watchdog=False)
+    assert result["rewinds"] == 500
+
+
+def test_e10_rewinds_capped_with_watchdog():
+    result = run_attack(500, with_watchdog=True)
+    assert result["rewinds"] == 5
+    assert result["refusals"] == 495
+
+
+def test_e10_attacker_cpu_flattens():
+    small = run_attack(50, with_watchdog=True)["attacker_cpu"]
+    large = run_attack(5000, with_watchdog=True)["attacker_cpu"]
+    # 100× the attacks should cost far less than 100× the CPU
+    assert large < 20 * small
+
+
+def test_e10_without_watchdog_cpu_grows_linearly():
+    small = run_attack(50, with_watchdog=False)["attacker_cpu"]
+    large = run_attack(500, with_watchdog=False)["attacker_cpu"]
+    assert large == pytest.approx(10 * small, rel=0.05)
+
+
+@pytest.mark.benchmark(group="e10-watchdog")
+@pytest.mark.parametrize("with_watchdog", [False, True], ids=["no-wd", "wd"])
+def test_e10_bench_attack_burst(benchmark, with_watchdog):
+    benchmark(run_attack, 100, with_watchdog)

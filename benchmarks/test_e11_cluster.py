@@ -1,0 +1,148 @@
+"""E11 (extension) — blast radius in the multi-process deployment.
+
+§II measures SDRaD "in realistic multi-processing scenarios"; real NGINX
+deployments already shrink a crash's blast radius to one worker (1/N of the
+connections, one restart window). This experiment quantifies what SDRaD adds
+*on top of* multi-processing: the same attack trace against a 4-worker
+cluster with and without per-connection domains.
+
+Expected shape: the unisolated cluster survives as a whole but keeps losing
+1/N capacity windows and resetting connections (the attacker can re-kill a
+worker immediately after each restart); the SDRaD cluster loses nothing but
+the attacker's own faulted requests.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.cluster import NginxCluster
+from repro.apps.memcached_server import IsolationMode
+from repro.sim.rng import RngFactory
+from repro.sustainability.report import format_table
+from repro.workloads.clients import build_population
+from repro.workloads.traces import generate_trace
+
+N_REQUESTS = 800
+WORKERS = 4
+
+
+def build_trace(seed: int = 11):
+    factory = RngFactory(seed)
+    clients = build_population(
+        9, 3, None, factory, kind="http", attack_fraction=0.25
+    )
+    return generate_trace(clients, N_REQUESTS, factory)
+
+
+def replay(trace, isolation: IsolationMode) -> dict:
+    cluster = NginxCluster(workers=WORKERS, isolation=isolation)
+    for client in trace.clients:
+        cluster.connect(client)
+    benign_ok = benign_total = 0
+    for entry in trace:
+        response = cluster.handle(entry.client_id, entry.payload)
+        # advance wall time a little between requests so restart windows
+        # and traffic interleave realistically (~1 ms per request)
+        cluster.clock.advance(1e-3)
+        if not entry.malicious:
+            benign_total += 1
+            if response.startswith(b"HTTP/1.1 200"):
+                benign_ok += 1
+    return {
+        "isolation": isolation.value,
+        "benign_goodput": benign_ok / benign_total,
+        "crashes": cluster.metrics.worker_crashes,
+        "refused": cluster.metrics.refused_worker_down,
+        "resets": cluster.metrics.connections_reset,
+        "rewinds": cluster.total_rewinds(),
+    }
+
+
+def test_e11_blast_radius_table(experiment_printer):
+    trace = build_trace()
+    rows = []
+    for isolation in (IsolationMode.PER_CONNECTION, IsolationMode.NONE):
+        result = replay(trace, isolation)
+        rows.append(
+            (
+                result["isolation"],
+                f"{result['benign_goodput'] * 100:.1f} %",
+                result["crashes"],
+                result["refused"],
+                result["resets"],
+                result["rewinds"],
+            )
+        )
+    experiment_printer(
+        f"E11 — {WORKERS}-worker cluster, identical {N_REQUESTS}-request "
+        f"trace ({trace.malicious_count} attack payloads)",
+        format_table(
+            (
+                "isolation",
+                "benign goodput",
+                "worker crashes",
+                "503s (down)",
+                "conn resets",
+                "rewinds",
+            ),
+            rows,
+        ),
+    )
+
+
+def test_e11_isolated_cluster_never_crashes_workers():
+    result = replay(build_trace(), IsolationMode.PER_CONNECTION)
+    assert result["crashes"] == 0
+    assert result["refused"] == 0
+    assert result["resets"] == 0
+    assert result["benign_goodput"] == 1.0
+    assert result["rewinds"] > 0
+
+
+def test_e11_unisolated_cluster_survives_but_bleeds():
+    result = replay(build_trace(), IsolationMode.NONE)
+    # multi-processing is a real mitigation: the service survives ...
+    assert result["crashes"] > 0
+    # ... but benign traffic is lost on the crashed workers
+    assert result["benign_goodput"] < 1.0
+
+
+def test_e11_sdrad_beats_multiprocessing_alone():
+    isolated = replay(build_trace(), IsolationMode.PER_CONNECTION)
+    baseline = replay(build_trace(), IsolationMode.NONE)
+    assert isolated["benign_goodput"] > baseline["benign_goodput"]
+
+
+def test_e11_more_workers_shrink_but_do_not_close_the_gap(experiment_printer):
+    trace = build_trace()
+    rows = []
+    for workers in (2, 4, 8):
+        cluster = NginxCluster(workers=workers, isolation=IsolationMode.NONE)
+        for client in trace.clients:
+            cluster.connect(client)
+        benign_ok = benign_total = 0
+        for entry in trace:
+            response = cluster.handle(entry.client_id, entry.payload)
+            cluster.clock.advance(1e-3)
+            if not entry.malicious:
+                benign_total += 1
+                benign_ok += response.startswith(b"HTTP/1.1 200")
+        rows.append((workers, f"{benign_ok / benign_total * 100:.1f} %",
+                     cluster.metrics.worker_crashes))
+    experiment_printer(
+        "E11b — scaling out the unisolated cluster (goodput under the same attack)",
+        format_table(("workers", "benign goodput", "crashes"), rows),
+    )
+    # even 8 workers lose benign traffic; SDRaD loses none
+    assert all(float(r[1].rstrip(" %")) < 100.0 for r in rows)
+
+
+@pytest.mark.benchmark(group="e11-cluster")
+@pytest.mark.parametrize(
+    "isolation", [IsolationMode.PER_CONNECTION, IsolationMode.NONE],
+    ids=lambda m: m.value,
+)
+def test_e11_bench_cluster_replay(benchmark, isolation):
+    trace = build_trace()
+    benchmark(replay, trace, isolation)

@@ -1,0 +1,117 @@
+"""E12 (extension) — recovery under a time-varying grid (§IV deepened).
+
+§IV asks for life-cycle assessment "with a focus on environmental
+sustainability through energy efficiency". Grid carbon intensity is not a
+constant: it swings ~2× over a day. This experiment decomposes the carbon
+picture under the diurnal model:
+
+* the recovery windows themselves (restart minutes vs rewind microseconds),
+  including the operator's *timing exposure* (faults are not schedulable,
+  so restart emissions land wherever the faults land);
+* the avoided hot standby, which burns through every evening peak;
+* the one lever restart-based operations do have — scheduling *planned*
+  reloads into the overnight trough — and how little it recovers.
+
+Expected shape: recovery-window emissions are grams (noise) for rewind and
+measurable-but-small for restart; the standby replica dominates everything
+by 3+ orders of magnitude, confirming that §IV's replica-avoidance argument
+is robust to grid-intensity refinements.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faultinj.campaign import PeriodicArrivals
+from repro.sim.clock import HOURS, YEARS
+from repro.sustainability.grid import (
+    DiurnalIntensity,
+    best_maintenance_window,
+    recovery_emissions,
+    standby_replica_emissions_g,
+)
+from repro.sustainability.report import format_table
+
+GRID = DiurnalIntensity()
+RESTART_POWER_W = 320.0  # reload pegs the server
+REWIND_POWER_W = 320.0
+STANDBY_POWER_W = 154.0  # idle draw × PUE
+FAULTS = 50
+
+
+def fault_times() -> list[float]:
+    return list(PeriodicArrivals(FAULTS).times(YEARS))
+
+
+def test_e12_recovery_emissions_table(experiment_printer):
+    times = fault_times()
+    restart = recovery_emissions("process-restart", times, 120.0, RESTART_POWER_W, GRID)
+    rewind = recovery_emissions("sdrad-rewind", times, 3.5e-6, REWIND_POWER_W, GRID)
+    standby = standby_replica_emissions_g(GRID, STANDBY_POWER_W, YEARS)
+    rows = [
+        (
+            r.strategy,
+            f"{r.recovery_emissions_g:.3f} g",
+            f"{r.best_case_g:.3f} g",
+            f"{r.worst_case_g:.3f} g",
+        )
+        for r in (restart, rewind)
+    ]
+    rows.append(("hot standby (avoided)", f"{standby:.0f} g", "-", "-"))
+    experiment_printer(
+        f"E12 — yearly recovery-window emissions under a diurnal grid "
+        f"({FAULTS} faults/yr; mean {GRID.mean_g_per_kwh:.0f} g/kWh, "
+        f"peak {GRID.peak():.0f}, trough {GRID.trough():.0f})",
+        format_table(
+            ("source", "emissions/yr", "best-case timing", "worst-case timing"),
+            rows,
+        ),
+    )
+
+
+def test_e12_rewind_emissions_are_noise():
+    result = recovery_emissions(
+        "rewind", fault_times(), 3.5e-6, REWIND_POWER_W, GRID
+    )
+    assert result.recovery_emissions_g < 1e-3  # under a milligram
+
+
+def test_e12_standby_dominates_by_orders_of_magnitude():
+    restart = recovery_emissions(
+        "restart", fault_times(), 120.0, RESTART_POWER_W, GRID
+    )
+    standby = standby_replica_emissions_g(GRID, STANDBY_POWER_W, YEARS)
+    assert standby > 1000 * restart.recovery_emissions_g
+
+
+def test_e12_restart_has_timing_exposure_rewind_does_not():
+    times = fault_times()
+    restart = recovery_emissions("restart", times, 120.0, RESTART_POWER_W, GRID)
+    spread_restart = restart.worst_case_g - restart.best_case_g
+    rewind = recovery_emissions("rewind", times, 3.5e-6, REWIND_POWER_W, GRID)
+    spread_rewind = rewind.worst_case_g - rewind.best_case_g
+    assert spread_restart > 1.0  # grams of exposure
+    assert spread_rewind < 1e-4  # sub-milligram: nothing to schedule
+
+
+def test_e12_maintenance_window_lever(experiment_printer):
+    """Planned 2-hour reload windows: chasing the trough helps planned work,
+    but fault-triggered restarts cannot use it."""
+    start, trough_mean = best_maintenance_window(GRID, 2 * HOURS)
+    peak_mean = GRID.mean_over(19 * HOURS, 2 * HOURS)
+    experiment_printer(
+        "E12b — planned-window scheduling lever (2 h reload)",
+        format_table(
+            ("window", "start", "mean intensity"),
+            [
+                ("best (trough)", f"{start / HOURS:04.1f} h", f"{trough_mean:.0f} g/kWh"),
+                ("worst (peak)", "19.0 h", f"{peak_mean:.0f} g/kWh"),
+            ],
+        ),
+    )
+    assert trough_mean < 0.75 * peak_mean
+
+
+@pytest.mark.benchmark(group="e12-grid")
+def test_e12_bench_yearly_integration(benchmark):
+    benchmark(standby_replica_emissions_g, GRID, STANDBY_POWER_W, YEARS)

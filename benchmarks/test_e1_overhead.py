@@ -1,0 +1,130 @@
+"""E1 — SDRaD runtime overhead on the three use cases.
+
+Paper claim (§II): "it adds negligible overhead (2 %–4 %) in realistic
+multi-processing scenarios" on Memcached, NGINX and OpenSSL.
+
+Reproduced as: virtual time to serve a fixed benign request trace with
+isolation off vs per-connection vs per-request domains, per use case.
+Expected shape: per-connection lands in the 2–4 % band for Memcached,
+lower for the heavier NGINX/TLS requests (the switch cost is amortised
+over more work per request), and per-request costs more.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.memcached_server import IsolationMode, MemcachedServer
+from repro.apps.nginx_server import NginxServer
+from repro.apps.openssl_service import TlsServer
+from repro.apps.tls import make_appdata, make_client_hello
+from repro.sdrad.runtime import SdradRuntime
+from repro.sustainability.report import format_table
+
+N_REQUESTS = 300
+
+
+def run_memcached(isolation: IsolationMode) -> float:
+    runtime = SdradRuntime()
+    server = MemcachedServer(runtime, isolation=isolation)
+    server.connect("client")
+    start = runtime.clock.now
+    for i in range(N_REQUESTS):
+        if i % 10 == 0:
+            server.handle("client", b"set key%03d 0 0 8\r\nvalue%03d\r\n" % (i, i))
+        else:
+            server.handle("client", b"get key%03d\r\n" % (i - i % 10))
+    return runtime.clock.now - start
+
+
+def run_nginx(isolation: IsolationMode) -> float:
+    runtime = SdradRuntime()
+    server = NginxServer(runtime, isolation=isolation)
+    server.connect("client")
+    start = runtime.clock.now
+    for i in range(N_REQUESTS):
+        path = b"/" if i % 3 else b"/static/app.js"
+        server.handle("client", b"GET %s HTTP/1.1\r\nHost: bench\r\n\r\n" % path)
+    return runtime.clock.now - start
+
+
+def run_tls(isolation: IsolationMode) -> float:
+    """Session-oriented TLS workload: handshake + a burst of records each
+    (what the SDRaD paper's OpenSSL evaluation measures)."""
+    runtime = SdradRuntime()
+    server = TlsServer(runtime, isolation=isolation)
+    start = runtime.clock.now
+    for session_index in range(N_REQUESTS // 20):
+        client = f"s{session_index}"
+        server.connect(client)
+        server.handle_record(client, make_client_hello())
+        for _ in range(10):
+            server.handle_record(client, make_appdata(b"r" * 1024))
+        server.disconnect(client)
+    return runtime.clock.now - start
+
+
+USE_CASES = {
+    "memcached": run_memcached,
+    "nginx": run_nginx,
+    "openssl": run_tls,
+}
+
+
+def overhead_rows() -> list[tuple]:
+    rows = []
+    for name, runner in USE_CASES.items():
+        baseline = runner(IsolationMode.NONE)
+        per_connection = runner(IsolationMode.PER_CONNECTION)
+        per_request = runner(IsolationMode.PER_REQUEST)
+        rows.append(
+            (
+                name,
+                f"{baseline * 1e3:.3f} ms",
+                f"{(per_connection / baseline - 1) * 100:+.2f} %",
+                f"{(per_request / baseline - 1) * 100:+.2f} %",
+            )
+        )
+    return rows
+
+
+def test_e1_overhead_table(experiment_printer):
+    rows = overhead_rows()
+    experiment_printer(
+        "E1 — runtime overhead vs unisolated baseline "
+        f"({N_REQUESTS} requests/use case; paper: 2-4 %)",
+        format_table(
+            ("use case", "baseline time", "per-connection", "per-request"), rows
+        ),
+    )
+    # shape assertions: per-connection Memcached overhead in the paper band
+    memcached = dict((r[0], r) for r in rows)["memcached"]
+    overhead = float(memcached[2].rstrip(" %"))
+    assert 1.0 < overhead < 5.0
+    # per-request always costs more than per-connection
+    for row in rows:
+        assert float(row[3].rstrip(" %")) > float(row[2].rstrip(" %"))
+
+
+def test_e1_overhead_band_memcached():
+    baseline = run_memcached(IsolationMode.NONE)
+    isolated = run_memcached(IsolationMode.PER_CONNECTION)
+    assert 0.01 < isolated / baseline - 1 < 0.05
+
+
+def test_e1_heavier_requests_amortise_better():
+    """TLS/NGINX requests are heavier, so the same switch cost is a smaller
+    fraction — the reason the paper's 2-4 % band is an upper envelope."""
+    mc = run_memcached(IsolationMode.PER_CONNECTION) / run_memcached(
+        IsolationMode.NONE
+    )
+    ngx = run_nginx(IsolationMode.PER_CONNECTION) / run_nginx(IsolationMode.NONE)
+    tls = run_tls(IsolationMode.PER_CONNECTION) / run_tls(IsolationMode.NONE)
+    assert ngx - 1 < mc - 1
+    assert tls - 1 < mc - 1
+
+
+@pytest.mark.benchmark(group="e1-overhead")
+@pytest.mark.parametrize("isolation", list(IsolationMode), ids=lambda m: m.value)
+def test_e1_bench_memcached(benchmark, isolation):
+    benchmark(run_memcached, isolation)

@@ -1,0 +1,156 @@
+"""E4 — containing malicious clients without disrupting service.
+
+Paper claim (§II): "our approach offers significant advantages with limiting
+the impact of malicious clients on other clients in a service-oriented
+application, without disrupting service."
+
+Reproduced as: the same byte-identical mixed trace (benign + attacker
+clients) replayed against the Memcached replica under each isolation mode,
+plus the Heartbleed scenario on the TLS replica. Expected shape: isolated
+servers complete the trace with benign goodput ≈ 100 % and all faults
+attributed to attackers; the unisolated baseline dies at the first exploit
+(and, for TLS, leaks other sessions' secrets before that).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.memcached_server import IsolationMode, MemcachedServer
+from repro.apps.openssl_service import TlsServer
+from repro.apps.tls import make_client_hello, make_heartbeat_request
+from repro.sdrad.policy import ProcessCrashed
+from repro.sdrad.runtime import SdradRuntime
+from repro.sim.rng import RngFactory
+from repro.sustainability.report import format_table
+from repro.workloads.clients import build_population
+from repro.workloads.traces import WorkloadTrace, generate_trace
+from repro.workloads.zipf import Keyspace, KeyValueWorkload
+
+N_REQUESTS = 600
+
+
+def build_trace(seed: int = 42) -> WorkloadTrace:
+    factory = RngFactory(seed)
+    keyspace = Keyspace(200)
+    clients = build_population(
+        6,
+        2,
+        lambda cid, rng: KeyValueWorkload(keyspace, 0.99, rng),
+        factory,
+        attack_fraction=0.25,
+    )
+    return generate_trace(clients, N_REQUESTS, factory)
+
+
+def replay(trace: WorkloadTrace, isolation: IsolationMode) -> dict:
+    runtime = SdradRuntime()
+    server = MemcachedServer(runtime, isolation=isolation)
+    for client in trace.clients:
+        server.connect(client)
+    benign_ok = benign_total = attacker_errors = 0
+    crashed_at = None
+    for entry in trace:
+        if not entry.malicious:
+            benign_total += 1
+        try:
+            response = server.handle(entry.client_id, entry.payload)
+        except ProcessCrashed:
+            crashed_at = entry.seq
+            break
+        if entry.malicious:
+            if response.startswith(b"SERVER_ERROR"):
+                attacker_errors += 1
+        elif not response.startswith(b"SERVER_ERROR"):
+            benign_ok += 1
+    total_benign_in_trace = sum(1 for e in trace if not e.malicious)
+    return {
+        "isolation": isolation.value,
+        "completed": crashed_at is None,
+        "crashed_at": crashed_at,
+        "benign_goodput": benign_ok / total_benign_in_trace,
+        "rewinds": server.metrics.rewinds,
+        "fault_owners": set(server.metrics.per_client_faults),
+    }
+
+
+def test_e4_containment_table(experiment_printer):
+    trace = build_trace()
+    rows = []
+    results = {}
+    for isolation in (IsolationMode.PER_CONNECTION, IsolationMode.PER_REQUEST, IsolationMode.NONE):
+        result = replay(trace, isolation)
+        results[isolation] = result
+        rows.append(
+            (
+                result["isolation"],
+                "completed" if result["completed"] else f"CRASHED @ req {result['crashed_at']}",
+                f"{result['benign_goodput'] * 100:.1f} %",
+                result["rewinds"],
+            )
+        )
+    experiment_printer(
+        f"E4 — mixed population, identical {N_REQUESTS}-request trace "
+        f"({trace.malicious_count} attack payloads)",
+        format_table(
+            ("isolation", "outcome", "benign goodput", "rewinds"), rows
+        ),
+    )
+    assert results[IsolationMode.PER_CONNECTION]["completed"]
+    assert not results[IsolationMode.NONE]["completed"]
+
+
+def test_e4_benign_goodput_is_total_when_isolated():
+    result = replay(build_trace(), IsolationMode.PER_CONNECTION)
+    assert result["benign_goodput"] == 1.0
+
+
+def test_e4_faults_attributed_only_to_attackers():
+    result = replay(build_trace(), IsolationMode.PER_CONNECTION)
+    assert result["fault_owners"] <= {"mallory-0", "mallory-1"}
+    assert result["fault_owners"]
+
+
+def test_e4_baseline_loses_benign_traffic():
+    isolated = replay(build_trace(), IsolationMode.PER_CONNECTION)
+    baseline = replay(build_trace(), IsolationMode.NONE)
+    assert baseline["benign_goodput"] < isolated["benign_goodput"]
+
+
+def heartbleed(isolation: IsolationMode) -> list[str]:
+    runtime = SdradRuntime()
+    server = TlsServer(runtime, isolation=isolation)
+    for client in ("victim-0", "victim-1", "attacker"):
+        server.connect(client)
+        server.handle_record(client, make_client_hello())
+    response = server.handle_record(
+        "attacker", make_heartbeat_request(b"x", declared=8000)
+    )
+    return server.leaked_secrets(response, exclude="attacker")
+
+
+def test_e4_heartbleed_table(experiment_printer):
+    rows = []
+    for isolation in (IsolationMode.NONE, IsolationMode.PER_CONNECTION):
+        leaked = heartbleed(isolation)
+        rows.append(
+            (isolation.value, len(leaked), ", ".join(leaked) if leaked else "-")
+        )
+    experiment_printer(
+        "E4b — Heartbleed over-read: other sessions' secrets leaked per mode",
+        format_table(("isolation", "victims leaked", "who"), rows),
+    )
+
+
+def test_e4_heartbleed_unisolated_leaks():
+    assert heartbleed(IsolationMode.NONE)
+
+
+def test_e4_heartbleed_isolated_never_leaks():
+    assert heartbleed(IsolationMode.PER_CONNECTION) == []
+
+
+@pytest.mark.benchmark(group="e4-containment")
+def test_e4_bench_trace_replay(benchmark):
+    trace = build_trace()
+    benchmark(replay, trace, IsolationMode.PER_CONNECTION)

@@ -1,0 +1,160 @@
+"""E6 — the serialization-crate comparison SDRaD-FFI plans (§III).
+
+Paper (§III): "SDRaD-FFI can support arbitrary argument passing between
+domains using different Rust serialization crates. We plan to evaluate
+different serialization crates and our solution in real-world use cases."
+
+Reproduced as: a sandboxed echo function driven over a payload-size sweep,
+once per serializer, measuring virtual time per call (fixed sandbox costs +
+serialize/copy/deserialize both ways). Expected shape: bincode-like binary
+wins, JSON-like text loses, the gap widens with payload size; the ablation
+also shows the persistent-domain vs fresh-domain-per-call trade.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ffi.sandbox import Sandbox
+from repro.ffi.serialization import available_serializers
+from repro.sdrad.runtime import SdradRuntime
+from repro.sustainability.report import format_seconds, format_table
+
+PAYLOAD_SIZES = [64, 1024, 16 * 1024, 128 * 1024]
+
+
+def time_sandboxed_echo(serializer: str, payload_bytes: int, fresh: bool = False) -> float:
+    runtime = SdradRuntime()
+    sandbox = Sandbox(runtime, serializer=serializer)
+
+    @sandbox.sandboxed(fresh_domain=fresh, heap_size=1024 * 1024)
+    def echo(blob):
+        return blob
+
+    payload = b"\x5a" * payload_bytes
+    echo(payload)  # warm up: domain creation happens here
+    start = runtime.clock.now
+    echo(payload)
+    return runtime.clock.now - start
+
+
+def test_e6_serializer_sweep(experiment_printer):
+    serializers = available_serializers()
+    rows = []
+    for size in PAYLOAD_SIZES:
+        times = {name: time_sandboxed_echo(name, size) for name in serializers}
+        rows.append(
+            (f"{size} B",)
+            + tuple(format_seconds(times[name]) for name in serializers)
+            + (f"{times['json'] / times['bincode']:.1f}x",)
+        )
+    experiment_printer(
+        "E6 — sandboxed call latency by serializer and payload size "
+        "(virtual time per call, both directions)",
+        format_table(
+            ("payload",) + tuple(serializers) + ("json/bincode",), rows
+        ),
+    )
+
+
+def test_e6_bincode_fastest_json_slowest():
+    size = 64 * 1024
+    times = {name: time_sandboxed_echo(name, size) for name in available_serializers()}
+    assert times["bincode"] == min(times.values())
+    assert times["json"] == max(times.values())
+
+
+def test_e6_gap_widens_with_payload():
+    small_ratio = time_sandboxed_echo("json", 64) / time_sandboxed_echo("bincode", 64)
+    large_ratio = time_sandboxed_echo("json", 128 * 1024) / time_sandboxed_echo(
+        "bincode", 128 * 1024
+    )
+    assert large_ratio > small_ratio
+
+
+def test_e6_fresh_domain_ablation(experiment_printer):
+    rows = []
+    for size in (64, 16 * 1024):
+        persistent = time_sandboxed_echo("bincode", size, fresh=False)
+        fresh = time_sandboxed_echo("bincode", size, fresh=True)
+        rows.append(
+            (
+                f"{size} B",
+                format_seconds(persistent),
+                format_seconds(fresh),
+                f"{fresh / persistent:.1f}x",
+            )
+        )
+    experiment_printer(
+        "E6b — ablation: persistent sandbox domain vs fresh domain per call",
+        format_table(("payload", "persistent", "fresh-per-call", "ratio"), rows),
+    )
+    assert all(float(r[3].rstrip("x")) > 1.0 for r in rows)
+
+
+def test_e6_call_latency_microseconds_scale():
+    """Sandboxed FFI calls stay in the microsecond regime — cheap enough to
+    wrap individual library calls, which is SDRaD-FFI's whole premise."""
+    assert time_sandboxed_echo("bincode", 1024) < 5e-6
+
+
+def test_e6c_real_world_use_case(experiment_printer):
+    """§III: "evaluate different serialization crates and our solution in
+    real-world use cases" — the image-decoder service, per serializer."""
+    from repro.apps.imagelib import ImageService, encode_image, make_test_image
+
+    rows = []
+    for side in (8, 32, 64):
+        image = make_test_image(side, side, 3)
+        data = encode_image(image)
+        times = {}
+        for name in available_serializers():
+            runtime = SdradRuntime()
+            service = ImageService(Sandbox(runtime, serializer=name))
+            service.decode(data)  # warm-up: domain creation
+            before = runtime.clock.now
+            assert service.decode(data) == image
+            times[name] = runtime.clock.now - before
+        rows.append(
+            (f"{side}x{side}", f"{image.size_bytes} B")
+            + tuple(
+                format_seconds(times[name]) for name in available_serializers()
+            )
+        )
+    experiment_printer(
+        "E6c — real-world use case: sandboxed image decode per serializer",
+        format_table(
+            ("image", "pixels") + tuple(available_serializers()), rows
+        ),
+    )
+
+
+def test_e6c_exploit_cost_is_serializer_independent():
+    """A contained exploit costs one rewind regardless of the crate."""
+    from repro.apps.imagelib import ImageService, craft_run_overflow
+
+    costs = {}
+    for name in ("bincode", "json"):
+        runtime = SdradRuntime()
+        service = ImageService(Sandbox(runtime, serializer=name))
+        service.decode(craft_run_overflow())  # warm-up + first containment
+        before = runtime.clock.now
+        service.decode(craft_run_overflow())
+        costs[name] = runtime.clock.now - before
+    # both dominated by the rewind, not the (tiny) attack marshalling
+    assert costs["json"] < 3 * costs["bincode"]
+
+
+@pytest.mark.benchmark(group="e6-serialization")
+@pytest.mark.parametrize("serializer", ["bincode", "json"])
+def test_e6_bench_sandboxed_call(benchmark, serializer):
+    runtime = SdradRuntime()
+    sandbox = Sandbox(runtime, serializer=serializer)
+
+    @sandbox.sandboxed
+    def echo(blob):
+        return blob
+
+    payload = b"\x5a" * 4096
+    echo(payload)
+    benchmark(echo, payload)

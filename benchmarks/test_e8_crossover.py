@@ -1,0 +1,106 @@
+"""E8 — recovery-time scaling and SLO crossover map (implied by §IV).
+
+The paper's argument generalises beyond the single 10 GB / 3-faults point:
+restart time grows with state size, so the fault rate a restart-based
+deployment can sustain shrinks as services get bigger, while rewind's
+sustainable rate is effectively unbounded. This experiment maps the
+crossover: for each (dataset size × SLO class), the yearly fault count at
+which a single-instance restart deployment starts violating the class.
+
+Expected shape: the restart crossover falls with dataset size (hyperbola),
+five-nines tolerates only single-digit yearly faults even for small state,
+and rewind's crossover is >10⁷ everywhere.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.resilience.slo import SLO_LADDER, crossover_faults
+from repro.resilience.strategy import RecoveryStrategyModel
+from repro.sim.cost import GIB
+from repro.sustainability.report import format_table
+
+MODEL = RecoveryStrategyModel()
+DATASETS = [GIB // 10, GIB, 10 * GIB, 100 * GIB]
+
+
+def fmt(value: float) -> str:
+    if value > 1e6:
+        return f"{value:.1e}"
+    return f"{value:.1f}"
+
+
+def test_e8_crossover_map(experiment_printer):
+    rows = []
+    for dataset in DATASETS:
+        restart = MODEL.process_restart(dataset).downtime_per_fault
+        row = [f"{dataset / GIB:.1f} GiB"]
+        for slo in SLO_LADDER:
+            row.append(fmt(crossover_faults(restart, slo)))
+        rows.append(tuple(row))
+    rewind_row = ["rewind (any size)"] + [
+        fmt(crossover_faults(3.5e-6, slo)) for slo in SLO_LADDER
+    ]
+    rows.append(tuple(rewind_row))
+    experiment_printer(
+        "E8 — yearly faults tolerable before violating each SLO class "
+        "(single instance, process restart vs rewind)",
+        format_table(
+            ("dataset", *[s.name for s in SLO_LADDER]),
+            rows,
+        ),
+    )
+
+
+def test_e8_crossover_falls_with_dataset_size():
+    crossovers = [
+        crossover_faults(MODEL.process_restart(d).downtime_per_fault)
+        for d in DATASETS
+    ]
+    assert all(a > b for a, b in zip(crossovers, crossovers[1:]))
+
+
+def test_e8_paper_point_on_the_map():
+    """The paper's 10 GB / five-nines point: crossover between 2 and 3."""
+    restart = MODEL.process_restart(10 * GIB).downtime_per_fault
+    crossover = crossover_faults(restart)
+    assert 2.0 < crossover < 3.0
+
+
+def test_e8_rewind_crossover_exceeds_1e6_everywhere():
+    # five nines: >9e7; even six nines still tolerates ~9e6 rewinds/year
+    for slo in SLO_LADDER:
+        assert crossover_faults(3.5e-6, slo) > 1e6
+
+
+def test_e8_cost_model_sensitivity(experiment_printer):
+    """Ablation D4: would the conclusion survive a 10× slower isolation
+    implementation? (Yes — rewind has seven orders of headroom.)"""
+    rows = []
+    for factor in (1, 10, 100, 1000):
+        scaled = MODEL.sdrad_rewind().downtime_per_fault * factor
+        rows.append(
+            (
+                f"{factor}x",
+                f"{scaled * 1e6:.1f} µs",
+                fmt(crossover_faults(scaled)),
+            )
+        )
+    experiment_printer(
+        "E8b — sensitivity: five-nines crossover vs rewind-cost scaling",
+        format_table(("rewind cost scale", "rewind", "faults/yr tolerable"), rows),
+    )
+    assert crossover_faults(3.5e-6 * 1000) > 1e4
+
+
+@pytest.mark.benchmark(group="e8-crossover")
+def test_e8_bench_map(benchmark):
+    def build_map():
+        return [
+            crossover_faults(MODEL.process_restart(d).downtime_per_fault, slo)
+            for d in DATASETS
+            for slo in SLO_LADDER
+        ]
+
+    benchmark(build_map)

@@ -1,0 +1,91 @@
+#!/usr/bin/env python3
+"""The paper's flagship scenario: a Memcached-like service under attack.
+
+A mixed population (benign clients + an attacker sending exploit payloads)
+drives the same request trace against two builds of the server:
+
+* SDRaD build — each connection's parser runs in an isolated domain;
+* baseline build — no isolation, mitigations abort the process.
+
+Run:  python examples/memcached_resilience.py
+"""
+
+from repro.apps.memcached_server import IsolationMode, MemcachedServer
+from repro.sdrad.policy import ProcessCrashed
+from repro.sdrad.runtime import SdradRuntime
+from repro.sim.rng import RngFactory
+from repro.sustainability.report import format_seconds, format_table
+from repro.workloads.clients import build_population
+from repro.workloads.traces import generate_trace
+from repro.workloads.zipf import Keyspace, KeyValueWorkload
+
+N_REQUESTS = 500
+
+
+def build_trace():
+    factory = RngFactory(2023)
+    keyspace = Keyspace(150)
+    clients = build_population(
+        5,
+        1,
+        lambda cid, rng: KeyValueWorkload(keyspace, 0.99, rng),
+        factory,
+        attack_fraction=0.3,
+    )
+    return generate_trace(clients, N_REQUESTS, factory)
+
+
+def replay(trace, isolation: IsolationMode):
+    runtime = SdradRuntime()
+    server = MemcachedServer(runtime, isolation=isolation)
+    for client in trace.clients:
+        server.connect(client)
+    served = 0
+    crashed_at = None
+    for entry in trace:
+        try:
+            response = server.handle(entry.client_id, entry.payload)
+        except ProcessCrashed as crash:
+            crashed_at = entry.seq
+            print(f"    !! process crashed at request {entry.seq}: "
+                  f"{crash.report.mechanism.value}")
+            break
+        if not response.startswith(b"SERVER_ERROR"):
+            served += 1
+    return server, served, crashed_at
+
+
+def main() -> None:
+    trace = build_trace()
+    print(f"trace: {len(trace)} requests from {len(trace.clients)} clients, "
+          f"{trace.malicious_count} attack payloads\n")
+
+    rows = []
+    for isolation in (IsolationMode.PER_CONNECTION, IsolationMode.NONE):
+        print(f"--- replaying against isolation={isolation.value} ---")
+        server, served, crashed_at = replay(trace, isolation)
+        rows.append(
+            (
+                isolation.value,
+                "survived" if crashed_at is None else f"crashed @ {crashed_at}",
+                served,
+                server.metrics.rewinds,
+                format_seconds(server.metrics.rewinds * server.runtime.cost.rewind),
+                dict(server.metrics.per_client_faults),
+            )
+        )
+        print(f"    served {served}/{len(trace)}; "
+              f"rewinds={server.metrics.rewinds}\n")
+
+    print(format_table(
+        ("build", "outcome", "served", "rewinds", "total recovery", "faults by"),
+        rows,
+    ))
+    print(
+        "\nThe SDRaD build absorbs every exploit with microsecond rewinds and"
+        "\nkeeps serving; the baseline dies at the first detected corruption."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""The paper's §IV argument, end to end: availability → hardware → carbon.
+
+Walks the full chain for a 10 GiB stateful service (the paper's Memcached
+anchor) at three faults per year:
+
+1. simulate one service-year per recovery strategy (discrete events);
+2. check each against the five-nines budget;
+3. size the smallest compliant deployment per strategy;
+4. account operational energy and operational+embodied carbon;
+5. apply a rebound-effect sensitivity check.
+
+Run:  python examples/sustainability_study.py
+"""
+
+from repro.faultinj.campaign import PeriodicArrivals
+from repro.resilience.availability import downtime_budget, max_recoveries
+from repro.resilience.simulation import compare_strategies
+from repro.resilience.strategy import RecoveryStrategyModel
+from repro.sim.clock import YEARS
+from repro.sim.cost import GIB
+from repro.sustainability.lca import LifecycleAssessment
+from repro.sustainability.report import (
+    availability_table,
+    format_seconds,
+    lca_table,
+)
+
+DATASET = 10 * GIB
+FAULTS_PER_YEAR = 3
+
+
+def main() -> None:
+    model = RecoveryStrategyModel()
+
+    print("== step 0: the paper's arithmetic ==")
+    budget = downtime_budget(0.99999)
+    print(f"five-nines downtime budget : {format_seconds(budget)}/year")
+    restart = model.process_restart(DATASET).downtime_per_fault
+    print(f"restart @ 10 GiB           : {format_seconds(restart)}")
+    print(f"rewind                     : {format_seconds(model.sdrad_rewind().downtime_per_fault)}")
+    print(f"rewinds fitting the budget : {max_recoveries(0.99999, 3.5e-6):.2e} "
+          "(paper: >9e7)\n")
+
+    print(f"== step 1-2: one simulated year, {FAULTS_PER_YEAR} faults ==")
+    times = list(PeriodicArrivals(FAULTS_PER_YEAR).times(YEARS))
+    outcomes = compare_strategies(
+        model.all_for(DATASET), times, request_rate=10_000.0
+    )
+    print(availability_table(outcomes))
+    for outcome in outcomes:
+        if not outcome.meets_five_nines:
+            print(f"  -> {outcome.strategy} violates five nines "
+                  f"({outcome.requests_dropped:.0f} requests dropped)")
+    print()
+
+    print("== step 3-4: smallest compliant deployment, energy, carbon ==")
+    lca = LifecycleAssessment()
+    rows = lca.assess(DATASET, FAULTS_PER_YEAR)
+    print(lca_table(rows))
+    print()
+
+    print("== step 5: rebound sensitivity of the yearly saving ==")
+    for rebound in (0.0, 0.3, 0.5, 0.9):
+        saving = lca.carbon_saving(rows, rebound_fraction=rebound)
+        print(f"  rebound {rebound:>4.0%} -> net saving {saving:7.1f} kgCO2e/yr")
+    print()
+
+    print("== step 6: the operator's view — error budget burn ==")
+    from repro.resilience.budget import ErrorBudget
+
+    budget = ErrorBudget(0.99999)
+    print(f"five-nines error budget    : {format_seconds(budget.total)}/year")
+    print(f"faults absorbable, restart : "
+          f"{budget.faults_until_breach(restart):.1f}")
+    print(f"faults absorbable, rewind  : "
+          f"{budget.faults_until_breach(3.5e-6):.2e}")
+
+    print()
+    print("== step 7: time-varying grid (diurnal intensity) ==")
+    from repro.sustainability.grid import (
+        DiurnalIntensity,
+        recovery_emissions,
+        standby_replica_emissions_g,
+    )
+
+    grid = DiurnalIntensity()
+    restart_g = recovery_emissions(
+        "restart", times, restart, 320.0, grid
+    ).recovery_emissions_g
+    standby_g = standby_replica_emissions_g(grid, 154.0, YEARS)
+    print(f"grid swing                 : {grid.trough():.0f}–{grid.peak():.0f} gCO2e/kWh")
+    print(f"restart recovery windows   : {restart_g:.1f} g/yr")
+    print(f"avoided standby replica    : {standby_g / 1000:.0f} kg/yr "
+          "(the dominant term, by far)")
+
+    print(
+        "\nConclusion (reproducing §IV): at equal availability, rewind-based"
+        "\nrecovery needs one server where restart-based recovery needs a hot"
+        "\nstandby — and the saving survives a moderate rebound effect."
+    )
+
+
+if __name__ == "__main__":
+    main()

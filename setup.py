@@ -1,0 +1,6 @@
+"""Legacy shim so offline environments without the `wheel` package can do
+``pip install -e . --no-build-isolation``; metadata lives in pyproject.toml."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,16 @@
+"""Reproduction of "Exploring the Environmental Benefits of In-Process
+Isolation for Software Resilience" (DSN 2023).
+
+See ``DESIGN.md`` for the system inventory and ``EXPERIMENTS.md`` for the
+paper-claim ↔ experiment mapping. The most common entry points:
+
+* :class:`repro.sdrad.SdradRuntime` — create domains, execute code inside
+  them, get rewind-and-discard recovery on memory faults.
+* :func:`repro.ffi.sandboxed` — SDRaD-FFI style annotation for sandboxing
+  "unsafe foreign functions" with serialization and alternate actions.
+* :mod:`repro.apps` — Memcached/NGINX/OpenSSL-like use-case services.
+* :mod:`repro.resilience` — recovery-strategy baselines and availability.
+* :mod:`repro.sustainability` — energy/carbon models for the paper's §IV.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,186 @@
+"""Multi-worker (multi-process) service cluster.
+
+The paper measures SDRaD "in realistic multi-processing scenarios" (§II):
+real NGINX runs N worker processes behind a connection-affine balancer, and
+real deployments lean on that as a partial availability mitigation — a
+crashed worker takes down only 1/N of the connections while the supervisor
+restarts it. This module models exactly that deployment so experiments can
+compare three postures on one axis:
+
+* unisolated multi-process — a parser exploit kills one worker: its
+  connections reset, its share of traffic is refused for the restart
+  window, and the attacker can repeat the kill;
+* SDRaD multi-process — the same exploit is rewound inside the worker;
+  nothing is lost anywhere;
+* (implicitly) the single-process baselines of E4.
+
+All workers share one virtual clock (wall time); each has a private
+:class:`~repro.sdrad.runtime.SdradRuntime` (processes share no memory).
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import SdradError
+from ..sdrad.policy import ProcessCrashed
+from ..sdrad.runtime import SdradRuntime
+from ..sim.clock import VirtualClock
+from ..sim.cost import DEFAULT_COST_MODEL, CostModel
+from .memcached_server import IsolationMode
+from .nginx_server import NginxServer
+
+
+@dataclass
+class ClusterMetrics:
+    requests: int = 0
+    served: int = 0
+    refused_worker_down: int = 0
+    connections_reset: int = 0
+    worker_crashes: int = 0
+    worker_restarts: int = 0
+    per_worker_crashes: dict[int, int] = field(default_factory=dict)
+
+
+class _Worker:
+    """One worker process: private runtime + server, shared clock."""
+
+    def __init__(
+        self,
+        index: int,
+        clock: VirtualClock,
+        cost: CostModel,
+        isolation: IsolationMode,
+    ) -> None:
+        self.index = index
+        self.clock = clock
+        self.cost = cost
+        self.isolation = isolation
+        self.down_until = 0.0
+        self.restarts = 0
+        self._boot()
+
+    def _boot(self) -> None:
+        self.runtime = SdradRuntime(clock=self.clock, cost=self.cost)
+        self.server = NginxServer(self.runtime, isolation=self.isolation)
+
+    @property
+    def is_down(self) -> bool:
+        return self.clock.now < self.down_until
+
+    def crash_and_schedule_restart(self) -> float:
+        """Worker died; supervisor restarts it (stateless → base cost)."""
+        restart = self.cost.process_restart_time(0)
+        self.down_until = self.clock.now + restart
+        self.restarts += 1
+        self._boot()  # fresh process image, no connections
+        return restart
+
+
+class NginxCluster:
+    """N workers behind a connection-affine (hash) load balancer."""
+
+    def __init__(
+        self,
+        workers: int = 4,
+        isolation: IsolationMode = IsolationMode.PER_CONNECTION,
+        clock: Optional[VirtualClock] = None,
+        cost: CostModel = DEFAULT_COST_MODEL,
+    ) -> None:
+        if workers < 1:
+            raise SdradError(f"cluster needs at least one worker, got {workers}")
+        self.clock = clock if clock is not None else VirtualClock()
+        self.cost = cost
+        self.isolation = isolation
+        self.workers = [
+            _Worker(i, self.clock, cost, isolation) for i in range(workers)
+        ]
+        self.metrics = ClusterMetrics()
+        self._clients: dict[str, int] = {}  # client -> worker index
+
+    # ------------------------------------------------------------------
+
+    def _worker_for(self, client_id: str) -> _Worker:
+        index = self._clients.get(client_id)
+        if index is None:
+            index = zlib.crc32(client_id.encode("utf-8")) % len(self.workers)
+        return self.workers[index]
+
+    def connect(self, client_id: str) -> None:
+        if client_id in self._clients:
+            raise SdradError(f"client {client_id!r} already connected")
+        worker = self._worker_for(client_id)
+        self._clients[client_id] = worker.index
+        if not worker.is_down:
+            worker.server.connect(client_id)
+
+    def disconnect(self, client_id: str) -> None:
+        index = self._clients.pop(client_id, None)
+        if index is None:
+            return
+        worker = self.workers[index]
+        if client_id in worker.server.connected_clients:
+            worker.server.disconnect(client_id)
+
+    # ------------------------------------------------------------------
+
+    def handle(self, client_id: str, raw: bytes) -> bytes:
+        """Route one request; emulates the balancer + supervisor behaviour."""
+        if client_id not in self._clients:
+            raise SdradError(f"client {client_id!r} is not connected")
+        worker = self.workers[self._clients[client_id]]
+        self.metrics.requests += 1
+
+        if worker.is_down:
+            self.metrics.refused_worker_down += 1
+            return b"HTTP/1.1 503 Service Unavailable\r\nContent-Length: 0\r\n\r\n"
+
+        if client_id not in worker.server.connected_clients:
+            # worker restarted since this client connected: the TCP
+            # connection died with the old process; reconnect transparently
+            # (what a retrying client/balancer does) but count the reset.
+            self.metrics.connections_reset += 1
+            worker.server.connect(client_id)
+
+        try:
+            response = worker.server.handle(client_id, raw)
+        except ProcessCrashed:
+            self.metrics.worker_crashes += 1
+            self.metrics.per_worker_crashes[worker.index] = (
+                self.metrics.per_worker_crashes.get(worker.index, 0) + 1
+            )
+            worker.crash_and_schedule_restart()
+            self.metrics.worker_restarts += 1
+            return b"HTTP/1.1 502 Bad Gateway\r\nContent-Length: 0\r\n\r\n"
+        self.metrics.served += 1
+        return response
+
+    # ------------------------------------------------------------------
+
+    def total_rewinds(self) -> int:
+        """Rewinds across all workers (survives worker restarts only for
+        currently-live processes, like any in-process counter would)."""
+        return sum(worker.server.metrics.rewinds for worker in self.workers)
+
+    def worker_of(self, client_id: str) -> int:
+        if client_id not in self._clients:
+            raise SdradError(f"client {client_id!r} is not connected")
+        return self._clients[client_id]
+
+    def downtime_fraction(self, horizon: float) -> float:
+        """Aggregate capacity lost to worker restarts over ``[0, horizon]``.
+
+        Each worker contributes ``1/N`` of capacity; this sums the restart
+        windows (clipped to the horizon) weighted by that share.
+        """
+        if horizon <= 0:
+            raise SdradError(f"horizon must be positive, got {horizon}")
+        total = 0.0
+        for worker in self.workers:
+            # down_until only tracks the most recent window; restarts count
+            # the rest — all windows have equal length for stateless workers
+            window = self.cost.process_restart_time(0)
+            total += min(worker.restarts * window, horizon)
+        return total / (len(self.workers) * horizon)

@@ -1,0 +1,171 @@
+"""HTTP/1.x request parsing and routing (the NGINX-like use case's core).
+
+The parser is written the way the C parser it stands in for is written:
+request line and header values are copied into fixed-size stack buffers,
+and the body buffer is sized from the client's ``Content-Length`` header.
+Both are classic web-server CVE shapes, and both corrupt only domain memory
+when the parser runs inside an SDRaD domain.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sdrad.runtime import DomainHandle
+
+REQUEST_LINE_BUFFER = 1024
+HEADER_VALUE_BUFFER = 256
+MAX_HEADERS = 64
+
+SUPPORTED_METHODS = (b"GET", b"HEAD", b"POST", b"PUT", b"DELETE")
+
+
+@dataclass
+class HttpRequest:
+    """Trusted-side representation of a successfully parsed request."""
+
+    method: str
+    path: str
+    version: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+
+@dataclass
+class HttpResponse:
+    status: int
+    reason: str
+    body: bytes = b""
+    headers: dict[str, str] = field(default_factory=dict)
+
+    def encode(self) -> bytes:
+        head = f"HTTP/1.1 {self.status} {self.reason}\r\n"
+        headers = dict(self.headers)
+        headers.setdefault("Content-Length", str(len(self.body)))
+        headers.setdefault("Server", "repro-nginx/1.0")
+        for name, value in headers.items():
+            head += f"{name}: {value}\r\n"
+        return head.encode("ascii") + b"\r\n" + self.body
+
+
+def parse_request_in_domain(
+    handle: DomainHandle, raw: bytes
+) -> Optional[HttpRequest]:
+    """The "unsafe C parser": runs inside a worker domain.
+
+    Returns ``None`` for requests that are *cleanly* malformed (400); lets
+    memory faults raise through the checked access path for requests that
+    exploit the parser bugs.
+    """
+    head_end = raw.find(b"\r\n\r\n")
+    if head_end < 0:
+        return None
+    head = raw[:head_end]
+    body = raw[head_end + 4 :]
+    lines = head.split(b"\r\n")
+
+    frame = handle.push_frame("ngx_http_process_request_line")
+    try:
+        # BUG 1: the request line is copied into a fixed stack buffer.
+        line_buf = frame.alloca(REQUEST_LINE_BUFFER)
+        frame.write_buffer(line_buf, lines[0] + b"\x00")
+
+        parts = lines[0].split(b" ")
+        if len(parts) != 3:
+            return None
+        method, path, version = parts
+        if method not in SUPPORTED_METHODS:
+            return None
+        if not version.startswith(b"HTTP/"):
+            return None
+
+        headers: dict[str, str] = {}
+        if len(lines) - 1 > MAX_HEADERS:
+            return None
+        for line in lines[1:]:
+            colon = line.find(b":")
+            if colon <= 0:
+                return None
+            name = line[:colon].strip().lower()
+            value = line[colon + 1 :].strip()
+            # Header processing runs in its own activation record, as in
+            # ngx_http_process_request_headers.
+            header_frame = handle.push_frame("ngx_http_process_header_line")
+            try:
+                # BUG 2: the value is staged through a fixed stack buffer.
+                value_buf = header_frame.alloca(HEADER_VALUE_BUFFER)
+                header_frame.write_buffer(value_buf, value + b"\x00")
+                try:
+                    headers[name.decode("ascii")] = value.decode("ascii")
+                except UnicodeDecodeError:
+                    return None
+            finally:
+                handle.pop_frame(header_frame)
+
+        declared_raw = headers.get("content-length", "0")
+        try:
+            declared = int(declared_raw)
+        except ValueError:
+            return None
+        if declared < 0:
+            return None
+        if declared or body:
+            # BUG 3: body buffer sized by Content-Length, filled with the
+            # actual bytes on the wire.
+            body_buf = handle.malloc(max(declared, 1))
+            handle.store(body_buf, body)
+            body = handle.load(body_buf, min(declared, len(body)))
+            handle.free(body_buf)
+
+        return HttpRequest(
+            method=method.decode("ascii"),
+            path=path.decode("ascii", "replace"),
+            version=version.decode("ascii"),
+            headers=headers,
+            body=bytes(body),
+        )
+    finally:
+        handle.pop_frame(frame)
+
+
+class Router:
+    """Static routing table (NGINX ``location`` blocks, minus the regexes)."""
+
+    def __init__(self) -> None:
+        self._routes: dict[tuple[str, str], HttpResponse] = {}
+        self._prefixes: list[tuple[str, HttpResponse]] = []
+
+    def add(self, method: str, path: str, response: HttpResponse) -> None:
+        self._routes[(method.upper(), path)] = response
+
+    def add_prefix(self, prefix: str, response: HttpResponse) -> None:
+        self._prefixes.append((prefix, response))
+        self._prefixes.sort(key=lambda p: len(p[0]), reverse=True)
+
+    def route(self, request: HttpRequest) -> HttpResponse:
+        exact = self._routes.get((request.method.upper(), request.path))
+        if exact is not None:
+            return exact
+        for prefix, response in self._prefixes:
+            if request.path.startswith(prefix):
+                return response
+        return HttpResponse(status=404, reason="Not Found", body=b"404\n")
+
+
+def default_router() -> Router:
+    """The static site every NGINX experiment serves."""
+    router = Router()
+    router.add(
+        "GET", "/", HttpResponse(status=200, reason="OK", body=b"<h1>repro</h1>\n")
+    )
+    router.add(
+        "GET",
+        "/health",
+        HttpResponse(status=200, reason="OK", body=b"ok\n"),
+    )
+    router.add_prefix(
+        "/static/",
+        HttpResponse(status=200, reason="OK", body=b"x" * 1024),
+    )
+    return router

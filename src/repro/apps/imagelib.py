@@ -1,0 +1,201 @@
+"""A native image-decoding library — the SDRaD-FFI "real-world use case".
+
+§III motivates SDRaD-FFI with Rust applications that call legacy native
+libraries; image decoders are the canonical example (libpng/libjpeg CVEs
+are a genre of their own). This module provides:
+
+* a toy RLE-compressed image format ("SIF" — simple image format);
+* :func:`encode_image` — a safe, trusted-side encoder;
+* :func:`decode_image_unsafe` — the "native C decoder": it allocates the
+  pixel buffer from *header-declared* dimensions and decompresses RLE runs
+  into it trusting the *stream's* run lengths. Two classic bugs:
+
+  1. header dimension lies → undersized buffer → heap overflow while
+     decompressing (CVE-shaped: integer-driven allocation mismatch);
+  2. RLE run overrun → writes past the buffer even with honest dimensions;
+
+* :class:`ImageService` — the application: decodes untrusted images through
+  a ``@sandboxed`` decoder with a placeholder-image alternate action.
+
+SIF layout::
+
+    +0   4s   magic   b"SIF1"
+    +4   u16  width
+    +6   u16  height
+    +8   u8   channels (1 or 3)
+    +9   ...  RLE stream: (count:u8, value:u8 × channels) repeated
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import SdradError
+from ..ffi.fallback import fallback_call
+from ..ffi.sandbox import Sandbox
+from ..sdrad.runtime import DomainHandle
+
+MAGIC = b"SIF1"
+HEADER = struct.Struct(">4sHHB")
+MAX_DIMENSION = 4096
+
+
+@dataclass(frozen=True)
+class Image:
+    """A decoded image (trusted-side representation)."""
+
+    width: int
+    height: int
+    channels: int
+    pixels: bytes
+
+    def __post_init__(self) -> None:
+        expected = self.width * self.height * self.channels
+        if len(self.pixels) != expected:
+            raise SdradError(
+                f"pixel buffer is {len(self.pixels)} bytes, expected {expected}"
+            )
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self.pixels)
+
+
+def encode_image(image: Image) -> bytes:
+    """Encode with per-pixel-run RLE (trusted-side, safe)."""
+    out = bytearray(HEADER.pack(MAGIC, image.width, image.height, image.channels))
+    stride = image.channels
+    pixels = image.pixels
+    i = 0
+    total = image.width * image.height
+    while i < total:
+        run_value = pixels[i * stride : (i + 1) * stride]
+        run_length = 1
+        while (
+            run_length < 255
+            and i + run_length < total
+            and pixels[(i + run_length) * stride : (i + run_length + 1) * stride]
+            == run_value
+        ):
+            run_length += 1
+        out.append(run_length)
+        out += run_value
+        i += run_length
+    return bytes(out)
+
+
+def make_test_image(width: int = 8, height: int = 8, channels: int = 3) -> Image:
+    """A deterministic gradient image for tests and examples."""
+    pixels = bytearray()
+    for y in range(height):
+        for x in range(width):
+            for c in range(channels):
+                pixels.append((x * 31 + y * 17 + c * 77) & 0xFF)
+    return Image(width=width, height=height, channels=channels, pixels=bytes(pixels))
+
+
+def craft_dimension_lie(data: bytes, width: int, height: int) -> bytes:
+    """Attack 1: rewrite the header dimensions without touching the stream."""
+    magic, _w, _h, channels = HEADER.unpack_from(data)
+    return HEADER.pack(magic, width, height, channels) + data[HEADER.size :]
+
+
+def craft_run_overflow(channels: int = 3, runs: int = 64) -> bytes:
+    """Attack 2: honest tiny dimensions, but far more RLE data than fits."""
+    header = HEADER.pack(MAGIC, 2, 2, channels)
+    stream = (bytes([255]) + b"\xee" * channels) * runs
+    return header + stream
+
+
+def decode_image_unsafe(handle: DomainHandle, data: bytes) -> dict:
+    """The "native C decoder": runs inside the sandbox domain.
+
+    Returns a dict (the FFI data model) rather than an :class:`Image`;
+    the trusted side re-validates and constructs the typed object.
+    """
+    if len(data) < HEADER.size:
+        return {"error": "truncated header"}
+    magic, width, height, channels = HEADER.unpack_from(data)
+    if magic != MAGIC:
+        return {"error": "bad magic"}
+    if channels not in (1, 3):
+        return {"error": "bad channel count"}
+    # BUG 1 enabler: the buffer is sized from header fields with no
+    # plausibility check against the stream.
+    buffer_size = width * height * channels
+    buf = handle.malloc(max(buffer_size, 1))
+    offset = 0
+    position = HEADER.size
+    while position < len(data):
+        count = data[position]
+        value = data[position + 1 : position + 1 + channels]
+        if len(value) < channels:
+            break
+        position += 1 + channels
+        # BUG 2: the run is written without checking it fits the buffer.
+        handle.store(buf + offset, value * count)
+        offset += count * channels
+    pixels = handle.load(buf, buffer_size) if buffer_size else b""
+    handle.free(buf)
+    return {
+        "width": width,
+        "height": height,
+        "channels": channels,
+        "pixels": bytes(pixels),
+    }
+
+
+PLACEHOLDER = Image(width=1, height=1, channels=3, pixels=b"\x7f\x7f\x7f")
+
+
+class ImageService:
+    """The application: decode untrusted images, never crash.
+
+    The decoder is retrofitted with exactly one annotation (§III's pitch);
+    a crafted image costs one domain rewind and yields the placeholder.
+    """
+
+    def __init__(self, sandbox: Sandbox, max_result_bytes: int = 2 * 1024 * 1024) -> None:
+        self.sandbox = sandbox
+        self.decoded = 0
+        self.rejected = 0
+        self.contained = 0
+
+        def placeholder_action(report, data):
+            self.contained += 1
+            return {
+                "width": PLACEHOLDER.width,
+                "height": PLACEHOLDER.height,
+                "channels": PLACEHOLDER.channels,
+                "pixels": PLACEHOLDER.pixels,
+            }
+
+        self._decode = sandbox.sandboxed(
+            decode_image_unsafe,
+            wants_handle=True,
+            fallback=fallback_call(placeholder_action),
+            heap_size=4 * 1024 * 1024,
+            max_result_bytes=max_result_bytes,
+        )
+
+    def decode(self, data: bytes) -> Optional[Image]:
+        """Decode untrusted bytes; placeholder on exploit, None on garbage."""
+        result = self._decode(data)
+        if "error" in result:
+            self.rejected += 1
+            return None
+        if not (
+            0 < result["width"] <= MAX_DIMENSION
+            and 0 < result["height"] <= MAX_DIMENSION
+        ):
+            self.rejected += 1
+            return None
+        self.decoded += 1
+        return Image(
+            width=result["width"],
+            height=result["height"],
+            channels=result["channels"],
+            pixels=result["pixels"],
+        )

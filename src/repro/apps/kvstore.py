@@ -1,0 +1,224 @@
+"""A Memcached-like in-memory key-value store on the simulated memory.
+
+The paper's flagship use case. Items live in a slab arena in *shared/root*
+memory (outside every client domain) so that rewinding a compromised client
+domain never touches the database — the separation SDRaD's Memcached
+retrofit establishes. The store itself is trusted-side code; the *parsing*
+of client input happens inside domains (see ``memcached_server``).
+
+Item layout inside a slab chunk::
+
+    +0   u16  key length
+    +2   u16  flags
+    +4   u32  value length
+    +8   ...  key bytes
+    +8+klen   value bytes
+
+An LRU list provides Memcached's eviction policy when the slab arena fills.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import AllocationFailure, SdradError
+from ..memory.slab import CHUNK_HEADER, SlabAllocator, default_size_classes
+from ..sdrad.runtime import SdradRuntime
+
+ITEM_HEADER = 8
+MAX_KEY_LEN = 250  # memcached protocol limit
+
+
+@dataclass
+class StoreStats:
+    """Hit/miss/eviction counters (the ``stats`` command's core fields)."""
+
+    gets: int = 0
+    sets: int = 0
+    deletes: int = 0
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    expired: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.gets if self.gets else 0.0
+
+
+class KVStore:
+    """Slab-backed key-value store with LRU eviction."""
+
+    def __init__(
+        self,
+        runtime: SdradRuntime,
+        arena_size: int = 4 * 1024 * 1024,
+        slab_page_size: int = 64 * 1024,
+    ) -> None:
+        self.runtime = runtime
+        base = runtime.map_shared_region(arena_size)
+        # Size classes must fit the configured slab page (memcached caps its
+        # largest class the same way).
+        largest = min(16 * 1024, slab_page_size - CHUNK_HEADER)
+        self.slabs = SlabAllocator(
+            runtime.space,
+            base,
+            arena_size,
+            chunk_sizes=default_size_classes(largest=largest),
+            slab_page_size=slab_page_size,
+        )
+        # key -> payload address; ordered by recency (LRU at the front).
+        self._index: "OrderedDict[bytes, int]" = OrderedDict()
+        self.stats = StoreStats()
+
+    # ------------------------------------------------------------------
+    # Operations
+    # ------------------------------------------------------------------
+
+    def set(self, key: bytes, value: bytes, flags: int = 0) -> None:
+        """Store ``value`` under ``key``, evicting LRU items if needed."""
+        self._validate_key(key)
+        if len(value) > 0xFFFFFFFF:
+            raise SdradError("value too large")
+        self.stats.sets += 1
+        if key in self._index:
+            self._free_item(key)
+        needed = ITEM_HEADER + len(key) + len(value)
+        addr = self._alloc_with_eviction(needed)
+        header = (
+            len(key).to_bytes(2, "little")
+            + (flags & 0xFFFF).to_bytes(2, "little")
+            + len(value).to_bytes(4, "little")
+        )
+        self.runtime.space.raw_store(addr, header + key + value)
+        self._index[key] = addr
+        self._index.move_to_end(key)
+        self.runtime.charge(self.runtime.cost.memcached_op)
+
+    def get(self, key: bytes) -> Optional[tuple[bytes, int]]:
+        """Return ``(value, flags)`` or ``None`` on miss."""
+        self._validate_key(key)
+        self.stats.gets += 1
+        addr = self._index.get(key)
+        self.runtime.charge(self.runtime.cost.memcached_op)
+        if addr is None:
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        self._index.move_to_end(key)
+        value, flags = self._read_item(addr, key)
+        return value, flags
+
+    def add(self, key: bytes, value: bytes, flags: int = 0) -> bool:
+        """Store only if the key is absent (the ``add`` command)."""
+        self._validate_key(key)
+        self.runtime.charge(self.runtime.cost.memcached_op)
+        if key in self._index:
+            return False
+        self.set(key, value, flags)
+        return True
+
+    def replace(self, key: bytes, value: bytes, flags: int = 0) -> bool:
+        """Store only if the key exists (the ``replace`` command)."""
+        self._validate_key(key)
+        self.runtime.charge(self.runtime.cost.memcached_op)
+        if key not in self._index:
+            return False
+        self.set(key, value, flags)
+        return True
+
+    def incr(self, key: bytes, delta: int) -> Optional[int]:
+        """Increment a decimal-ASCII value (the ``incr``/``decr`` commands).
+
+        Returns the new value, or ``None`` when the key is missing or not a
+        number — memcached's exact semantics, including clamping decrements
+        at zero.
+        """
+        self._validate_key(key)
+        self.runtime.charge(self.runtime.cost.memcached_op)
+        addr = self._index.get(key)
+        if addr is None:
+            return None
+        value, flags = self._read_item(addr, key)
+        try:
+            current = int(value)
+        except ValueError:
+            return None
+        if current < 0:
+            return None
+        new = max(0, current + delta)
+        self.set(key, b"%d" % new, flags)
+        return new
+
+    def delete(self, key: bytes) -> bool:
+        self._validate_key(key)
+        self.stats.deletes += 1
+        self.runtime.charge(self.runtime.cost.memcached_op)
+        if key not in self._index:
+            return False
+        self._free_item(key)
+        return True
+
+    def flush_all(self) -> None:
+        """Drop every item (the ``flush_all`` command)."""
+        self.slabs.reset()
+        self._index.clear()
+
+    # ------------------------------------------------------------------
+    # Introspection (drives E2's dataset-size axis)
+    # ------------------------------------------------------------------
+
+    @property
+    def item_count(self) -> int:
+        return len(self._index)
+
+    def state_bytes(self) -> int:
+        """Bytes of service state a restart would have to reload."""
+        return self.slabs.resident_bytes()
+
+    def contains(self, key: bytes) -> bool:
+        return key in self._index
+
+    def keys(self) -> list[bytes]:
+        return list(self._index)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _validate_key(self, key: bytes) -> None:
+        if not key:
+            raise SdradError("empty key")
+        if len(key) > MAX_KEY_LEN:
+            raise SdradError(f"key exceeds protocol limit ({len(key)} > {MAX_KEY_LEN})")
+        if b" " in key or b"\r" in key or b"\n" in key:
+            raise SdradError("key contains protocol delimiters")
+
+    def _alloc_with_eviction(self, needed: int) -> int:
+        while True:
+            try:
+                return self.slabs.alloc(needed)
+            except AllocationFailure:
+                if not self._index:
+                    raise
+                # Evict the least recently used item and retry.
+                lru_key = next(iter(self._index))
+                self._free_item(lru_key)
+                self.stats.evictions += 1
+
+    def _free_item(self, key: bytes) -> None:
+        addr = self._index.pop(key)
+        self.slabs.free(addr)
+
+    def _read_item(self, addr: int, key: bytes) -> tuple[bytes, int]:
+        header = self.runtime.space.raw_load(addr, ITEM_HEADER)
+        klen = int.from_bytes(header[0:2], "little")
+        flags = int.from_bytes(header[2:4], "little")
+        vlen = int.from_bytes(header[4:8], "little")
+        stored_key = self.runtime.space.raw_load(addr + ITEM_HEADER, klen)
+        if stored_key != key:
+            raise SdradError("index/item key mismatch — store corrupted")
+        value = self.runtime.space.raw_load(addr + ITEM_HEADER + klen, vlen)
+        return value, flags

@@ -1,0 +1,328 @@
+"""A Memcached-like server with SDRaD-isolated request parsing.
+
+Mirrors the paper's Memcached retrofit: client input is parsed by
+"C-style" code — fixed stack buffers, trust in client-declared lengths —
+inside an SDRaD domain, while the database (:class:`~repro.apps.kvstore.
+KVStore`) lives in root memory. A malicious request corrupts only its own
+domain; SDRaD rewinds it and the server answers ``SERVER_ERROR`` to that
+client while every other client proceeds untouched (experiment E4).
+
+Supported protocol subset (text protocol)::
+
+    set <key> <flags> <exptime> <bytes>\r\n<data>\r\n
+    get <key>\r\n
+    delete <key>\r\n
+    stats\r\n
+
+Deliberate parser vulnerabilities (the attack surface):
+
+* the key token is copied into a 256-byte stack buffer without a bounds
+  check — an over-long key smashes the stack canary;
+* the value buffer is allocated from the *client-declared* ``<bytes>``
+  field but filled with the *actual* payload — a length lie overflows the
+  heap block and smashes the allocator guard.
+
+Isolation modes (E1's ablation axis):
+
+* ``PER_CONNECTION`` — one persistent domain per client (the paper's
+  deployment: cheap, contains clients from each other);
+* ``PER_REQUEST``   — a fresh domain per request (strongest discard
+  semantics, pays domain setup per request);
+* ``NONE``          — parse in the root compartment with abort-on-detect
+  (the unprotected baseline: any detected fault kills the process).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import SdradError
+from ..sdrad.constants import ROOT_UDI, DomainFlags
+from ..sdrad.policy import ProcessCrashed, RewindPolicy
+from ..sdrad.runtime import DomainHandle, SdradRuntime
+from ..sdrad.watchdog import FaultWatchdog
+from .kvstore import KVStore, MAX_KEY_LEN
+
+KEY_STACK_BUFFER = 256
+
+
+class IsolationMode(enum.Enum):
+    PER_CONNECTION = "per-connection"
+    PER_REQUEST = "per-request"
+    NONE = "none"
+
+
+@dataclass
+class ServerMetrics:
+    requests: int = 0
+    ok: int = 0
+    client_errors: int = 0
+    server_errors: int = 0
+    rewinds: int = 0
+    crashes: int = 0
+    quarantines: int = 0
+    quarantine_refusals: int = 0
+    per_client_faults: dict[str, int] = field(default_factory=dict)
+
+
+@dataclass
+class _ParsedOp:
+    """Trusted-side representation of a parsed command."""
+
+    op: str
+    key: bytes = b""
+    flags: int = 0
+    value: bytes = b""
+
+
+class MemcachedServer:
+    """The server: connection registry + isolated parsing + trusted apply."""
+
+    def __init__(
+        self,
+        runtime: SdradRuntime,
+        store: Optional[KVStore] = None,
+        isolation: IsolationMode = IsolationMode.PER_CONNECTION,
+        domain_heap_size: int = 128 * 1024,
+        watchdog: Optional["FaultWatchdog"] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.store = store if store is not None else KVStore(runtime)
+        self.isolation = isolation
+        self.domain_heap_size = domain_heap_size
+        self.watchdog = watchdog
+        self.metrics = ServerMetrics()
+        self._connections: dict[str, int] = {}  # client id -> udi
+
+    # ------------------------------------------------------------------
+    # Connection lifecycle
+    # ------------------------------------------------------------------
+
+    def connect(self, client_id: str) -> None:
+        if client_id in self._connections:
+            raise SdradError(f"client {client_id!r} already connected")
+        if self.isolation is IsolationMode.PER_CONNECTION:
+            domain = self.runtime.domain_init(
+                flags=DomainFlags.RETURN_TO_PARENT,
+                heap_size=self.domain_heap_size,
+            )
+            self._connections[client_id] = domain.udi
+        else:
+            self._connections[client_id] = ROOT_UDI
+
+    def disconnect(self, client_id: str) -> None:
+        udi = self._connections.pop(client_id, None)
+        if udi is not None and udi != ROOT_UDI:
+            self.runtime.domain_destroy(udi)
+
+    @property
+    def connected_clients(self) -> list[str]:
+        return list(self._connections)
+
+    # ------------------------------------------------------------------
+    # Request handling
+    # ------------------------------------------------------------------
+
+    def handle(self, client_id: str, raw: bytes) -> bytes:
+        """Process one request from ``client_id``; returns the response.
+
+        Raises :class:`ProcessCrashed` only in ``NONE`` isolation, when a
+        fault escapes containment — the resilience layer turns that into
+        restart downtime.
+        """
+        if client_id not in self._connections:
+            raise SdradError(f"client {client_id!r} is not connected")
+        self.metrics.requests += 1
+
+        if self.watchdog is not None and self.watchdog.is_quarantined(client_id):
+            # Refused at the front door: no parsing, no domain, ~zero cost.
+            self.metrics.quarantine_refusals += 1
+            return b"SERVER_ERROR client quarantined\r\n"
+
+        if self.isolation is IsolationMode.NONE:
+            # Baseline: no domain, no switch cost — and no containment.
+            try:
+                parsed = self.runtime.execute_unisolated(_parse_in_domain, raw)
+            except ProcessCrashed:
+                self.metrics.crashes += 1
+                self._bump_fault(client_id)
+                raise
+            return self._apply(parsed)
+
+        udi, ephemeral = self._domain_for_request(client_id)
+        try:
+            result = self.runtime.execute(udi, _parse_in_domain, raw, policy=RewindPolicy())
+        finally:
+            if ephemeral:
+                self.runtime.domain_destroy(udi)
+
+        if not result.ok:
+            self.metrics.server_errors += 1
+            self.metrics.rewinds += 1
+            self._bump_fault(client_id)
+            if self.watchdog is not None and self.watchdog.record_fault(client_id):
+                self.metrics.quarantines += 1
+            return b"SERVER_ERROR domain fault (request discarded)\r\n"
+        return self._apply(result.value)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _domain_for_request(self, client_id: str) -> tuple[int, bool]:
+        if self.isolation is IsolationMode.PER_REQUEST:
+            domain = self.runtime.domain_init(
+                flags=DomainFlags.RETURN_TO_PARENT,
+                heap_size=self.domain_heap_size,
+            )
+            return domain.udi, True
+        return self._connections[client_id], False
+
+    def _bump_fault(self, client_id: str) -> None:
+        faults = self.metrics.per_client_faults
+        faults[client_id] = faults.get(client_id, 0) + 1
+
+    def _apply(self, parsed: Optional[_ParsedOp]) -> bytes:
+        """Trusted-side application of a successfully parsed command."""
+        if parsed is None:
+            self.metrics.client_errors += 1
+            return b"ERROR\r\n"
+        if parsed.op in ("set", "add", "replace"):
+            try:
+                if parsed.op == "set":
+                    self.store.set(parsed.key, parsed.value, parsed.flags)
+                    stored = True
+                elif parsed.op == "add":
+                    stored = self.store.add(parsed.key, parsed.value, parsed.flags)
+                else:
+                    stored = self.store.replace(
+                        parsed.key, parsed.value, parsed.flags
+                    )
+            except SdradError:
+                self.metrics.client_errors += 1
+                return b"CLIENT_ERROR bad data chunk\r\n"
+            self.metrics.ok += 1
+            return b"STORED\r\n" if stored else b"NOT_STORED\r\n"
+        if parsed.op in ("incr", "decr"):
+            delta = parsed.flags if parsed.op == "incr" else -parsed.flags
+            try:
+                new_value = self.store.incr(parsed.key, delta)
+            except SdradError:
+                self.metrics.client_errors += 1
+                return b"CLIENT_ERROR bad key\r\n"
+            self.metrics.ok += 1
+            if new_value is None:
+                return b"NOT_FOUND\r\n"
+            return b"%d\r\n" % new_value
+        if parsed.op == "get":
+            hit = None
+            try:
+                hit = self.store.get(parsed.key)
+            except SdradError:
+                self.metrics.client_errors += 1
+                return b"CLIENT_ERROR bad key\r\n"
+            self.metrics.ok += 1
+            if hit is None:
+                return b"END\r\n"
+            value, flags = hit
+            return (
+                b"VALUE %s %d %d\r\n" % (parsed.key, flags, len(value))
+                + value
+                + b"\r\nEND\r\n"
+            )
+        if parsed.op == "delete":
+            try:
+                found = self.store.delete(parsed.key)
+            except SdradError:
+                self.metrics.client_errors += 1
+                return b"CLIENT_ERROR bad key\r\n"
+            self.metrics.ok += 1
+            return b"DELETED\r\n" if found else b"NOT_FOUND\r\n"
+        if parsed.op == "stats":
+            self.metrics.ok += 1
+            stats = self.store.stats
+            body = (
+                b"STAT cmd_get %d\r\nSTAT cmd_set %d\r\n"
+                b"STAT get_hits %d\r\nSTAT get_misses %d\r\n"
+                b"STAT evictions %d\r\nEND\r\n"
+                % (stats.gets, stats.sets, stats.hits, stats.misses, stats.evictions)
+            )
+            return body
+        self.metrics.client_errors += 1
+        return b"ERROR\r\n"
+
+
+def _parse_in_domain(handle: DomainHandle, raw: bytes) -> Optional[_ParsedOp]:
+    """The "unsafe C parser" running inside the client's domain.
+
+    Faithfully unsafe: the key copy trusts token length, the value buffer
+    trusts the declared byte count. Both bugs corrupt only domain memory.
+    """
+    line_end = raw.find(b"\r\n")
+    if line_end < 0:
+        return None
+    parts = raw[:line_end].split(b" ")
+    command = parts[0]
+
+    frame = handle.push_frame("process_command")
+    try:
+        if command in (b"set", b"add", b"replace"):
+            if len(parts) != 5:
+                return None
+            key = parts[1]
+            # BUG 1: strcpy-style copy into a fixed stack buffer.
+            key_buf = frame.alloca(KEY_STACK_BUFFER)
+            frame.write_buffer(key_buf, key + b"\x00")
+            try:
+                flags = int(parts[2])
+                int(parts[3])  # exptime parsed but unused in the subset
+                declared = int(parts[4])
+            except ValueError:
+                return None
+            if declared < 0:
+                return None
+            data = raw[line_end + 2 :]
+            if data.endswith(b"\r\n"):
+                data = data[:-2]
+            # BUG 2: allocation sized by the *declared* length, filled with
+            # the *actual* payload.
+            value_buf = handle.malloc(max(declared, 1))
+            handle.store(value_buf, data)
+            value = handle.load(value_buf, min(declared, len(data)))
+            handle.free(value_buf)
+            if len(key) > MAX_KEY_LEN:
+                return None  # reached only if the overflow was survivable
+            return _ParsedOp(
+                op=command.decode("ascii"), key=bytes(key), flags=flags, value=value
+            )
+        if command in (b"incr", b"decr"):
+            if len(parts) != 3:
+                return None
+            key = parts[1]
+            key_buf = frame.alloca(KEY_STACK_BUFFER)
+            frame.write_buffer(key_buf, key + b"\x00")
+            try:
+                delta = int(parts[2])
+            except ValueError:
+                return None
+            if delta < 0 or len(key) > MAX_KEY_LEN:
+                return None
+            return _ParsedOp(
+                op=command.decode("ascii"), key=bytes(key), flags=delta
+            )
+        if command in (b"get", b"delete"):
+            if len(parts) != 2:
+                return None
+            key = parts[1]
+            key_buf = frame.alloca(KEY_STACK_BUFFER)
+            frame.write_buffer(key_buf, key + b"\x00")
+            if len(key) > MAX_KEY_LEN:
+                return None
+            return _ParsedOp(op=command.decode("ascii"), key=bytes(key))
+        if command == b"stats":
+            return _ParsedOp(op="stats")
+        return None
+    finally:
+        handle.pop_frame(frame)

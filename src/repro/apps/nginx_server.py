@@ -1,0 +1,153 @@
+"""An NGINX-like HTTP server with SDRaD-isolated worker parsing.
+
+The second of the paper's three use cases. NGINX's architecture maps onto
+SDRaD naturally: each worker's request-processing runs in a domain, the
+routing table and accounting stay in root memory. A crafted request that
+smashes the parser is rewound and answered with ``500``; in the unisolated
+baseline it kills the worker process.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..errors import SdradError
+from ..sdrad.constants import DomainFlags
+from ..sdrad.policy import ProcessCrashed, RewindPolicy
+from ..sdrad.runtime import SdradRuntime
+from ..sdrad.watchdog import FaultWatchdog
+from .http import HttpResponse, Router, default_router, parse_request_in_domain
+from .memcached_server import IsolationMode
+
+
+@dataclass
+class NginxMetrics:
+    requests: int = 0
+    responses_2xx: int = 0
+    responses_4xx: int = 0
+    responses_5xx: int = 0
+    rewinds: int = 0
+    crashes: int = 0
+    quarantines: int = 0
+    quarantine_refusals: int = 0
+    per_client_faults: dict[str, int] = field(default_factory=dict)
+
+
+class NginxServer:
+    """Connection-oriented HTTP server over the SDRaD runtime."""
+
+    def __init__(
+        self,
+        runtime: SdradRuntime,
+        router: Optional[Router] = None,
+        isolation: IsolationMode = IsolationMode.PER_CONNECTION,
+        domain_heap_size: int = 128 * 1024,
+        watchdog: Optional["FaultWatchdog"] = None,
+    ) -> None:
+        self.runtime = runtime
+        self.router = router if router is not None else default_router()
+        self.isolation = isolation
+        self.domain_heap_size = domain_heap_size
+        self.watchdog = watchdog
+        self.metrics = NginxMetrics()
+        self._connections: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+
+    def connect(self, client_id: str) -> None:
+        if client_id in self._connections:
+            raise SdradError(f"client {client_id!r} already connected")
+        if self.isolation is IsolationMode.PER_CONNECTION:
+            domain = self.runtime.domain_init(
+                flags=DomainFlags.RETURN_TO_PARENT,
+                heap_size=self.domain_heap_size,
+            )
+            self._connections[client_id] = domain.udi
+        else:
+            self._connections[client_id] = -1
+
+    def disconnect(self, client_id: str) -> None:
+        udi = self._connections.pop(client_id, None)
+        if udi is not None and udi >= 0:
+            self.runtime.domain_destroy(udi)
+
+    @property
+    def connected_clients(self) -> list[str]:
+        return list(self._connections)
+
+    # ------------------------------------------------------------------
+
+    def handle(self, client_id: str, raw: bytes) -> bytes:
+        """Process one HTTP request; returns the encoded response."""
+        if client_id not in self._connections:
+            raise SdradError(f"client {client_id!r} is not connected")
+        self.metrics.requests += 1
+        if self.watchdog is not None and self.watchdog.is_quarantined(client_id):
+            self.metrics.quarantine_refusals += 1
+            return HttpResponse(
+                status=429, reason="Too Many Requests", body=b"quarantined\n"
+            ).encode()
+        self.runtime.charge(self.runtime.cost.nginx_request)
+
+        if self.isolation is IsolationMode.NONE:
+            try:
+                request = self.runtime.execute_unisolated(
+                    parse_request_in_domain, raw
+                )
+            except ProcessCrashed:
+                self.metrics.crashes += 1
+                self._bump_fault(client_id)
+                raise
+            return self._respond(request)
+
+        udi, ephemeral = self._domain_for_request(client_id)
+        try:
+            result = self.runtime.execute(
+                udi, parse_request_in_domain, raw, policy=RewindPolicy()
+            )
+        finally:
+            if ephemeral:
+                self.runtime.domain_destroy(udi)
+        if not result.ok:
+            self.metrics.rewinds += 1
+            self.metrics.responses_5xx += 1
+            self._bump_fault(client_id)
+            if self.watchdog is not None and self.watchdog.record_fault(client_id):
+                self.metrics.quarantines += 1
+            return HttpResponse(
+                status=500,
+                reason="Internal Server Error",
+                body=b"request discarded\n",
+            ).encode()
+        return self._respond(result.value)
+
+    # ------------------------------------------------------------------
+
+    def _domain_for_request(self, client_id: str) -> tuple[int, bool]:
+        if self.isolation is IsolationMode.PER_REQUEST:
+            domain = self.runtime.domain_init(
+                flags=DomainFlags.RETURN_TO_PARENT,
+                heap_size=self.domain_heap_size,
+            )
+            return domain.udi, True
+        return self._connections[client_id], False
+
+    def _respond(self, request) -> bytes:
+        if request is None:
+            self.metrics.responses_4xx += 1
+            return HttpResponse(
+                status=400, reason="Bad Request", body=b"bad request\n"
+            ).encode()
+        response = self.router.route(request)
+        if 200 <= response.status < 300:
+            self.metrics.responses_2xx += 1
+        elif 400 <= response.status < 500:
+            self.metrics.responses_4xx += 1
+        else:
+            self.metrics.responses_5xx += 1
+        return response.encode()
+
+    def _bump_fault(self, client_id: str) -> None:
+        faults = self.metrics.per_client_faults
+        faults[client_id] = faults.get(client_id, 0) + 1

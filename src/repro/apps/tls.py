@@ -1,0 +1,163 @@
+"""A toy TLS record/handshake layer with a Heartbleed-shaped vulnerability.
+
+The third use case (OpenSSL). The record layer and heartbeat responder are
+modelled closely enough that the *vulnerability has the same anatomy* as
+CVE-2014-0160: the heartbeat request carries a client-declared payload
+length, and the responder echoes ``declared`` bytes starting from a buffer
+that only holds the *actual* payload — an over-read into whatever lies
+after the buffer.
+
+What the over-read can reach is exactly the experiment: run unisolated, the
+buffer sits in root memory next to *every session's secrets*; run inside a
+per-client SDRaD domain, it can reach only that client's own domain memory,
+and reading past the domain trips MPK.
+
+Record format (TLS 1.2-flavoured)::
+
+    +0  u8   content type   (22 handshake, 23 appdata, 24 heartbeat)
+    +1  u16  version        (0x0303)
+    +3  u16  length
+    +5  ...  payload
+
+Heartbeat payload::
+
+    +0  u8   hb type        (1 request, 2 response)
+    +1  u16  declared payload length     <-- attacker-controlled
+    +3  ...  payload bytes  (actual)
+    ...      padding (>= 16 bytes on requests)
+"""
+
+from __future__ import annotations
+
+import enum
+import struct
+from dataclasses import dataclass
+
+from ..sdrad.runtime import DomainHandle
+
+VERSION_TLS12 = 0x0303
+HEARTBEAT_PADDING = 16
+
+
+class ContentType(enum.IntEnum):
+    HANDSHAKE = 22
+    APPLICATION_DATA = 23
+    HEARTBEAT = 24
+
+
+class HandshakeType(enum.IntEnum):
+    CLIENT_HELLO = 1
+    SERVER_HELLO = 2
+    FINISHED = 20
+
+
+class HeartbeatType(enum.IntEnum):
+    REQUEST = 1
+    RESPONSE = 2
+
+
+@dataclass(frozen=True)
+class TlsRecord:
+    content_type: int
+    version: int
+    payload: bytes
+
+    def encode(self) -> bytes:
+        if len(self.payload) > 0xFFFF:
+            raise ValueError("TLS record payload exceeds 2^16-1 bytes")
+        return (
+            struct.pack(">BHH", self.content_type, self.version, len(self.payload))
+            + self.payload
+        )
+
+
+def decode_record(raw: bytes) -> TlsRecord | None:
+    """Parse one record; ``None`` for truncated/garbage input.
+
+    Note the decode is honest about the length field: a record whose
+    declared length exceeds the bytes on the wire is rejected *here* — the
+    heartbeat bug lives one layer up, in the heartbeat payload's own
+    declared length, exactly as in OpenSSL.
+    """
+    if len(raw) < 5:
+        return None
+    content_type, version, length = struct.unpack(">BHH", raw[:5])
+    payload = raw[5 : 5 + length]
+    if len(payload) != length:
+        return None
+    return TlsRecord(content_type=content_type, version=version, payload=payload)
+
+
+def make_client_hello(client_random: bytes = b"\x00" * 32) -> bytes:
+    payload = struct.pack(">B", HandshakeType.CLIENT_HELLO) + client_random
+    return TlsRecord(ContentType.HANDSHAKE, VERSION_TLS12, payload).encode()
+
+
+def make_finished() -> bytes:
+    payload = struct.pack(">B", HandshakeType.FINISHED)
+    return TlsRecord(ContentType.HANDSHAKE, VERSION_TLS12, payload).encode()
+
+
+def make_appdata(data: bytes) -> bytes:
+    return TlsRecord(ContentType.APPLICATION_DATA, VERSION_TLS12, data).encode()
+
+
+def make_heartbeat_request(payload: bytes, declared: int | None = None) -> bytes:
+    """Build a heartbeat request. ``declared != len(payload)`` is the attack."""
+    if declared is None:
+        declared = len(payload)
+    hb = (
+        struct.pack(">BH", HeartbeatType.REQUEST, declared)
+        + payload
+        + b"\x10" * HEARTBEAT_PADDING
+    )
+    return TlsRecord(ContentType.HEARTBEAT, VERSION_TLS12, hb).encode()
+
+
+def mask_record_in_domain(
+    handle: DomainHandle, data: bytes, secret: bytes
+) -> bytes:
+    """Application-record processing inside the session's domain.
+
+    Models the record layer's work on in-domain buffers: the ciphertext is
+    staged into domain memory, transformed with the session secret (a toy
+    XOR standing in for AES-GCM), and the result read back out. Running
+    this in-domain is what puts record parsing — Heartbleed's neighbourhood
+    — behind the protection key.
+    """
+    buf = handle.malloc(max(len(data), 1))
+    handle.store(buf, data)
+    staged = handle.load(buf, len(data)) if data else b""
+    masked = bytes(b ^ secret[i % len(secret)] for i, b in enumerate(staged))
+    handle.store(buf, masked or b"\x00")
+    out = handle.load(buf, len(masked)) if masked else b""
+    handle.free(buf)
+    return bytes(out)
+
+
+def process_heartbeat_in_domain(handle: DomainHandle, hb_payload: bytes) -> bytes:
+    """The vulnerable heartbeat responder (``tls1_process_heartbeat``).
+
+    Copies the *actual* payload into a heap buffer, then builds the response
+    by reading ``declared`` bytes from that buffer — the over-read. Returns
+    the heartbeat-response payload (possibly containing leaked memory).
+    """
+    if len(hb_payload) < 3:
+        return b""
+    hb_type, declared = struct.unpack(">BH", hb_payload[:3])
+    if hb_type != HeartbeatType.REQUEST:
+        return b""
+    actual = hb_payload[3:]
+    if len(actual) > HEARTBEAT_PADDING:
+        actual = actual[: len(actual) - HEARTBEAT_PADDING]
+    # The response record must still be encodable (type + length prefix),
+    # so the echo is capped at what one record can carry — the OpenSSL bug
+    # had the same ~64 KiB-per-request ceiling.
+    echo_len = max(min(declared, 0xFFFF - 3), 1)
+    # memcpy(buffer, request.payload, actual_length) ...
+    buf = handle.malloc(max(len(actual), 1))
+    handle.store(buf, actual)
+    # ... then memcpy(response, buffer, DECLARED length). The bug:
+    echoed = handle.load(buf, echo_len)
+    handle.free(buf)
+    return struct.pack(">BH", HeartbeatType.RESPONSE, declared) + bytes(echoed)

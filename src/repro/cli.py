@@ -1,0 +1,231 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Gives downstream users the paper's headline analyses without writing code:
+
+* ``demo``          — the quickstart fault/rewind walk-through;
+* ``recovery``      — E2's recovery-latency table for a dataset size;
+* ``availability``  — E3's simulated service-year comparison;
+* ``lca``           — E5's energy/carbon table (+ rebound sensitivity);
+* ``crossover``     — E8's SLO crossover map;
+* ``fleet``         — §IV case-study scenarios at fleet scale;
+* ``inject``        — run a fault-injection campaign and report containment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .faultinj.campaign import PeriodicArrivals
+from .faultinj.injector import FaultInjector
+from .faultinj.models import FaultKind
+from .resilience.simulation import compare_strategies
+from .resilience.slo import SLO_LADDER, crossover_faults
+from .resilience.strategy import RecoveryStrategyModel
+from .sdrad.constants import DomainFlags
+from .sdrad.runtime import SdradRuntime
+from .sim.clock import YEARS
+from .sim.cost import GIB
+from .sustainability.lca import LifecycleAssessment
+from .sustainability.report import (
+    availability_table,
+    format_seconds,
+    format_table,
+    lca_table,
+)
+from .sustainability.scenarios import DEFAULT_SCENARIOS, assess_fleet, summarize
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    runtime = SdradRuntime()
+    domain = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+    print(f"created {domain!r}")
+
+    result = runtime.execute(domain.udi, lambda h: h.load(h.malloc(16), 4))
+    print(f"clean call -> ok={result.ok}")
+
+    result = runtime.execute(domain.udi, lambda h: h.store(0, b"null write"))
+    print(
+        f"null write -> ok={result.ok}, detected by {result.fault.mechanism.value}, "
+        f"rewound in {format_seconds(result.recovery_time)}"
+    )
+    result = runtime.execute(domain.udi, lambda h: "alive")
+    print(f"after rewind -> {result.value}")
+    return 0
+
+
+def _cmd_recovery(args: argparse.Namespace) -> int:
+    model = RecoveryStrategyModel()
+    dataset = int(args.dataset_gib * GIB)
+    rows = []
+    for spec in model.all_for(dataset):
+        rows.append(
+            (
+                spec.name,
+                format_seconds(spec.downtime_per_fault),
+                spec.replicas,
+                f"{spec.runtime_overhead:.0%}",
+            )
+        )
+    print(format_table(("strategy", "downtime/fault", "replicas", "overhead"), rows))
+    return 0
+
+
+def _cmd_availability(args: argparse.Namespace) -> int:
+    model = RecoveryStrategyModel()
+    dataset = int(args.dataset_gib * GIB)
+    times = list(PeriodicArrivals(args.faults).times(YEARS))
+    outcomes = compare_strategies(
+        model.all_for(dataset), times, request_rate=args.request_rate
+    )
+    print(
+        f"one simulated year, {args.faults} fault(s), "
+        f"{args.dataset_gib} GiB dataset:\n"
+    )
+    print(availability_table(outcomes))
+    return 0
+
+
+def _cmd_lca(args: argparse.Namespace) -> int:
+    lca = LifecycleAssessment()
+    rows = lca.assess(
+        dataset_bytes=int(args.dataset_gib * GIB),
+        faults_per_year=args.faults,
+        availability_target=args.target,
+    )
+    print(lca_table(rows))
+    saving = lca.carbon_saving(rows, rebound_fraction=args.rebound)
+    print(
+        f"\nnet saving vs worst compliant alternative "
+        f"(rebound {args.rebound:.0%}): {saving:.1f} kgCO2e/yr"
+    )
+    return 0
+
+
+def _cmd_crossover(args: argparse.Namespace) -> int:
+    model = RecoveryStrategyModel()
+    rows = []
+    for gib in args.dataset_gib:
+        restart = model.process_restart(int(gib * GIB)).downtime_per_fault
+        rows.append(
+            (f"{gib:g} GiB",)
+            + tuple(f"{crossover_faults(restart, slo):.1f}" for slo in SLO_LADDER)
+        )
+    rows.append(
+        ("rewind",)
+        + tuple(f"{crossover_faults(3.5e-6, slo):.1e}" for slo in SLO_LADDER)
+    )
+    print(
+        format_table(("dataset", *[slo.name for slo in SLO_LADDER]), rows)
+    )
+    return 0
+
+
+def _cmd_fleet(args: argparse.Namespace) -> int:
+    assessments = [
+        assess_fleet(scenario, rebound_fraction=args.rebound)
+        for scenario in DEFAULT_SCENARIOS
+    ]
+    print(
+        format_table(
+            (
+                "scenario",
+                "nodes",
+                "servers (restart)",
+                "servers (sdrad)",
+                "avoided",
+                "energy saved/yr",
+                "carbon saved/yr",
+            ),
+            summarize(assessments),
+        )
+    )
+    return 0
+
+
+def _cmd_inject(args: argparse.Namespace) -> int:
+    runtime = SdradRuntime()
+    domain = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+    injector = FaultInjector(runtime)
+    kinds = (
+        [FaultKind(args.kind)] if args.kind != "all" else list(FaultKind)
+    )
+    for kind in kinds:
+        for _ in range(args.count):
+            injector.inject(domain.udi, kind)
+    summary = injector.summary
+    print(
+        f"injected {summary.total} fault(s); detected {summary.detected}, "
+        f"contained {summary.contained} "
+        f"(containment {summary.containment_rate:.0%})"
+    )
+    rows = [(k, v) for k, v in sorted(summary.by_mechanism.items())]
+    if rows:
+        print(format_table(("detection mechanism", "count"), rows))
+    print(
+        f"total recovery time: {format_seconds(summary.total_recovery_time)}"
+    )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SDRaD reproduction: in-process isolation for resilience",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("demo", help="fault/rewind walk-through").set_defaults(
+        func=_cmd_demo
+    )
+
+    recovery = sub.add_parser("recovery", help="recovery-latency table (E2)")
+    recovery.add_argument("--dataset-gib", type=float, default=10.0)
+    recovery.set_defaults(func=_cmd_recovery)
+
+    availability = sub.add_parser(
+        "availability", help="simulated service-year (E3)"
+    )
+    availability.add_argument("--dataset-gib", type=float, default=10.0)
+    availability.add_argument("--faults", type=int, default=3)
+    availability.add_argument("--request-rate", type=float, default=1000.0)
+    availability.set_defaults(func=_cmd_availability)
+
+    lca = sub.add_parser("lca", help="energy/carbon comparison (E5)")
+    lca.add_argument("--dataset-gib", type=float, default=10.0)
+    lca.add_argument("--faults", type=float, default=3.0)
+    lca.add_argument("--target", type=float, default=0.99999)
+    lca.add_argument("--rebound", type=float, default=0.0)
+    lca.set_defaults(func=_cmd_lca)
+
+    crossover = sub.add_parser("crossover", help="SLO crossover map (E8)")
+    crossover.add_argument(
+        "--dataset-gib", type=float, nargs="+", default=[0.1, 1.0, 10.0, 100.0]
+    )
+    crossover.set_defaults(func=_cmd_crossover)
+
+    fleet = sub.add_parser("fleet", help="fleet-scale case studies (§IV)")
+    fleet.add_argument("--rebound", type=float, default=0.0)
+    fleet.set_defaults(func=_cmd_fleet)
+
+    inject = sub.add_parser("inject", help="fault-injection campaign")
+    inject.add_argument(
+        "--kind",
+        choices=["all"] + [k.value for k in FaultKind],
+        default="all",
+    )
+    inject.add_argument("--count", type=int, default=5)
+    inject.set_defaults(func=_cmd_inject)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,49 @@
+"""Fault injection: memory-corruption models, arrival campaigns, injector."""
+
+from .campaign import (
+    DEFAULT_FAULT_MIX,
+    ArrivalProcess,
+    BurstArrivals,
+    Campaign,
+    InjectionPlan,
+    PeriodicArrivals,
+    PoissonArrivals,
+)
+from .injector import FaultInjector, InjectionResult, InjectionSummary
+from .models import (
+    FAULT_LIBRARY,
+    NEEDS_ADDRESS,
+    FaultKind,
+    cross_domain_write,
+    double_free,
+    heap_overflow,
+    null_deref,
+    over_read,
+    stack_smash,
+    use_after_free,
+    wild_write,
+)
+
+__all__ = [
+    "DEFAULT_FAULT_MIX",
+    "ArrivalProcess",
+    "BurstArrivals",
+    "Campaign",
+    "InjectionPlan",
+    "PeriodicArrivals",
+    "PoissonArrivals",
+    "FaultInjector",
+    "InjectionResult",
+    "InjectionSummary",
+    "FAULT_LIBRARY",
+    "NEEDS_ADDRESS",
+    "FaultKind",
+    "cross_domain_write",
+    "double_free",
+    "heap_overflow",
+    "null_deref",
+    "over_read",
+    "stack_smash",
+    "use_after_free",
+    "wild_write",
+]

@@ -1,0 +1,131 @@
+"""The injector: runs fault models inside domains and records outcomes.
+
+Bridges the fault library (:mod:`repro.faultinj.models`) and the SDRaD
+runtime: each injection executes the chosen model inside a target domain and
+reports whether the fault was detected, by which mechanism, whether the
+process survived, and how long recovery took. Integration tests and E3/E4
+aggregate :class:`InjectionResult` records.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..sdrad.detect import DetectionMechanism
+from ..sdrad.policy import ProcessCrashed, RecoveryPolicy
+from ..sdrad.runtime import DomainHandle, SdradRuntime
+from .models import FAULT_LIBRARY, NEEDS_ADDRESS, FaultKind
+
+
+@dataclass
+class InjectionResult:
+    """Outcome of one injected fault."""
+
+    kind: FaultKind
+    detected: bool
+    mechanism: Optional[DetectionMechanism]
+    survived: bool
+    recovery_time: float
+    timestamp: float
+
+    @property
+    def contained(self) -> bool:
+        """Detected and the process survived — SDRaD's success criterion."""
+        return self.detected and self.survived
+
+
+@dataclass
+class InjectionSummary:
+    """Aggregates over a whole campaign."""
+
+    total: int = 0
+    detected: int = 0
+    survived: int = 0
+    contained: int = 0
+    total_recovery_time: float = 0.0
+    by_kind: dict[str, int] = field(default_factory=dict)
+    by_mechanism: dict[str, int] = field(default_factory=dict)
+
+    def add(self, result: InjectionResult) -> None:
+        self.total += 1
+        self.detected += int(result.detected)
+        self.survived += int(result.survived)
+        self.contained += int(result.contained)
+        self.total_recovery_time += result.recovery_time
+        self.by_kind[result.kind.value] = self.by_kind.get(result.kind.value, 0) + 1
+        if result.mechanism is not None:
+            key = result.mechanism.value
+            self.by_mechanism[key] = self.by_mechanism.get(key, 0) + 1
+
+    @property
+    def containment_rate(self) -> float:
+        return self.contained / self.total if self.total else 0.0
+
+
+class FaultInjector:
+    """Executes fault models inside a runtime's domains."""
+
+    def __init__(self, runtime: SdradRuntime) -> None:
+        self.runtime = runtime
+        self.summary = InjectionSummary()
+
+    def inject(
+        self,
+        udi: int,
+        kind: FaultKind,
+        victim_addr: Optional[int] = None,
+        policy: Optional[RecoveryPolicy] = None,
+        **model_kwargs: object,
+    ) -> InjectionResult:
+        """Run one fault model inside domain ``udi`` and classify the outcome.
+
+        ``victim_addr`` is required for cross-domain/wild-write kinds; by
+        default it targets the root domain's heap (the most damaging victim).
+        """
+        model = FAULT_LIBRARY[kind]
+        if kind in NEEDS_ADDRESS:
+            if victim_addr is None:
+                victim_addr = self.runtime.root.heap_base + 64
+            args: tuple = (victim_addr,)
+        else:
+            args = ()
+
+        def run(handle: DomainHandle) -> object:
+            return model(handle, *args, **model_kwargs)
+
+        timestamp = self.runtime.clock.now
+        try:
+            outcome = self.runtime.execute(udi, run, policy=policy)
+        except ProcessCrashed as crash:
+            result = InjectionResult(
+                kind=kind,
+                detected=True,
+                mechanism=crash.report.mechanism,
+                survived=False,
+                recovery_time=0.0,
+                timestamp=timestamp,
+            )
+            self.summary.add(result)
+            raise
+        if outcome.ok:
+            # The fault went undetected (e.g. a contained over-read).
+            result = InjectionResult(
+                kind=kind,
+                detected=False,
+                mechanism=None,
+                survived=True,
+                recovery_time=0.0,
+                timestamp=timestamp,
+            )
+        else:
+            result = InjectionResult(
+                kind=kind,
+                detected=True,
+                mechanism=outcome.fault.mechanism if outcome.fault else None,
+                survived=True,
+                recovery_time=outcome.recovery_time,
+                timestamp=timestamp,
+            )
+        self.summary.add(result)
+        return result

@@ -1,0 +1,144 @@
+"""Memory-corruption fault models.
+
+Each model is a function that, given a :class:`~repro.sdrad.DomainHandle`,
+performs the memory operations a real bug of that class performs — through
+the *checked* application access path, so detection happens exactly where
+the corresponding defence would catch it on hardware:
+
+===================  =======================================================
+fault model          expected detection
+===================  =======================================================
+stack smash          stack canary at function epilogue
+heap overflow        allocator guard word at ``free``/heap sweep
+cross-domain write   protection-key violation at the faulting store
+wild write           pkey violation / page fault (address dependent)
+null dereference     page fault (page 0 is never mapped)
+use-after-free       heap-integrity sweep at domain exit
+double free          allocator invalid-free check
+over-read            pkey violation when it crosses the domain boundary;
+                     silent data leak while it stays inside (Heartbleed)
+===================  =======================================================
+
+Models return normally only if their corruption went *undetected at the
+point of injection* (e.g. a contained over-read); most raise through the
+checked access path and are classified at the domain boundary.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable
+
+from ..sdrad.runtime import DomainHandle
+
+
+class FaultKind(enum.Enum):
+    """Catalogue of injectable memory-corruption bug classes."""
+
+    STACK_SMASH = "stack-smash"
+    HEAP_OVERFLOW = "heap-overflow"
+    CROSS_DOMAIN_WRITE = "cross-domain-write"
+    WILD_WRITE = "wild-write"
+    NULL_DEREF = "null-deref"
+    USE_AFTER_FREE = "use-after-free"
+    DOUBLE_FREE = "double-free"
+    OVER_READ = "over-read"
+
+
+def stack_smash(handle: DomainHandle, overflow: int = 16) -> None:
+    """Contiguous overflow of a stack buffer (classic ``gets`` bug).
+
+    ``overflow`` extra bytes are written past a 16-byte buffer: 8 reach the
+    canary, 16 also reach the saved return address. The epilogue's canary
+    check fires on return. (Much larger overflows run off the top of the
+    stack region entirely and fault as page faults instead — also a valid
+    outcome, but not this model's.)
+    """
+    frame = handle.push_frame("vulnerable_parser")
+    buf = frame.alloca(16)
+    frame.write_buffer(buf, b"A" * (16 + overflow))
+    handle.pop_frame(frame)
+
+
+def heap_overflow(handle: DomainHandle, alloc: int = 32, excess: int = 16) -> None:
+    """Write past the end of a heap allocation; guard word catches it."""
+    addr = handle.malloc(alloc)
+    capacity = handle.capacity(addr)
+    handle.store(addr, b"B" * (capacity + excess))
+    handle.free(addr)
+
+
+def cross_domain_write(handle: DomainHandle, victim_addr: int) -> None:
+    """Attacker-steered write into another domain's memory.
+
+    This is the fault class SDRaD's isolation exists for: on a system
+    without MPK the write silently corrupts the victim; here it must trip
+    the protection key of the victim's page.
+    """
+    handle.store(victim_addr, b"PWNED!!!")
+
+
+def wild_write(handle: DomainHandle, address: int) -> None:
+    """Write through a corrupted pointer to an arbitrary address."""
+    handle.store(address, b"\xff" * 8)
+
+
+def null_deref(handle: DomainHandle) -> None:
+    """Read through a NULL pointer (page 0 is never mapped)."""
+    handle.load(8, 8)
+
+
+def use_after_free(handle: DomainHandle, size: int = 48) -> None:
+    """Write through a dangling pointer over freed-and-reused heap memory.
+
+    Classic UAF exploitation pattern: object ``a`` is freed, the allocator's
+    space is later owned by a neighbour ``b``, and a write through the stale
+    pointer to ``a`` corrupts ``b``'s metadata. The store itself succeeds
+    (pages are still mapped with the domain's key — UAF is the stealthiest
+    class here, exactly as on hardware); detection is *deferred* until the
+    next allocator integrity check, modelled by touching ``b`` afterwards.
+    """
+    dangling = handle.malloc(size)
+    capacity = handle.capacity(dangling)
+    victim = handle.malloc(size)
+    handle.free(dangling)
+    # Dangling write runs past a's payload and guard into b's header.
+    handle.store(dangling, b"C" * (capacity + 8 + 16))
+    handle.free(victim)  # allocator notices b's smashed header here
+
+
+def double_free(handle: DomainHandle, size: int = 32) -> None:
+    """Free the same pointer twice."""
+    addr = handle.malloc(size)
+    handle.free(addr)
+    handle.free(addr)
+
+
+def over_read(handle: DomainHandle, alloc: int = 64, read: int = 4096 * 4) -> bytes:
+    """Heartbleed-style over-read: return more bytes than were allocated.
+
+    While the read stays inside the domain's own pages it *succeeds* and
+    leaks stale domain data (which rewind-and-discard limits to the current
+    request's domain). Reading far enough to cross into another key's pages
+    trips MPK.
+    """
+    addr = handle.malloc(alloc)
+    handle.store(addr, b"D" * alloc)
+    return handle.load(addr, read)
+
+
+#: Registry mapping kinds to `(callable, kwargs)` factories used by
+#: campaigns. Callables take the handle plus the listed keyword arguments.
+FAULT_LIBRARY: dict[FaultKind, Callable[..., object]] = {
+    FaultKind.STACK_SMASH: stack_smash,
+    FaultKind.HEAP_OVERFLOW: heap_overflow,
+    FaultKind.CROSS_DOMAIN_WRITE: cross_domain_write,
+    FaultKind.WILD_WRITE: wild_write,
+    FaultKind.NULL_DEREF: null_deref,
+    FaultKind.USE_AFTER_FREE: use_after_free,
+    FaultKind.DOUBLE_FREE: double_free,
+    FaultKind.OVER_READ: over_read,
+}
+
+#: Kinds that need a victim/target address argument.
+NEEDS_ADDRESS = {FaultKind.CROSS_DOMAIN_WRITE, FaultKind.WILD_WRITE}

@@ -1,0 +1,57 @@
+"""SDRaD-FFI: sandboxing "unsafe foreign functions" behind isolated domains.
+
+Realises the paper's §III proposal — annotation-driven sandboxing with
+argument/return serialization and alternate actions on domain violation.
+"""
+
+from .fallback import (
+    NO_FALLBACK,
+    AlternateAction,
+    FallbackSpec,
+    fallback_call,
+    fallback_value,
+)
+from .marshal import (
+    MarshalledCall,
+    MarshalStats,
+    marshal_args,
+    marshal_result,
+    roundtrip_check,
+    unmarshal_result,
+)
+from .sandbox import Sandbox, SandboxCallStats, SandboxedFunction
+from .serialization import (
+    BincodeSerializer,
+    JsonSerializer,
+    MsgpackSerializer,
+    PickleSerializer,
+    Serializer,
+    available_serializers,
+    check_serializable,
+    get_serializer,
+)
+
+__all__ = [
+    "NO_FALLBACK",
+    "AlternateAction",
+    "FallbackSpec",
+    "fallback_call",
+    "fallback_value",
+    "MarshalledCall",
+    "MarshalStats",
+    "marshal_args",
+    "marshal_result",
+    "roundtrip_check",
+    "unmarshal_result",
+    "Sandbox",
+    "SandboxCallStats",
+    "SandboxedFunction",
+    "BincodeSerializer",
+    "JsonSerializer",
+    "MsgpackSerializer",
+    "PickleSerializer",
+    "Serializer",
+    "available_serializers",
+    "check_serializable",
+    "get_serializer",
+]

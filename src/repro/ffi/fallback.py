@@ -1,0 +1,56 @@
+"""Alternate actions: what a sandboxed call does when its domain faults.
+
+The paper (§III): the Rust macro layer hides "alternate actions in case of
+domain violations". An alternate action is the application's *semantic*
+recovery — return a default, recompute with a safe pure-Rust path, degrade
+the feature — executed on the trusted side after SDRaD has already contained
+and rewound the fault.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Optional
+
+from ..sdrad.detect import FaultReport
+
+#: Signature of an alternate action: receives the fault report and the
+#: original call's arguments, returns the replacement result.
+AlternateAction = Callable[..., Any]
+
+
+@dataclass(frozen=True)
+class FallbackSpec:
+    """Configuration of a sandboxed function's alternate action."""
+
+    #: Called as ``action(report, *args, **kwargs)`` when set.
+    action: Optional[AlternateAction] = None
+    #: Constant replacement result (used when ``action`` is None).
+    value: Any = None
+    #: Whether a constant value was explicitly provided (so ``None`` is a
+    #: legal fallback value, distinct from "no fallback configured").
+    has_value: bool = False
+
+    @property
+    def configured(self) -> bool:
+        return self.action is not None or self.has_value
+
+    def apply(self, report: FaultReport, args: tuple, kwargs: dict) -> Any:
+        if self.action is not None:
+            return self.action(report, *args, **kwargs)
+        if self.has_value:
+            return self.value
+        raise LookupError("no fallback configured")
+
+
+def fallback_value(value: Any) -> FallbackSpec:
+    """Alternate action returning a constant."""
+    return FallbackSpec(value=value, has_value=True)
+
+
+def fallback_call(action: AlternateAction) -> FallbackSpec:
+    """Alternate action delegating to a trusted-side callable."""
+    return FallbackSpec(action=action)
+
+
+NO_FALLBACK = FallbackSpec()

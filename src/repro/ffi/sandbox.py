@@ -1,0 +1,254 @@
+"""SDRaD-FFI: the ``@sandboxed`` annotation for unsafe foreign functions.
+
+The paper's §III proposes a Rust crate where a developer annotates FFI
+functions; macro expansion then hides (a) SDRaD domain calls, (b) argument
+and return-value serialization, and (c) alternate actions on domain
+violation. This module is that crate's Python realisation:
+
+    sandbox = Sandbox(runtime)
+
+    @sandbox.sandboxed(fallback=fallback_value(0), serializer="bincode")
+    def parse_header(data: bytes) -> int:        # the "unsafe C function"
+        ...
+
+    parse_header(b"...")      # runs inside an isolated domain
+
+A faulting call never takes the process down: SDRaD rewinds the domain and
+the wrapper either applies the alternate action or raises
+:class:`~repro.errors.SandboxViolation` for the caller to handle — the Rust
+``Result::Err`` analogue.
+
+Foreign functions that model *memory-touching* native code declare
+``wants_handle=True`` and receive the :class:`~repro.sdrad.DomainHandle`
+as their first argument; pure computations omit it.
+"""
+
+from __future__ import annotations
+
+import functools
+from dataclasses import dataclass, field
+from typing import Any, Callable, Optional
+
+from ..errors import SandboxViolation, SerializationError
+from ..sdrad.constants import DomainFlags
+from ..sdrad.policy import RecoveryPolicy, RetryPolicy, RewindPolicy
+from ..sdrad.runtime import SdradRuntime
+from .fallback import NO_FALLBACK, FallbackSpec
+from .marshal import MarshalStats, marshal_args, marshal_result, unmarshal_result
+from .serialization import Serializer, get_serializer
+
+
+@dataclass
+class SandboxCallStats:
+    """Aggregate statistics for one sandboxed function."""
+
+    calls: int = 0
+    violations: int = 0
+    fallbacks_applied: int = 0
+    retries: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+    mechanisms: dict[str, int] = field(default_factory=dict)
+
+
+class SandboxedFunction:
+    """The wrapper the decorator produces; callable like the original."""
+
+    def __init__(
+        self,
+        sandbox: "Sandbox",
+        fn: Callable[..., Any],
+        serializer: Serializer,
+        fallback: FallbackSpec,
+        wants_handle: bool,
+        retries: int,
+        fresh_domain: bool,
+        heap_size: Optional[int],
+        max_result_bytes: Optional[int] = None,
+    ) -> None:
+        self.sandbox = sandbox
+        self.fn = fn
+        self.serializer = serializer
+        self.fallback = fallback
+        self.wants_handle = wants_handle
+        self.retries = retries
+        self.fresh_domain = fresh_domain
+        self.heap_size = heap_size
+        self.max_result_bytes = max_result_bytes
+        self.stats = SandboxCallStats()
+        self.last_marshal: Optional[MarshalStats] = None
+        self._udi: Optional[int] = None
+        functools.update_wrapper(self, fn)
+
+    # ------------------------------------------------------------------
+
+    def __call__(self, *args: Any, **kwargs: Any) -> Any:
+        runtime = self.sandbox.runtime
+        udi = self._acquire_domain()
+        self.stats.calls += 1
+        marshal_stats = MarshalStats(serializer=self.serializer.name)
+        policy: RecoveryPolicy = (
+            RetryPolicy(self.retries) if self.retries else RewindPolicy()
+        )
+        try:
+            runtime.charge(runtime.cost.ffi_call_fixed)
+            call = marshal_args(
+                runtime, udi, self.serializer, args, kwargs, marshal_stats
+            )
+
+            def run_inside(handle: Any) -> bytes:
+                if self.wants_handle:
+                    value = self.fn(handle, *call.args, **call.kwargs)
+                else:
+                    value = self.fn(*call.args, **call.kwargs)
+                return marshal_result(
+                    runtime, udi, self.serializer, value, marshal_stats
+                )
+
+            result = runtime.execute(udi, run_inside, policy=policy)
+            self.stats.retries += result.retries
+            if result.ok:
+                if (
+                    self.max_result_bytes is not None
+                    and len(result.value) > self.max_result_bytes
+                ):
+                    # A compromised sandbox can return arbitrarily large
+                    # output; refusing oversized results bounds the trusted
+                    # side's decode work (resource-exhaustion hardening).
+                    return self._violated(
+                        None,
+                        args,
+                        kwargs,
+                        SerializationError(
+                            f"sandbox result of {len(result.value)} bytes "
+                            f"exceeds limit {self.max_result_bytes}"
+                        ),
+                    )
+                try:
+                    value = unmarshal_result(
+                        runtime, self.serializer, result.value
+                    )
+                except SerializationError as exc:
+                    # Compromised-sandbox output: treat as a violation.
+                    return self._violated(None, args, kwargs, exc)
+                self.last_marshal = marshal_stats
+                self.stats.bytes_in += marshal_stats.args_bytes
+                self.stats.bytes_out += marshal_stats.result_bytes
+                return value
+            return self._violated(result.fault, args, kwargs, None)
+        finally:
+            if self.fresh_domain:
+                self._release_domain()
+
+    # ------------------------------------------------------------------
+
+    def _violated(
+        self,
+        report,
+        args: tuple,
+        kwargs: dict,
+        decode_error: Optional[Exception],
+    ) -> Any:
+        self.stats.violations += 1
+        if report is not None:
+            mech = report.mechanism.value
+            self.stats.mechanisms[mech] = self.stats.mechanisms.get(mech, 0) + 1
+        if self.fallback.configured:
+            self.stats.fallbacks_applied += 1
+            return self.fallback.apply(report, args, kwargs)
+        cause: Exception = decode_error or RuntimeError(str(report))
+        raise SandboxViolation(self.fn.__name__, cause)
+
+    def _acquire_domain(self) -> int:
+        if self._udi is None:
+            kwargs: dict[str, Any] = {"flags": DomainFlags.RETURN_TO_PARENT}
+            if self.heap_size is not None:
+                kwargs["heap_size"] = self.heap_size
+            self._udi = self.sandbox.runtime.domain_init(**kwargs).udi
+        return self._udi
+
+    def _release_domain(self) -> None:
+        if self._udi is not None:
+            self.sandbox.runtime.domain_destroy(self._udi)
+            self._udi = None
+
+    def close(self) -> None:
+        """Destroy the persistent domain (frees its protection key)."""
+        self._release_domain()
+
+
+class Sandbox:
+    """Factory of sandboxed functions sharing one SDRaD runtime."""
+
+    def __init__(
+        self,
+        runtime: Optional[SdradRuntime] = None,
+        serializer: str = "bincode",
+    ) -> None:
+        self.runtime = runtime if runtime is not None else SdradRuntime()
+        self.default_serializer = get_serializer(serializer)
+        self._functions: list[SandboxedFunction] = []
+
+    def sandboxed(
+        self,
+        fn: Optional[Callable[..., Any]] = None,
+        *,
+        fallback: FallbackSpec = NO_FALLBACK,
+        serializer: Optional[str] = None,
+        wants_handle: bool = False,
+        retries: int = 0,
+        fresh_domain: bool = False,
+        heap_size: Optional[int] = None,
+        max_result_bytes: Optional[int] = None,
+    ) -> Any:
+        """Decorator marking ``fn`` as an unsafe foreign function.
+
+        Parameters mirror the planned Rust attribute's knobs:
+
+        * ``fallback`` — alternate action on domain violation;
+        * ``serializer`` — which "crate" marshals arguments (E6 variable);
+        * ``wants_handle`` — pass the domain handle (memory-touching code);
+        * ``retries`` — transparently re-execute after a rewind, for
+          transient faults;
+        * ``fresh_domain`` — new domain per call instead of a persistent
+          one (stronger isolation, higher cost; ablated in E6);
+        * ``heap_size`` — sandbox heap arena size;
+        * ``max_result_bytes`` — refuse oversized sandbox output before
+          decoding it (resource-exhaustion hardening against a compromised
+          sandbox).
+        """
+
+        def wrap(target: Callable[..., Any]) -> SandboxedFunction:
+            chosen = (
+                self.default_serializer
+                if serializer is None
+                else get_serializer(serializer)
+            )
+            wrapped = SandboxedFunction(
+                sandbox=self,
+                fn=target,
+                serializer=chosen,
+                fallback=fallback,
+                wants_handle=wants_handle,
+                retries=retries,
+                fresh_domain=fresh_domain,
+                heap_size=heap_size,
+                max_result_bytes=max_result_bytes,
+            )
+            self._functions.append(wrapped)
+            return wrapped
+
+        if fn is not None:
+            return wrap(fn)
+        return wrap
+
+    def close(self) -> None:
+        """Tear down every persistent sandbox domain."""
+        for wrapped in self._functions:
+            wrapped.close()
+
+    def __enter__(self) -> "Sandbox":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()

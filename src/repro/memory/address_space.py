@@ -1,0 +1,159 @@
+"""The simulated byte-addressable address space with MPK enforcement.
+
+Every load/store issued by simulated application code goes through
+:meth:`AddressSpace.load` / :meth:`AddressSpace.store`, which perform the
+checks real hardware performs on every access:
+
+1. page present? → :class:`~repro.errors.SegmentationFault`
+2. page permissions allow the access? → :class:`~repro.errors.PermissionFault`
+3. PKRU allows the page's protection key? →
+   :class:`~repro.errors.ProtectionKeyViolation`
+
+This is the load-bearing substitution of the reproduction (DESIGN.md §2):
+moving enforcement from MMU silicon into the load/store path preserves the
+*protocol* — a compromised domain's wild write faults at the domain boundary
+instead of corrupting its neighbour.
+
+``raw_load``/``raw_store`` bypass all checks; they model *kernel* access and
+are reserved for trusted-runtime internals (snapshotting, page scrubbing).
+Fault injectors must use the checked path: containment of an attacker is
+exactly what experiments E4 and the integration tests assert.
+"""
+
+from __future__ import annotations
+
+from typing import Literal
+
+from ..errors import (
+    PermissionFault,
+    ProtectionKeyViolation,
+    SdradError,
+    SegmentationFault,
+)
+from .layout import DEFAULT_SPACE_SIZE, PAGE_SIZE, pages_spanned
+from .mpk import PkeyAllocator, PkruRegister
+from .pagetable import PageTable
+
+#: Access-check fidelity (ablation hook D1 in DESIGN.md):
+#: ``strict``  — walk every page an access spans (hardware-faithful);
+#: ``first``   — check only the first page (TLB-hit fast path approximation);
+#: ``off``     — no checks (models a build without MPK, the E1 baseline).
+CheckMode = Literal["strict", "first", "off"]
+
+
+class AddressSpace:
+    """A simulated process address space: bytes + page table + PKRU."""
+
+    def __init__(
+        self,
+        size: int = DEFAULT_SPACE_SIZE,
+        check_mode: CheckMode = "strict",
+    ) -> None:
+        if check_mode not in ("strict", "first", "off"):
+            raise SdradError(f"unknown check mode {check_mode!r}")
+        self.page_table = PageTable(size)
+        self.pkru = PkruRegister()
+        self.pkeys = PkeyAllocator()
+        self.check_mode: CheckMode = check_mode
+        self._memory = bytearray(size)
+        #: Access counters, used by cost accounting and tests.
+        self.loads = 0
+        self.stores = 0
+        self.faults = 0
+
+    @property
+    def size(self) -> int:
+        return self.page_table.space_size
+
+    # ------------------------------------------------------------------
+    # Checked access (application path)
+    # ------------------------------------------------------------------
+
+    def load(self, address: int, length: int) -> bytes:
+        """Checked read of ``length`` bytes at ``address``."""
+        self._check_access(address, length, write=False)
+        self.loads += 1
+        return bytes(self._memory[address : address + length])
+
+    def store(self, address: int, data: bytes) -> None:
+        """Checked write of ``data`` at ``address``."""
+        self._check_access(address, len(data), write=True)
+        self.stores += 1
+        self._memory[address : address + len(data)] = data
+
+    def load_u8(self, address: int) -> int:
+        return self.load(address, 1)[0]
+
+    def store_u8(self, address: int, value: int) -> None:
+        self.store(address, bytes([value & 0xFF]))
+
+    def load_u32(self, address: int) -> int:
+        return int.from_bytes(self.load(address, 4), "little")
+
+    def store_u32(self, address: int, value: int) -> None:
+        self.store(address, (value & 0xFFFFFFFF).to_bytes(4, "little"))
+
+    def load_u64(self, address: int) -> int:
+        return int.from_bytes(self.load(address, 8), "little")
+
+    def store_u64(self, address: int, value: int) -> None:
+        self.store(address, (value & 0xFFFFFFFFFFFFFFFF).to_bytes(8, "little"))
+
+    # ------------------------------------------------------------------
+    # Raw access (trusted runtime / kernel path)
+    # ------------------------------------------------------------------
+
+    def raw_load(self, address: int, length: int) -> bytes:
+        self._check_bounds(address, length)
+        return bytes(self._memory[address : address + length])
+
+    def raw_store(self, address: int, data: bytes) -> None:
+        self._check_bounds(address, len(data))
+        self._memory[address : address + len(data)] = data
+
+    def raw_fill(self, address: int, length: int, value: int = 0) -> None:
+        self._check_bounds(address, length)
+        self._memory[address : address + length] = bytes([value & 0xFF]) * length
+
+    # ------------------------------------------------------------------
+    # Checks
+    # ------------------------------------------------------------------
+
+    def _check_bounds(self, address: int, length: int) -> None:
+        if length < 0:
+            raise SdradError(f"negative access length {length}")
+        if address < 0 or address + length > self.size:
+            raise SegmentationFault(address)
+
+    def _check_access(self, address: int, length: int, *, write: bool) -> None:
+        self._check_bounds(address, length)
+        if length == 0:
+            return
+        if self.check_mode == "off":
+            return
+        if self.check_mode == "first":
+            self._check_page(address, write=write)
+            return
+        for index in pages_spanned(address, length):
+            self._check_page(index * PAGE_SIZE, write=write)
+
+    def _check_page(self, address: int, *, write: bool) -> None:
+        entry = self.page_table.entry_for(address)
+        access = "store" if write else "load"
+        if not entry.present:
+            self.faults += 1
+            raise SegmentationFault(address, access=access)
+        if write and not entry.writable:
+            self.faults += 1
+            raise PermissionFault(address, access, entry.perms())
+        if not write and not entry.readable:
+            self.faults += 1
+            raise PermissionFault(address, access, entry.perms())
+        allowed = (
+            self.pkru.allows_write(entry.pkey)
+            if write
+            else self.pkru.allows_read(entry.pkey)
+        )
+        if not allowed:
+            self.faults += 1
+            raise ProtectionKeyViolation(address, entry.pkey, access=access)

@@ -1,0 +1,48 @@
+"""Address-space layout constants and helpers.
+
+The simulated address space mimics the layout SDRaD sets up on Linux/x86-64,
+scaled down so experiments stay cheap: 4 KiB pages, a root region for the
+trusted runtime and the parent domain, and per-domain heap/stack regions
+carved out at domain init and tagged with the domain's protection key.
+"""
+
+from __future__ import annotations
+
+#: Page size in bytes (matches x86-64 small pages).
+PAGE_SIZE = 4096
+
+#: Default simulated address-space size (16 MiB — large enough for every
+#: experiment's domains, small enough that snapshots are instant).
+DEFAULT_SPACE_SIZE = 16 * 1024 * 1024
+
+#: Default per-domain heap size.
+DEFAULT_DOMAIN_HEAP = 256 * 1024
+
+#: Default per-domain stack size.
+DEFAULT_DOMAIN_STACK = 64 * 1024
+
+
+def page_index(address: int) -> int:
+    """Index of the page containing ``address``."""
+    return address // PAGE_SIZE
+
+
+def page_base(address: int) -> int:
+    """Base address of the page containing ``address``."""
+    return (address // PAGE_SIZE) * PAGE_SIZE
+
+
+def page_align_up(value: int) -> int:
+    """Smallest page-aligned value >= ``value``."""
+    return (value + PAGE_SIZE - 1) // PAGE_SIZE * PAGE_SIZE
+
+
+def is_page_aligned(value: int) -> bool:
+    return value % PAGE_SIZE == 0
+
+
+def pages_spanned(address: int, length: int) -> range:
+    """Page indices touched by ``[address, address + length)``."""
+    if length <= 0:
+        return range(0)
+    return range(page_index(address), page_index(address + length - 1) + 1)

@@ -1,0 +1,132 @@
+"""Per-page metadata: mapping state, permissions, protection-key tags.
+
+This is the simulated MMU's view of memory. It deliberately stores *only*
+what the isolation protocol needs — present bit, read/write permissions and
+the protection key — because that is the entire interface SDRaD uses
+(``mmap``/``mprotect``/``pkey_mprotect``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SdradError, SegmentationFault
+from .layout import PAGE_SIZE, is_page_aligned, page_index, pages_spanned
+from .mpk import NUM_PKEYS, PKEY_DEFAULT
+
+
+@dataclass
+class PageEntry:
+    """One page-table entry."""
+
+    present: bool = False
+    readable: bool = False
+    writable: bool = False
+    pkey: int = PKEY_DEFAULT
+
+    def perms(self) -> str:
+        if not self.present:
+            return "---"
+        r = "r" if self.readable else "-"
+        w = "w" if self.writable else "-"
+        return f"{r}{w}-"
+
+
+class PageTable:
+    """Page table over a fixed-size simulated address space."""
+
+    def __init__(self, space_size: int) -> None:
+        if space_size <= 0 or not is_page_aligned(space_size):
+            raise SdradError(
+                f"address-space size must be a positive page multiple, got {space_size}"
+            )
+        self.space_size = space_size
+        self.num_pages = space_size // PAGE_SIZE
+        self._entries = [PageEntry() for _ in range(self.num_pages)]
+
+    # ------------------------------------------------------------------
+    # Mapping / protection syscall analogues
+    # ------------------------------------------------------------------
+
+    def map_range(
+        self,
+        address: int,
+        length: int,
+        *,
+        readable: bool = True,
+        writable: bool = True,
+        pkey: int = PKEY_DEFAULT,
+    ) -> None:
+        """``mmap`` analogue: mark pages present with given perms and key."""
+        self._check_range(address, length)
+        for index in pages_spanned(address, length):
+            entry = self._entries[index]
+            if entry.present:
+                raise SdradError(
+                    f"page {index} already mapped (double map at {address:#x})"
+                )
+            entry.present = True
+            entry.readable = readable
+            entry.writable = writable
+            entry.pkey = pkey
+
+    def unmap_range(self, address: int, length: int) -> None:
+        """``munmap`` analogue."""
+        self._check_range(address, length)
+        for index in pages_spanned(address, length):
+            entry = self._entries[index]
+            if not entry.present:
+                raise SdradError(f"page {index} not mapped (double unmap)")
+            self._entries[index] = PageEntry()
+
+    def protect_range(
+        self, address: int, length: int, *, readable: bool, writable: bool
+    ) -> None:
+        """``mprotect`` analogue."""
+        self._check_range(address, length)
+        for index in pages_spanned(address, length):
+            entry = self._entries[index]
+            if not entry.present:
+                raise SegmentationFault(index * PAGE_SIZE, access="mprotect")
+            entry.readable = readable
+            entry.writable = writable
+
+    def tag_range(self, address: int, length: int, pkey: int) -> None:
+        """``pkey_mprotect`` analogue: retag pages with a protection key."""
+        if not 0 <= pkey < NUM_PKEYS:
+            raise SdradError(f"protection key out of range: {pkey}")
+        self._check_range(address, length)
+        for index in pages_spanned(address, length):
+            entry = self._entries[index]
+            if not entry.present:
+                raise SegmentationFault(index * PAGE_SIZE, access="pkey_mprotect")
+            entry.pkey = pkey
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+
+    def entry_for(self, address: int) -> PageEntry:
+        """Entry covering ``address``; raises for out-of-space addresses."""
+        if not 0 <= address < self.space_size:
+            raise SegmentationFault(address)
+        return self._entries[page_index(address)]
+
+    def pages_tagged(self, pkey: int) -> list[int]:
+        """Page indices currently tagged with ``pkey``."""
+        return [
+            i for i, e in enumerate(self._entries) if e.present and e.pkey == pkey
+        ]
+
+    def mapped_bytes(self) -> int:
+        return PAGE_SIZE * sum(1 for e in self._entries if e.present)
+
+    def _check_range(self, address: int, length: int) -> None:
+        if length <= 0:
+            raise SdradError(f"range length must be positive, got {length}")
+        if not is_page_aligned(address) or not is_page_aligned(length):
+            raise SdradError(
+                f"range [{address:#x}, +{length:#x}) is not page aligned"
+            )
+        if address < 0 or address + length > self.space_size:
+            raise SegmentationFault(address, access="map")

@@ -1,0 +1,56 @@
+"""Region snapshots of the simulated address space.
+
+SDRaD itself does *not* snapshot domain memory — discard-and-reinit is the
+whole point — but the reproduction needs snapshots in two places:
+
+* the **baseline restart strategies** (process/container restart) model
+  state reload from a persisted copy, and
+* **tests** assert that a rewind leaves non-domain memory byte-identical,
+  which requires a before/after comparison.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass
+
+from ..errors import SdradError
+from .address_space import AddressSpace
+
+
+@dataclass(frozen=True)
+class RegionSnapshot:
+    """An immutable copy of ``[base, base + len(data))``."""
+
+    base: int
+    data: bytes
+
+    @property
+    def size(self) -> int:
+        return len(self.data)
+
+    def checksum(self) -> int:
+        """CRC32 of the captured bytes (cheap equality witness for tests)."""
+        return zlib.crc32(self.data)
+
+
+def capture(space: AddressSpace, base: int, size: int) -> RegionSnapshot:
+    """Copy a region out of the address space (kernel-path read)."""
+    if size <= 0:
+        raise SdradError(f"snapshot size must be positive, got {size}")
+    return RegionSnapshot(base=base, data=space.raw_load(base, size))
+
+
+def restore(space: AddressSpace, snapshot: RegionSnapshot) -> None:
+    """Write a snapshot back (kernel-path write)."""
+    space.raw_store(snapshot.base, snapshot.data)
+
+
+def differs(space: AddressSpace, snapshot: RegionSnapshot) -> list[int]:
+    """Offsets (relative to the snapshot base) whose bytes changed.
+
+    Used by integration tests to prove containment: after a compromised
+    domain is rewound, the *other* domains' regions must report no diffs.
+    """
+    current = space.raw_load(snapshot.base, snapshot.size)
+    return [i for i, (a, b) in enumerate(zip(snapshot.data, current)) if a != b]

@@ -1,0 +1,161 @@
+"""Simulated call stacks with stack canaries.
+
+SDRaD's second detection mechanism (after MPK violations) is the compiler's
+stack protector: a random *canary* word placed between a frame's local
+buffers and its saved return address, verified in the function epilogue. A
+contiguous overflow of a stack buffer must cross the canary to reach the
+return address, so epilogue verification catches it before control flow is
+hijacked — and, in SDRaD, triggers rewind instead of ``abort()``.
+
+Layout of one frame on the downward-growing simulated stack::
+
+    higher addresses
+    +-----------------------+
+    | saved return address  |  8 bytes   (frame.return_slot)
+    +-----------------------+
+    | canary                |  8 bytes   (frame.canary_slot)
+    +-----------------------+
+    | local buffer N        |
+    | ...                   |  allocated downward by frame.alloca()
+    | local buffer 0        |
+    +-----------------------+   <- stack pointer after allocations
+    lower addresses
+
+A buffer overflow writes *upward* (toward higher addresses), so overrunning
+any local buffer first smashes the canary, exactly as on x86-64.
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..errors import SdradError, StackCanaryViolation
+from .address_space import AddressSpace
+
+WORD = 8
+
+
+class StackFrame:
+    """One activation record; created by :meth:`CallStack.push_frame`."""
+
+    def __init__(
+        self, stack: "CallStack", name: str, return_slot: int, canary_slot: int
+    ) -> None:
+        self.stack = stack
+        self.name = name
+        self.return_slot = return_slot
+        self.canary_slot = canary_slot
+        self.sp = canary_slot  # next local goes below the canary
+        self._expected_canary: int = 0
+        self.popped = False
+
+    def alloca(self, nbytes: int) -> int:
+        """Allocate a local buffer in this frame; returns its address.
+
+        The buffer occupies ``[addr, addr + nbytes)`` with ``addr + nbytes``
+        adjacent to the previously allocated local (or the canary for the
+        first one), so overflow reaches the canary after crossing any
+        intervening locals.
+        """
+        if self.popped:
+            raise SdradError(f"alloca on popped frame '{self.name}'")
+        if nbytes <= 0:
+            raise SdradError(f"alloca size must be positive, got {nbytes}")
+        aligned = (nbytes + WORD - 1) // WORD * WORD
+        addr = self.sp - aligned
+        if addr < self.stack.base:
+            raise SdradError(f"stack overflow in frame '{self.name}'")
+        self.sp = addr
+        return addr
+
+    def write_buffer(self, addr: int, data: bytes) -> None:
+        """Checked store into a local buffer (the application write path).
+
+        Note that, like a C ``memcpy``, this enforces nothing about buffer
+        bounds — only page-level permissions apply. Writing more bytes than
+        were ``alloca``'d is precisely how tests model a stack smash.
+        """
+        self.stack.space.store(addr, data)
+
+    def read_buffer(self, addr: int, nbytes: int) -> bytes:
+        return self.stack.space.load(addr, nbytes)
+
+
+class CallStack:
+    """A per-domain simulated stack with canary-protected frames."""
+
+    def __init__(
+        self,
+        space: AddressSpace,
+        base: int,
+        size: int,
+        rng: random.Random | None = None,
+    ) -> None:
+        if size < 4 * WORD:
+            raise SdradError(f"stack too small: {size} bytes")
+        self.space = space
+        self.base = base
+        self.size = size
+        self.top = base + size
+        self._sp = self.top
+        self._frames: list[StackFrame] = []
+        self._rng = rng or random.Random(0x57AC)
+
+    @property
+    def depth(self) -> int:
+        return len(self._frames)
+
+    @property
+    def used_bytes(self) -> int:
+        return self.top - (self._frames[-1].sp if self._frames else self._sp)
+
+    def push_frame(self, name: str, return_address: int = 0) -> StackFrame:
+        """Function prologue: reserve return slot + canary, write canary."""
+        parent_sp = self._frames[-1].sp if self._frames else self._sp
+        return_slot = parent_sp - WORD
+        canary_slot = return_slot - WORD
+        if canary_slot < self.base:
+            raise SdradError(f"stack overflow pushing frame '{name}'")
+        frame = StackFrame(self, name, return_slot, canary_slot)
+        # Real stack protectors use a per-process random canary with a NUL
+        # byte to stop string overflows; we keep the NUL-byte convention.
+        canary = (self._rng.getrandbits(56) << 8) & 0xFFFFFFFFFFFFFF00
+        frame._expected_canary = canary
+        self.space.raw_store(return_slot, return_address.to_bytes(WORD, "little"))
+        self.space.raw_store(canary_slot, canary.to_bytes(WORD, "little"))
+        self._frames.append(frame)
+        return frame
+
+    def pop_frame(self, frame: StackFrame) -> int:
+        """Function epilogue: verify canary, then unwind.
+
+        Returns the saved return address. Raises
+        :class:`StackCanaryViolation` if the canary was overwritten —
+        the ``__stack_chk_fail`` moment.
+        """
+        if not self._frames or self._frames[-1] is not frame:
+            raise SdradError(
+                f"pop of frame '{frame.name}' that is not the innermost frame"
+            )
+        found = int.from_bytes(self.space.raw_load(frame.canary_slot, WORD), "little")
+        self._frames.pop()
+        frame.popped = True
+        if found != frame._expected_canary:
+            raise StackCanaryViolation(frame.name, frame._expected_canary, found)
+        return int.from_bytes(self.space.raw_load(frame.return_slot, WORD), "little")
+
+    def unwind_all(self) -> None:
+        """Abandon every frame without canary checks (rewind path)."""
+        for frame in self._frames:
+            frame.popped = True
+        self._frames.clear()
+        self._sp = self.top
+
+    def check_canaries(self) -> None:
+        """Verify every live frame's canary without unwinding."""
+        for frame in self._frames:
+            found = int.from_bytes(
+                self.space.raw_load(frame.canary_slot, WORD), "little"
+            )
+            if found != frame._expected_canary:
+                raise StackCanaryViolation(frame.name, frame._expected_canary, found)

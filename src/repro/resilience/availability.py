@@ -1,0 +1,110 @@
+"""Availability arithmetic: downtime budgets, nines, recovery headroom.
+
+Reproduces the paper's §IV arithmetic exactly:
+
+* 99.999 % availability over a year allows ≈315.4 s of downtime;
+* three process restarts of ~2 minutes each (≈360 s) blow that budget;
+* at 3.5 µs per rewind the same budget admits >9×10⁷ recoveries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..sim.clock import YEARS
+
+
+def downtime_budget(availability: float, horizon: float = YEARS) -> float:
+    """Seconds of allowed downtime for an availability target.
+
+    ``availability`` is a fraction (0.99999 for "five nines").
+    """
+    if not 0.0 < availability <= 1.0:
+        raise ValueError(f"availability must be in (0, 1], got {availability}")
+    return (1.0 - availability) * horizon
+
+
+def availability_from_downtime(downtime: float, horizon: float = YEARS) -> float:
+    """Achieved availability given total downtime over a horizon."""
+    if horizon <= 0:
+        raise ValueError(f"horizon must be positive, got {horizon}")
+    if downtime < 0:
+        raise ValueError(f"downtime cannot be negative, got {downtime}")
+    return max(0.0, 1.0 - downtime / horizon)
+
+
+def nines(availability: float) -> float:
+    """Number of nines: 0.999 → 3.0, 0.9995 → 3.3...
+
+    Defined as ``-log10(1 - availability)``; infinite for perfect
+    availability.
+    """
+    if not 0.0 <= availability <= 1.0:
+        raise ValueError(f"availability must be in [0, 1], got {availability}")
+    if availability == 1.0:
+        return math.inf
+    return -math.log10(1.0 - availability)
+
+
+def max_recoveries(
+    availability: float, recovery_time: float, horizon: float = YEARS
+) -> float:
+    """Faults recoverable per horizon without violating the target.
+
+    The paper's "more than 9·10⁷ recoveries" for five nines at 3.5 µs.
+    """
+    if recovery_time < 0:
+        raise ValueError(f"recovery time cannot be negative, got {recovery_time}")
+    budget = downtime_budget(availability, horizon)
+    if recovery_time == 0:
+        return math.inf
+    return budget / recovery_time
+
+
+def max_fault_rate(
+    availability: float, recovery_time: float, horizon: float = YEARS
+) -> float:
+    """Highest sustainable fault rate (faults/second) for the target."""
+    recoveries = max_recoveries(availability, recovery_time, horizon)
+    if math.isinf(recoveries):
+        return math.inf
+    return recoveries / horizon
+
+
+def violates_target(
+    faults: int, recovery_time: float, availability: float, horizon: float = YEARS
+) -> bool:
+    """Does ``faults`` × ``recovery_time`` downtime break the target?"""
+    if faults < 0:
+        raise ValueError(f"fault count cannot be negative, got {faults}")
+    return faults * recovery_time > downtime_budget(availability, horizon)
+
+
+@dataclass(frozen=True)
+class AvailabilityReport:
+    """Summary of one (strategy, fault-rate) operating point."""
+
+    strategy: str
+    faults: int
+    downtime: float
+    horizon: float
+    availability: float
+    achieved_nines: float
+    meets_five_nines: bool
+
+    @classmethod
+    def compute(
+        cls, strategy: str, faults: int, downtime_per_fault: float, horizon: float = YEARS
+    ) -> "AvailabilityReport":
+        downtime = faults * downtime_per_fault
+        availability = availability_from_downtime(downtime, horizon)
+        return cls(
+            strategy=strategy,
+            faults=faults,
+            downtime=downtime,
+            horizon=horizon,
+            availability=availability,
+            achieved_nines=nines(availability),
+            meets_five_nines=availability >= 0.99999,
+        )

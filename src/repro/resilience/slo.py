@@ -1,0 +1,69 @@
+"""Service-level objective classes and classification helpers.
+
+Telecom and smart-grid systems — the paper's target domains — specify
+availability as "nines" classes. This module names the standard ladder and
+classifies operating points against it, which E3/E8 use to find where each
+recovery strategy's sustainable fault rate crosses each class boundary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.clock import YEARS
+from .availability import downtime_budget, max_fault_rate
+
+
+@dataclass(frozen=True)
+class SloClass:
+    """One availability class."""
+
+    name: str
+    availability: float
+
+    @property
+    def yearly_budget(self) -> float:
+        """Allowed downtime per year in seconds."""
+        return downtime_budget(self.availability, YEARS)
+
+    def sustainable_fault_rate(self, recovery_time: float) -> float:
+        """Faults/second this class tolerates at a given recovery time."""
+        return max_fault_rate(self.availability, recovery_time, YEARS)
+
+    def sustainable_faults_per_year(self, recovery_time: float) -> float:
+        return self.sustainable_fault_rate(recovery_time) * YEARS
+
+
+#: The standard ladder, two to six nines. "Five nines" (99.999 %) is the
+#: carrier-grade class the paper's argument is built around.
+SLO_LADDER: list[SloClass] = [
+    SloClass("two-nines", 0.99),
+    SloClass("three-nines", 0.999),
+    SloClass("four-nines", 0.9999),
+    SloClass("five-nines", 0.99999),
+    SloClass("six-nines", 0.999999),
+]
+
+FIVE_NINES = SLO_LADDER[3]
+
+
+def classify(availability: float) -> SloClass | None:
+    """Best (highest) class an achieved availability satisfies."""
+    best: SloClass | None = None
+    for slo in SLO_LADDER:
+        if availability >= slo.availability:
+            best = slo
+    return best
+
+
+def crossover_faults(
+    recovery_time: float, slo: SloClass = FIVE_NINES
+) -> float:
+    """Yearly fault count at which a strategy starts violating ``slo``.
+
+    For process restart at 2 minutes this is ≈2.6 — i.e. the paper's
+    "three faults per year" example is just past the five-nines cliff.
+    """
+    if recovery_time <= 0:
+        return float("inf")
+    return slo.yearly_budget / recovery_time

@@ -1,0 +1,145 @@
+"""Recovery strategies: SDRaD rewind vs the baselines it is compared to.
+
+The paper's availability argument (§II/§IV) compares four ways a service can
+come back after a detected memory fault:
+
+* **rewind** (SDRaD) — discard the faulted domain, ~3.5 µs, process keeps
+  serving; one request is lost, the service never goes down;
+* **process restart** — the mitigation-only baseline: detection aborts, the
+  supervisor restarts the process and it reloads its state (≈2 minutes for
+  the paper's 10 GB Memcached);
+* **container restart** — same plus container/runtime setup;
+* **replicated failover** — an N-way redundant deployment fails over to a
+  hot replica in seconds, at the cost of N× hardware (the over-provisioning
+  §IV argues is environmentally unsustainable).
+
+A strategy answers two questions: how long is the service unavailable after
+one fault (:meth:`downtime_per_fault`) and how much hardware it needs
+(:attr:`replicas`). The second feeds the sustainability model (E5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.cost import DEFAULT_COST_MODEL, CostModel
+
+
+@dataclass(frozen=True)
+class StrategySpec:
+    """Static description of a recovery strategy's costs."""
+
+    name: str
+    #: Service-visible downtime caused by one detected fault (seconds).
+    downtime_per_fault: float
+    #: Interactive requests lost per fault beyond the downtime window
+    #: (the faulted request itself, for in-process recovery).
+    requests_lost_per_fault: int
+    #: Server instances the deployment keeps powered.
+    replicas: int
+    #: Steady-state relative runtime overhead (fraction, e.g. 0.03).
+    runtime_overhead: float
+
+    def recoveries_per_budget(self, downtime_budget: float) -> float:
+        """How many faults fit in a downtime budget (the paper's 9·10⁷)."""
+        if self.downtime_per_fault <= 0:
+            return float("inf")
+        return downtime_budget / self.downtime_per_fault
+
+
+class RecoveryStrategyModel:
+    """Factory for :class:`StrategySpec` given a cost model and service size."""
+
+    def __init__(self, cost: CostModel = DEFAULT_COST_MODEL) -> None:
+        self.cost = cost
+
+    def sdrad_rewind(
+        self,
+        *,
+        scrub_pages: int = 0,
+        runtime_overhead: float = 0.03,
+    ) -> StrategySpec:
+        """SDRaD: rewind-and-discard in-process.
+
+        ``runtime_overhead`` defaults to the middle of the paper's measured
+        2–4 % band; E1 measures it instead of assuming it.
+        """
+        return StrategySpec(
+            name="sdrad-rewind",
+            downtime_per_fault=self.cost.rewind_time(scrub_pages=scrub_pages),
+            requests_lost_per_fault=1,
+            replicas=1,
+            runtime_overhead=runtime_overhead,
+        )
+
+    def checkpoint_restore(
+        self,
+        domain_bytes: int,
+        request_time: float | None = None,
+    ) -> StrategySpec:
+        """In-process checkpoint/restore — the design SDRaD rejected (D2/D3).
+
+        Restoring a snapshot recovers in one domain-sized memcpy, but the
+        checkpoint must be *taken before every entry*, so the steady-state
+        overhead is a full domain copy per request — catastrophic next to a
+        0.3 µs domain switch. E2c quantifies this ablation.
+        """
+        if domain_bytes <= 0:
+            raise ValueError(f"domain size must be positive, got {domain_bytes}")
+        copy = self.cost.copy_time(domain_bytes)
+        per_request = request_time if request_time is not None else self.cost.memcached_op
+        if per_request <= 0:
+            raise ValueError(f"request time must be positive, got {per_request}")
+        return StrategySpec(
+            name="checkpoint-restore",
+            downtime_per_fault=copy,
+            requests_lost_per_fault=1,
+            replicas=1,
+            runtime_overhead=copy / per_request,
+        )
+
+    def process_restart(self, dataset_bytes: int) -> StrategySpec:
+        return StrategySpec(
+            name="process-restart",
+            downtime_per_fault=self.cost.process_restart_time(dataset_bytes),
+            requests_lost_per_fault=0,
+            replicas=1,
+            runtime_overhead=0.0,
+        )
+
+    def container_restart(self, dataset_bytes: int) -> StrategySpec:
+        return StrategySpec(
+            name="container-restart",
+            downtime_per_fault=self.cost.container_restart_time(dataset_bytes),
+            requests_lost_per_fault=0,
+            replicas=1,
+            runtime_overhead=0.0,
+        )
+
+    def replicated_failover(self, replicas: int = 2) -> StrategySpec:
+        """Hot-standby replication: fast failover, N× hardware.
+
+        The failed instance restarts in the background; service downtime is
+        only the failover window, which is why redundancy is the classic
+        high-availability answer the paper wants to displace.
+        """
+        if replicas < 2:
+            raise ValueError(f"failover needs at least 2 replicas, got {replicas}")
+        return StrategySpec(
+            name=f"replicated-{replicas}x",
+            downtime_per_fault=self.cost.failover,
+            requests_lost_per_fault=0,
+            replicas=replicas,
+            runtime_overhead=0.0,
+        )
+
+    def all_for(
+        self, dataset_bytes: int, replicas: int = 2
+    ) -> list[StrategySpec]:
+        """The standard comparison set used by E2/E3/E5."""
+        return [
+            self.sdrad_rewind(),
+            self.process_restart(dataset_bytes),
+            self.container_restart(dataset_bytes),
+            self.replicated_failover(replicas),
+        ]

@@ -1,0 +1,59 @@
+"""Flags, states and return codes mirroring the SDRaD C library's interface.
+
+The C library (``sdrad.h``) configures domains with an ``int`` of OR-ed
+flags and reports errors as negative return codes. We keep the same names
+(minus the prefix noise) so anyone familiar with the paper's artifact can
+map our API onto it one-to-one, but expose them as :class:`enum.IntFlag` /
+:class:`enum.IntEnum` for type safety.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class DomainFlags(enum.IntFlag):
+    """Domain-creation flags (``sdrad_init`` second argument)."""
+
+    #: Isolated heap + isolated stack, rewind on fault — the common case.
+    DEFAULT = 0
+    #: Share the parent's heap instead of creating an isolated one.
+    #: (Used for integrity-only compartments that read parent data.)
+    NONISOLATED_HEAP = enum.auto()
+    #: Run on the parent's stack instead of a fresh isolated stack.
+    NONISOLATED_STACK = enum.auto()
+    #: After a fault, return to the caller of ``sdrad_enter`` with an error
+    #: (rewind); without it the fault aborts the process (mitigation-only
+    #: baseline behaviour).
+    RETURN_TO_PARENT = enum.auto()
+    #: Scrub (zero-fill) domain pages on discard instead of abandoning
+    #: contents (ablation D2).
+    SCRUB_ON_DISCARD = enum.auto()
+    #: Run a heap-integrity sweep at every domain exit, catching silent
+    #: corruption that neither canaries nor MPK flagged.
+    CHECK_HEAP_ON_EXIT = enum.auto()
+
+
+class DomainState(enum.Enum):
+    """Domain lifecycle."""
+
+    INITIALIZED = "initialized"
+    ACTIVE = "active"
+    FAULTED = "faulted"
+    DESTROYED = "destroyed"
+
+
+class ReturnCode(enum.IntEnum):
+    """C-style return codes (negative = error), as in the SDRaD library."""
+
+    SUCCESS = 0
+    DOMAIN_FAULTED = -1
+    INVALID_ARGUMENT = -2
+    NO_SUCH_DOMAIN = -3
+    OUT_OF_PKEYS = -4
+    OUT_OF_MEMORY = -5
+    ILLEGAL_STATE = -6
+
+
+#: The paper reserves user-domain index 0 for the root domain.
+ROOT_UDI = 0

@@ -1,0 +1,77 @@
+"""Execution contexts: the ``sigsetjmp`` buffers of the simulation.
+
+On entry to a domain, SDRaD saves enough CPU state to resume at the entry
+point if the domain later faults: the jump buffer, the PKRU value to restore
+and bookkeeping about the active domain. We model that as an explicit stack
+of :class:`ExecutionContext` records; "longjmp" is structured unwinding back
+to the matching :meth:`ContextStack.pop` (see DESIGN.md D3).
+
+Nested domain entries (domain A calls into domain B) push nested contexts,
+and a fault in B rewinds only B's context — A's continuation is untouched,
+exactly matching the C library's nested-domain semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import SdradError
+
+
+@dataclass(frozen=True)
+class ExecutionContext:
+    """State saved at one domain entry."""
+
+    udi: int
+    saved_pkru: int
+    entered_at: float
+    depth: int
+
+
+class ContextStack:
+    """The per-thread stack of live domain entries."""
+
+    def __init__(self) -> None:
+        self._stack: list[ExecutionContext] = []
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    @property
+    def current(self) -> ExecutionContext | None:
+        return self._stack[-1] if self._stack else None
+
+    def current_udi(self, root_udi: int) -> int:
+        """UDI of the domain currently executing (root if none entered)."""
+        return self._stack[-1].udi if self._stack else root_udi
+
+    def push(self, udi: int, saved_pkru: int, entered_at: float) -> ExecutionContext:
+        context = ExecutionContext(
+            udi=udi,
+            saved_pkru=saved_pkru,
+            entered_at=entered_at,
+            depth=len(self._stack),
+        )
+        self._stack.append(context)
+        return context
+
+    def pop(self, context: ExecutionContext) -> ExecutionContext:
+        """Pop ``context``; it must be the innermost entry.
+
+        Popping out of order would mean a domain exit crossed another
+        domain's live entry — a runtime bug the C library guards with
+        assertions, and so do we.
+        """
+        if not self._stack:
+            raise SdradError("context stack underflow")
+        if self._stack[-1] is not context:
+            raise SdradError(
+                f"out-of-order domain exit: popping udi={context.udi} "
+                f"but innermost is udi={self._stack[-1].udi}"
+            )
+        return self._stack.pop()
+
+    def contains_udi(self, udi: int) -> bool:
+        """Is ``udi`` somewhere on the live entry stack (re-entrancy check)?"""
+        return any(c.udi == udi for c in self._stack)

@@ -1,0 +1,116 @@
+"""Fault classification: mapping raised faults onto detection mechanisms.
+
+The paper (§II) relies on "different pre-existing detection mechanisms, such
+as stack canaries and domain violations". This module is the registry of
+those mechanisms: it turns a raised exception into a typed
+:class:`FaultReport` recording *what* corrupted and *which mechanism* caught
+it. Experiments aggregate reports to show the detection-mechanism mix, and
+the recovery policy dispatches on them.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import (
+    AllocationFailure,
+    DetectedCorruption,
+    HeapCorruption,
+    InvalidFree,
+    MemoryError_,
+    PermissionFault,
+    ProtectionKeyViolation,
+    SegmentationFault,
+    StackCanaryViolation,
+)
+
+
+class DetectionMechanism(enum.Enum):
+    """Which defence noticed the fault."""
+
+    #: MPK: access outside the domain's protection key (simulated MMU).
+    PKEY_VIOLATION = "pkey-violation"
+    #: Classic unmapped-page segfault.
+    PAGE_FAULT = "page-fault"
+    #: Page permissions (e.g. write to read-only).
+    PAGE_PERMISSION = "page-permission"
+    #: Stack protector in the function epilogue.
+    STACK_CANARY = "stack-canary"
+    #: Allocator guard word / metadata checksum.
+    HEAP_INTEGRITY = "heap-integrity"
+    #: Allocator misuse (double free, wild free).
+    INVALID_FREE = "invalid-free"
+    #: Resource exhaustion inside the domain.
+    OUT_OF_MEMORY = "out-of-memory"
+
+
+@dataclass(frozen=True)
+class FaultReport:
+    """A classified fault, produced at the domain boundary."""
+
+    mechanism: DetectionMechanism
+    message: str
+    address: Optional[int] = None
+    domain_udi: Optional[int] = None
+    timestamp: Optional[float] = None
+
+    def __str__(self) -> str:
+        where = f" at {self.address:#x}" if self.address is not None else ""
+        dom = f" in domain {self.domain_udi}" if self.domain_udi is not None else ""
+        return f"[{self.mechanism.value}]{dom}{where}: {self.message}"
+
+
+#: Exceptions that SDRaD treats as recoverable domain faults. Anything else
+#: escaping a domain is a bug in the *application logic* (e.g. KeyError) and
+#: is propagated untouched — isolating programmer errors behind rewind would
+#: mask real bugs, which the SDRaD library explicitly does not do.
+RECOVERABLE_FAULTS = (MemoryError_, DetectedCorruption)
+
+
+def is_recoverable(exc: BaseException) -> bool:
+    """Would SDRaD's fault handler catch this exception?"""
+    return isinstance(exc, RECOVERABLE_FAULTS)
+
+
+def classify(
+    exc: BaseException,
+    domain_udi: Optional[int] = None,
+    timestamp: Optional[float] = None,
+) -> FaultReport:
+    """Build a :class:`FaultReport` for a recoverable fault.
+
+    Raises :class:`TypeError` for non-recoverable exceptions so callers
+    cannot silently swallow logic errors.
+    """
+    if not is_recoverable(exc):
+        raise TypeError(f"not a recoverable SDRaD fault: {exc!r}")
+    address = getattr(exc, "address", None)
+    if isinstance(exc, ProtectionKeyViolation):
+        mechanism = DetectionMechanism.PKEY_VIOLATION
+    elif isinstance(exc, SegmentationFault):
+        mechanism = DetectionMechanism.PAGE_FAULT
+    elif isinstance(exc, PermissionFault):
+        mechanism = DetectionMechanism.PAGE_PERMISSION
+    elif isinstance(exc, StackCanaryViolation):
+        mechanism = DetectionMechanism.STACK_CANARY
+    elif isinstance(exc, HeapCorruption):
+        mechanism = DetectionMechanism.HEAP_INTEGRITY
+    elif isinstance(exc, InvalidFree):
+        mechanism = DetectionMechanism.INVALID_FREE
+    elif isinstance(exc, AllocationFailure):
+        mechanism = DetectionMechanism.OUT_OF_MEMORY
+    else:  # remaining MemoryError_/DetectedCorruption subclasses
+        mechanism = (
+            DetectionMechanism.HEAP_INTEGRITY
+            if isinstance(exc, DetectedCorruption)
+            else DetectionMechanism.PAGE_FAULT
+        )
+    return FaultReport(
+        mechanism=mechanism,
+        message=str(exc),
+        address=address,
+        domain_udi=domain_udi,
+        timestamp=timestamp,
+    )

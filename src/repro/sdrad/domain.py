@@ -1,0 +1,139 @@
+"""Domain objects: an isolated heap + stack behind one protection key.
+
+A :class:`Domain` owns page-aligned heap and stack regions tagged with its
+protection key, a :class:`~repro.memory.allocator.FreeListAllocator` over
+the heap and a canaried :class:`~repro.memory.stack.CallStack`. The runtime
+(:mod:`repro.sdrad.runtime`) handles entry/exit and recovery; the domain
+itself only knows how to *discard* — reset its memory to a known-good empty
+state, the core of rewind-and-discard.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+from ..errors import DomainStateError
+from ..memory.address_space import AddressSpace
+from ..memory.allocator import FreeListAllocator
+from ..memory.stack import CallStack
+from .constants import DomainFlags, DomainState
+
+
+@dataclass
+class DomainStats:
+    """Per-domain lifetime statistics (reported by E1/E4 harnesses)."""
+
+    entries: int = 0
+    clean_exits: int = 0
+    faults: int = 0
+    rewinds: int = 0
+    bytes_copied_in: int = 0
+    bytes_copied_out: int = 0
+    fault_kinds: dict[str, int] = field(default_factory=dict)
+
+    def record_fault(self, kind: str) -> None:
+        self.faults += 1
+        self.fault_kinds[kind] = self.fault_kinds.get(kind, 0) + 1
+
+
+class Domain:
+    """One isolated execution domain (SDRaD's unit of rewind)."""
+
+    def __init__(
+        self,
+        udi: int,
+        pkey: int,
+        space: AddressSpace,
+        heap_base: int,
+        heap_size: int,
+        stack_base: int,
+        stack_size: int,
+        flags: DomainFlags = DomainFlags.DEFAULT,
+        parent_udi: int | None = None,
+        stack_rng: random.Random | None = None,
+    ) -> None:
+        self.udi = udi
+        self.pkey = pkey
+        self.space = space
+        self.flags = flags
+        self.parent_udi = parent_udi
+        self.state = DomainState.INITIALIZED
+        self.heap_base = heap_base
+        self.heap_size = heap_size
+        self.stack_base = stack_base
+        self.stack_size = stack_size
+        self._stack_rng = stack_rng or random.Random(0x5DAD ^ udi)
+        self.heap = FreeListAllocator(
+            space, heap_base, heap_size, name=f"domain-{udi}-heap"
+        )
+        self.stack = CallStack(space, stack_base, stack_size, rng=self._stack_rng)
+        self.stats = DomainStats()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+
+    def mark_active(self) -> None:
+        if self.state is DomainState.DESTROYED:
+            raise DomainStateError(f"domain {self.udi} is destroyed")
+        self.state = DomainState.ACTIVE
+        self.stats.entries += 1
+
+    def mark_exited(self) -> None:
+        if self.state is not DomainState.ACTIVE:
+            raise DomainStateError(
+                f"domain {self.udi} exit while in state {self.state.value}"
+            )
+        self.state = DomainState.INITIALIZED
+        self.stats.clean_exits += 1
+
+    def mark_faulted(self) -> None:
+        self.state = DomainState.FAULTED
+
+    def mark_destroyed(self) -> None:
+        self.state = DomainState.DESTROYED
+
+    # ------------------------------------------------------------------
+    # Discard (the "D" in SDRaD)
+    # ------------------------------------------------------------------
+
+    def discard(self) -> int:
+        """Reset heap and stack to a pristine state; returns pages scrubbed.
+
+        This is deliberately *not* a snapshot restore: SDRaD's insight is
+        that abandoning the domain's allocations and unwinding its stack is
+        sufficient (and orders of magnitude cheaper) because domain state is
+        reconstructed from the trusted side on the next entry.
+        """
+        scrub = bool(self.flags & DomainFlags.SCRUB_ON_DISCARD)
+        pages = self.heap.reset(scrub=scrub)
+        self.stack.unwind_all()
+        if scrub:
+            self.space.raw_fill(self.stack_base, self.stack_size, 0)
+            pages += (self.stack_size + 4095) // 4096
+        self.state = DomainState.INITIALIZED
+        self.stats.rewinds += 1
+        return pages
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def is_isolated_heap(self) -> bool:
+        return not self.flags & DomainFlags.NONISOLATED_HEAP
+
+    @property
+    def rewinds_on_fault(self) -> bool:
+        return bool(self.flags & DomainFlags.RETURN_TO_PARENT)
+
+    def footprint_bytes(self) -> int:
+        """Total simulated memory owned by this domain."""
+        return self.heap_size + self.stack_size
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Domain(udi={self.udi}, pkey={self.pkey}, "
+            f"state={self.state.value}, entries={self.stats.entries})"
+        )

@@ -1,0 +1,109 @@
+"""Recovery policies: what happens after a domain fault is detected.
+
+The paper's contribution is precisely the *rewind* policy; the others exist
+as baselines so experiments can compare like for like:
+
+* :class:`RewindPolicy` — discard the domain, charge the 3.5 µs rewind cost,
+  return an error result to the caller (SDRaD).
+* :class:`AbortPolicy` — the mitigation-only baseline: detection terminates
+  the process (``__stack_chk_fail`` → ``abort()``), surfacing as
+  :class:`ProcessCrashed`; the resilience layer then models a process or
+  container restart.
+* :class:`RetryPolicy` — rewind and transparently re-execute the domain call
+  up to ``max_retries`` times; useful when faults are transient (fault
+  injection campaigns) rather than attacker-controlled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..errors import ReproError
+from .detect import FaultReport
+
+
+class ProcessCrashed(ReproError):
+    """The whole simulated process died (abort-on-detection baseline)."""
+
+    def __init__(self, report: FaultReport) -> None:
+        super().__init__(f"process aborted after fault: {report}")
+        self.report = report
+
+
+@dataclass(frozen=True)
+class PolicyDecision:
+    """Outcome of consulting a policy about a fault."""
+
+    #: Discard the domain and resume at the entry point with an error.
+    rewind: bool
+    #: Re-execute the faulted call after rewinding.
+    retry: bool = False
+    #: Terminate the whole process (propagates ProcessCrashed).
+    abort: bool = False
+
+
+class RecoveryPolicy:
+    """Interface: decide what to do about a classified fault."""
+
+    name = "abstract"
+
+    def decide(self, report: FaultReport, attempt: int) -> PolicyDecision:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}()"
+
+
+class RewindPolicy(RecoveryPolicy):
+    """SDRaD's default: always rewind, never retry, never abort."""
+
+    name = "rewind"
+
+    def decide(self, report: FaultReport, attempt: int) -> PolicyDecision:
+        return PolicyDecision(rewind=True)
+
+
+class AbortPolicy(RecoveryPolicy):
+    """Mitigation-only baseline: detection kills the process."""
+
+    name = "abort"
+
+    def decide(self, report: FaultReport, attempt: int) -> PolicyDecision:
+        return PolicyDecision(rewind=False, abort=True)
+
+
+class RetryPolicy(RecoveryPolicy):
+    """Rewind then re-execute, up to ``max_retries`` attempts.
+
+    After the retry budget is exhausted the fault is surfaced like plain
+    rewind (error result to the caller) — never an abort, because the domain
+    is still contained.
+    """
+
+    name = "retry"
+
+    def __init__(self, max_retries: int = 1) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        self.max_retries = max_retries
+
+    def decide(self, report: FaultReport, attempt: int) -> PolicyDecision:
+        return PolicyDecision(rewind=True, retry=attempt <= self.max_retries)
+
+
+def default_policy() -> RecoveryPolicy:
+    return RewindPolicy()
+
+
+@dataclass
+class RecoveryOutcome:
+    """What actually happened for one faulted call (for traces/metrics)."""
+
+    report: FaultReport
+    policy: str
+    rewound: bool
+    retried: int
+    aborted: bool
+    recovery_time: float
+    final_report: Optional[FaultReport] = None

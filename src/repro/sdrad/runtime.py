@@ -1,0 +1,552 @@
+"""The SDRaD runtime: domain lifecycle, entry/exit, rewind-and-discard.
+
+This is the reproduction of the paper's core contribution. The runtime owns
+a simulated address space, hands out protection-key-tagged heap/stack
+regions to *domains*, and executes application functions inside them:
+
+1. **enter** — save the caller's PKRU and push an execution context (the
+   ``sigsetjmp`` analogue), then write a PKRU granting access *only* to the
+   domain's key (deny-by-default isolation in both directions);
+2. **run** — the application function receives a :class:`DomainHandle` and
+   does its work against the simulated memory (every access checked);
+3. **exit** — restore PKRU, pop the context, charge the domain-switch cost;
+4. **on fault** — classify the fault, consult the domain's recovery policy,
+   and for SDRaD's rewind policy: *discard* the domain's heap and stack,
+   charge the paper's 3.5 µs rewind cost, and return an error
+   :class:`DomainResult` to the code that entered the domain — the process
+   survives.
+
+All latencies are charged to the shared virtual clock through the
+:class:`~repro.sim.cost.CostModel`, never measured.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Optional
+
+from ..errors import (
+    AllocationFailure,
+    DomainNotFound,
+    DomainStateError,
+    SdradError,
+)
+from ..memory.address_space import AddressSpace
+from ..memory.layout import (
+    DEFAULT_DOMAIN_HEAP,
+    DEFAULT_DOMAIN_STACK,
+    PAGE_SIZE,
+    page_align_up,
+)
+from ..memory.mpk import PKEY_DEFAULT
+from ..sim.clock import VirtualClock
+from ..sim.cost import DEFAULT_COST_MODEL, CostModel
+from ..sim.rng import RngFactory
+from ..sim.trace import Tracer
+from .constants import ROOT_UDI, DomainFlags, DomainState
+from .context import ContextStack
+from .detect import FaultReport, classify, is_recoverable
+from .domain import Domain
+from .policy import (
+    PolicyDecision,
+    ProcessCrashed,
+    RecoveryPolicy,
+    RewindPolicy,
+)
+
+
+@dataclass
+class DomainResult:
+    """Outcome of one :meth:`SdradRuntime.execute` call."""
+
+    ok: bool
+    value: object = None
+    fault: Optional[FaultReport] = None
+    retries: int = 0
+    recovery_time: float = 0.0
+    elapsed: float = 0.0
+
+    def unwrap(self) -> object:
+        """Return the value or raise the fault (test convenience)."""
+        if self.ok:
+            return self.value
+        raise SdradError(f"domain call failed: {self.fault}")
+
+
+class DomainHandle:
+    """The view of the runtime an application function gets *inside* a domain.
+
+    It deliberately exposes only domain-scoped operations: allocate/free on
+    the domain heap, checked loads/stores, stack frames on the domain stack,
+    and cost charging for modelled computation. There is no way to reach
+    another domain's memory except through the checked access path — which
+    is exactly what the isolation experiment needs to be able to *fail*.
+    """
+
+    def __init__(self, runtime: "SdradRuntime", domain: Domain) -> None:
+        self._runtime = runtime
+        self._domain = domain
+
+    @property
+    def udi(self) -> int:
+        return self._domain.udi
+
+    @property
+    def space(self) -> AddressSpace:
+        return self._runtime.space
+
+    # --- heap ---------------------------------------------------------
+
+    def malloc(self, nbytes: int) -> int:
+        self._runtime.charge(self._runtime.cost.domain_alloc)
+        return self._domain.heap.malloc(nbytes)
+
+    def free(self, addr: int) -> None:
+        self._runtime.charge(self._runtime.cost.domain_alloc)
+        self._domain.heap.free(addr)
+
+    def capacity(self, addr: int) -> int:
+        return self._domain.heap.payload_capacity(addr)
+
+    # --- checked memory access (the application data path) -------------
+
+    def store(self, addr: int, data: bytes) -> None:
+        self._runtime.space.store(addr, data)
+
+    def load(self, addr: int, nbytes: int) -> bytes:
+        return self._runtime.space.load(addr, nbytes)
+
+    # --- stack ----------------------------------------------------------
+
+    def push_frame(self, name: str):
+        return self._domain.stack.push_frame(name)
+
+    def pop_frame(self, frame) -> int:
+        return self._domain.stack.pop_frame(frame)
+
+    # --- modelled computation -------------------------------------------
+
+    def charge(self, seconds: float) -> None:
+        """Charge modelled compute time to the virtual clock."""
+        self._runtime.charge(seconds)
+
+
+@dataclass
+class _Region:
+    base: int
+    size: int
+
+
+class SdradRuntime:
+    """Owner of the address space, protection keys and all domains."""
+
+    def __init__(
+        self,
+        space: Optional[AddressSpace] = None,
+        clock: Optional[VirtualClock] = None,
+        cost: CostModel = DEFAULT_COST_MODEL,
+        tracer: Optional[Tracer] = None,
+        rng: Optional[RngFactory] = None,
+        root_heap_size: int = 1024 * 1024,
+        key_virtualization: bool = False,
+        guard_pages: bool = False,
+    ) -> None:
+        self.space = space if space is not None else AddressSpace()
+        self.clock = clock if clock is not None else VirtualClock()
+        self.cost = cost
+        self.tracer = tracer if tracer is not None else Tracer()
+        self.rng = rng if rng is not None else RngFactory(0)
+        self.contexts = ContextStack()
+        self._domains: dict[int, Domain] = {}
+        self._udi_counter = itertools.count(1)
+        # Page 0 stays unmapped forever: null-pointer dereferences must
+        # fault, as on any sane mmap_min_addr configuration.
+        self._bump = PAGE_SIZE
+        # With guard pages on, one unmapped page separates consecutive
+        # regions, so an overflow off the end of a domain's heap faults
+        # instead of silently running into the *same domain's* stack (which
+        # shares its protection key and would otherwise absorb it).
+        self.guard_pages = guard_pages
+        self._free_regions: list[_Region] = []
+        self._root = self._create_root_domain(root_heap_size)
+        # Optional libmpk-style key virtualisation (lifts the 15-domain
+        # limit at the cost of rebind retagging; see repro.sdrad.keyvirt).
+        self.keys: Optional["VirtualKeyManager"] = None
+        if key_virtualization:
+            from .keyvirt import VirtualKeyManager
+
+            self.keys = VirtualKeyManager(self)
+
+    # ------------------------------------------------------------------
+    # Setup / teardown
+    # ------------------------------------------------------------------
+
+    def _create_root_domain(self, heap_size: int) -> Domain:
+        heap_base = self._map_region(heap_size, PKEY_DEFAULT)
+        stack_base = self._map_region(DEFAULT_DOMAIN_STACK, PKEY_DEFAULT)
+        root = Domain(
+            udi=ROOT_UDI,
+            pkey=PKEY_DEFAULT,
+            space=self.space,
+            heap_base=heap_base,
+            heap_size=page_align_up(heap_size),
+            stack_base=stack_base,
+            stack_size=DEFAULT_DOMAIN_STACK,
+            flags=DomainFlags.DEFAULT,
+            parent_udi=None,
+            stack_rng=self.rng.stream("stack/root"),
+        )
+        self._domains[ROOT_UDI] = root
+        return root
+
+    @property
+    def root(self) -> Domain:
+        return self._root
+
+    def domain(self, udi: int) -> Domain:
+        try:
+            return self._domains[udi]
+        except KeyError:
+            raise DomainNotFound(udi) from None
+
+    def domains(self) -> list[Domain]:
+        return list(self._domains.values())
+
+    def domain_init(
+        self,
+        flags: DomainFlags = DomainFlags.RETURN_TO_PARENT,
+        heap_size: int = DEFAULT_DOMAIN_HEAP,
+        stack_size: int = DEFAULT_DOMAIN_STACK,
+        udi: Optional[int] = None,
+        parent_udi: int = ROOT_UDI,
+    ) -> Domain:
+        """Create an isolated domain (``sdrad_init`` analogue).
+
+        Charges the pkey syscalls and heap-arena initialisation to the
+        clock; raises :class:`~repro.errors.OutOfDomains` when all 16
+        protection keys are taken.
+        """
+        if udi is None:
+            udi = next(self._udi_counter)
+        if udi in self._domains:
+            raise DomainStateError(f"domain udi={udi} already exists")
+        if parent_udi not in self._domains:
+            raise DomainNotFound(parent_udi)
+        if self.keys is not None:
+            # Virtualised: pages start on the lock key, binding is lazy.
+            pkey = self.keys.assign_initial_key()
+        else:
+            pkey = self.space.pkeys.alloc()
+        heap_size = page_align_up(heap_size)
+        stack_size = page_align_up(stack_size)
+        try:
+            heap_base = self._map_region(heap_size, pkey)
+            stack_base = self._map_region(stack_size, pkey)
+        except AllocationFailure:
+            if self.keys is None:
+                self.space.pkeys.free(pkey)
+            raise
+        # pkey_alloc + two pkey_mprotect calls + heap arena setup
+        self.charge(3 * self.cost.pkey_syscall + self.cost.domain_heap_init)
+        domain = Domain(
+            udi=udi,
+            pkey=pkey,
+            space=self.space,
+            heap_base=heap_base,
+            heap_size=heap_size,
+            stack_base=stack_base,
+            stack_size=stack_size,
+            flags=flags,
+            parent_udi=parent_udi,
+            stack_rng=self.rng.stream(f"stack/{udi}"),
+        )
+        self._domains[udi] = domain
+        self.tracer.record(self.clock.now, "domain.init", udi=udi, pkey=pkey)
+        return domain
+
+    def domain_destroy(self, udi: int) -> None:
+        """Tear a domain down and recycle its key and regions."""
+        domain = self.domain(udi)
+        if udi == ROOT_UDI:
+            raise SdradError("cannot destroy the root domain")
+        if self.contexts.contains_udi(udi):
+            raise DomainStateError(f"domain {udi} is currently entered")
+        self._unmap_region(domain.heap_base, domain.heap_size)
+        self._unmap_region(domain.stack_base, domain.stack_size)
+        if self.keys is not None:
+            self.keys.release_domain(domain)
+        else:
+            self.space.pkeys.free(domain.pkey)
+        domain.mark_destroyed()
+        del self._domains[udi]
+        self.charge(3 * self.cost.pkey_syscall)
+        self.tracer.record(self.clock.now, "domain.destroy", udi=udi)
+
+    # ------------------------------------------------------------------
+    # The core: execute-in-domain with rewind on fault
+    # ------------------------------------------------------------------
+
+    def execute(
+        self,
+        udi: int,
+        fn: Callable[..., object],
+        *args: object,
+        policy: Optional[RecoveryPolicy] = None,
+        read_grants: Optional[list[int]] = None,
+    ) -> DomainResult:
+        """Run ``fn(handle, *args)`` inside domain ``udi``.
+
+        Returns a :class:`DomainResult`; never raises for *recoverable*
+        memory faults when the policy rewinds. Logic errors (non-memory
+        exceptions) propagate unchanged after trusted state is restored.
+
+        ``read_grants`` lists other domains whose memory this execution may
+        *read* (never write) — SDRaD's confidentiality-compartment scheme:
+        a "vault" domain holds secrets or shared configuration, workers get
+        read-only, zero-copy access for the duration of one entry, and a
+        compromised worker still cannot tamper with it.
+        """
+        domain = self.domain(udi)
+        if domain.state is DomainState.DESTROYED:
+            raise DomainStateError(f"domain {udi} is destroyed")
+        if self.contexts.contains_udi(udi):
+            raise DomainStateError(f"domain {udi} re-entered while active")
+        if policy is None:
+            policy = RewindPolicy()
+
+        granted_domains: list[Domain] = []
+        if read_grants:
+            for grant_udi in read_grants:
+                if grant_udi == udi:
+                    raise SdradError("cannot read-grant a domain to itself")
+                granted_domains.append(self.domain(grant_udi))
+
+        started = self.clock.now
+        if self.keys is not None:
+            self.keys.ensure_bound(domain)
+            for granted in granted_domains:
+                self.keys.ensure_bound(granted)
+            parent = self._domains.get(domain.parent_udi or ROOT_UDI)
+            if (
+                domain.flags & DomainFlags.NONISOLATED_HEAP
+                and parent is not None
+                and parent.udi != ROOT_UDI
+            ):
+                self.keys.ensure_bound(parent)
+        self.charge(self.cost.domain_enter)
+        saved_pkru = self.space.pkru.snapshot()
+        context = self.contexts.push(udi, saved_pkru, self.clock.now)
+        self._apply_domain_pkru(domain)
+        for granted in granted_domains:
+            self.space.pkru.grant(granted.pkey, read=True, write=False)
+        self.tracer.record(self.clock.now, "domain.enter", udi=udi)
+
+        attempt = 0
+        recovery_time = 0.0
+        handle = DomainHandle(self, domain)
+        while True:
+            domain.mark_active()
+            try:
+                value = fn(handle, *args)
+                if domain.flags & DomainFlags.CHECK_HEAP_ON_EXIT:
+                    domain.heap.check()
+            except BaseException as exc:  # noqa: BLE001 - boundary must see all
+                if not is_recoverable(exc):
+                    # Logic error: restore trusted state, propagate.
+                    self._leave(domain, context, saved_pkru, clean=False)
+                    raise
+                report = classify(exc, domain_udi=udi, timestamp=self.clock.now)
+                domain.mark_faulted()
+                domain.stats.record_fault(report.mechanism.value)
+                self.tracer.record(
+                    self.clock.now,
+                    "domain.fault",
+                    udi=udi,
+                    mechanism=report.mechanism.value,
+                )
+                attempt += 1
+                decision = policy.decide(report, attempt)
+                if decision.abort:
+                    self._leave(domain, context, saved_pkru, clean=False)
+                    self.tracer.record(self.clock.now, "process.crash", udi=udi)
+                    raise ProcessCrashed(report) from exc
+                recovery_time += self._rewind(domain)
+                if decision.retry:
+                    continue
+                self._leave(domain, context, saved_pkru, clean=False)
+                return DomainResult(
+                    ok=False,
+                    fault=report,
+                    retries=attempt - 1,
+                    recovery_time=recovery_time,
+                    elapsed=self.clock.now - started,
+                )
+            else:
+                domain.mark_exited()
+                self._leave(domain, context, saved_pkru, clean=True)
+                return DomainResult(
+                    ok=True,
+                    value=value,
+                    retries=attempt,
+                    recovery_time=recovery_time,
+                    elapsed=self.clock.now - started,
+                )
+
+    def execute_with_checkpoint(
+        self,
+        udi: int,
+        fn: Callable[..., object],
+        *args: object,
+    ) -> DomainResult:
+        """Alternative recovery design: checkpoint/restore instead of
+        rewind-and-discard (ablation of DESIGN.md D2/D3).
+
+        Before entering the domain, its heap and stack are snapshotted; a
+        fault restores the snapshot byte-for-byte instead of discarding.
+        This preserves domain state across faults (which discard does not),
+        but pays a copy of the whole domain *on every call* — the design
+        SDRaD explicitly rejected, quantified by E2c.
+        """
+        from ..memory.snapshot import capture, restore
+
+        domain = self.domain(udi)
+        footprint = domain.heap_size + domain.stack_size
+        # checkpoint: copy out heap + stack (+ allocator mirror state)
+        heap_snap = capture(self.space, domain.heap_base, domain.heap_size)
+        stack_snap = capture(self.space, domain.stack_base, domain.stack_size)
+        heap_state = domain.heap.export_state()
+        self.charge(self.cost.copy_time(footprint))
+
+        result = self.execute(udi, fn, *args, policy=RewindPolicy())
+        if result.ok:
+            return result
+        # restore: copy the checkpoint back and charge it as recovery
+        before = self.clock.now
+        restore(self.space, heap_snap)
+        restore(self.space, stack_snap)
+        domain.heap.import_state(heap_state)
+        self.charge(self.cost.copy_time(footprint))
+        self.tracer.record(self.clock.now, "domain.restore", udi=udi)
+        result.recovery_time += self.clock.now - before
+        return result
+
+    def execute_unisolated(self, fn: Callable[..., object], *args: object) -> object:
+        """Run ``fn(handle, *args)`` in the root compartment, no isolation.
+
+        This is the *baseline* execution mode (E1's control): no PKRU
+        switch, no enter/exit cost, no rewind context. A recoverable memory
+        fault therefore has nothing to contain it and kills the process —
+        exactly what happens to a mitigation-hardened but un-compartmented
+        service.
+        """
+        handle = DomainHandle(self, self._root)
+        try:
+            return fn(handle, *args)
+        except BaseException as exc:  # noqa: BLE001 - boundary must see all
+            if not is_recoverable(exc):
+                raise
+            report = classify(exc, domain_udi=ROOT_UDI, timestamp=self.clock.now)
+            self.tracer.record(
+                self.clock.now,
+                "process.crash",
+                udi=ROOT_UDI,
+                mechanism=report.mechanism.value,
+            )
+            raise ProcessCrashed(report) from exc
+
+    def _rewind(self, domain: Domain) -> float:
+        """Discard the domain and charge rewind cost; returns that cost."""
+        before = self.clock.now
+        pages = domain.discard()
+        self.charge(self.cost.rewind_time(scrub_pages=pages))
+        self.tracer.record(
+            self.clock.now, "domain.rewind", udi=domain.udi, scrubbed_pages=pages
+        )
+        return self.clock.now - before
+
+    def _leave(
+        self, domain: Domain, context, saved_pkru: int, *, clean: bool
+    ) -> None:
+        self.contexts.pop(context)
+        self.space.pkru.write(saved_pkru)
+        self.charge(self.cost.domain_exit)
+        self.tracer.record(
+            self.clock.now, "domain.exit", udi=domain.udi, clean=clean
+        )
+
+    def _apply_domain_pkru(self, domain: Domain) -> None:
+        """Grant access only to the domain's key (plus shared-heap parents)."""
+        pkru = self.space.pkru
+        pkru.write(pkru.DENY_ALL_EXCEPT_DEFAULT)
+        # Deny the default key too: the root domain's memory must be
+        # unreachable from inside an isolated domain. (Key 0 cannot have its
+        # AD bit pattern expressed via DENY_ALL_EXCEPT_DEFAULT, so revoke.)
+        pkru.revoke(PKEY_DEFAULT)
+        pkru.grant(domain.pkey, read=True, write=True)
+        if domain.flags & DomainFlags.NONISOLATED_HEAP and domain.parent_udi is not None:
+            parent = self._domains.get(domain.parent_udi)
+            if parent is not None:
+                pkru.grant(parent.pkey, read=True, write=True)
+        # The PKRU writes above are the WRPKRU instructions of a real switch;
+        # their latency is part of cost.domain_enter, not charged per write.
+
+    def map_shared_region(self, size: int, pkey: int = PKEY_DEFAULT) -> int:
+        """Map a page-aligned region outside any domain (service state).
+
+        Applications use this for long-lived state that survives domain
+        rewinds — e.g. the Memcached hash table and slab arena, which SDRaD
+        keeps in the trusted/root compartment precisely so that discarding
+        a client's domain never touches it.
+        """
+        return self._map_region(size, pkey)
+
+    # ------------------------------------------------------------------
+    # Cross-domain data movement (used by SDRaD-FFI marshalling)
+    # ------------------------------------------------------------------
+
+    def copy_into(self, udi: int, data: bytes) -> int:
+        """Copy ``data`` into ``udi``'s heap; returns the domain address."""
+        domain = self.domain(udi)
+        addr = domain.heap.malloc(max(len(data), 1))
+        self.space.raw_store(addr, data)
+        self.charge(self.cost.domain_alloc + self.cost.copy_time(len(data)))
+        domain.stats.bytes_copied_in += len(data)
+        return addr
+
+    def copy_out(self, udi: int, addr: int, nbytes: int) -> bytes:
+        """Copy ``nbytes`` out of ``udi``'s heap into the trusted side."""
+        domain = self.domain(udi)
+        data = self.space.raw_load(addr, nbytes)
+        self.charge(self.cost.copy_time(nbytes))
+        domain.stats.bytes_copied_out += nbytes
+        return data
+
+    # ------------------------------------------------------------------
+    # Region management + cost charging
+    # ------------------------------------------------------------------
+
+    def charge(self, seconds: float) -> None:
+        self.clock.advance(seconds)
+
+    def _map_region(self, size: int, pkey: int) -> int:
+        size = page_align_up(size)
+        for i, region in enumerate(self._free_regions):
+            if region.size == size:
+                del self._free_regions[i]
+                self.space.page_table.map_range(region.base, size, pkey=pkey)
+                return region.base
+        base = self._bump
+        guard = PAGE_SIZE if self.guard_pages else 0
+        if base + size + guard > self.space.size:
+            raise AllocationFailure(
+                f"simulated address space exhausted mapping {size} bytes "
+                f"({self._bump}/{self.space.size} used)"
+            )
+        self._bump += size + guard  # the guard page stays unmapped
+        self.space.page_table.map_range(base, size, pkey=pkey)
+        return base
+
+    def _unmap_region(self, base: int, size: int) -> None:
+        self.space.page_table.unmap_range(base, size)
+        self._free_regions.append(_Region(base=base, size=size))

@@ -1,0 +1,52 @@
+"""Discrete-event simulation substrate.
+
+Everything the reproduction measures runs against this package's virtual
+clock and cost model; see ``DESIGN.md`` §2 for why wall-clock measurement is
+substituted out.
+"""
+
+from .clock import (
+    DAYS,
+    HOURS,
+    MICROSECONDS,
+    MILLISECONDS,
+    MINUTES,
+    NANOSECONDS,
+    SECONDS,
+    YEARS,
+    Stopwatch,
+    VirtualClock,
+)
+from .cost import DEFAULT_COST_MODEL, GIB, CostModel
+from .engine import Engine, Process
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, Summary
+from .rng import RngFactory, ZipfSampler, zipf_weights
+from .trace import TraceEvent, Tracer
+
+__all__ = [
+    "DAYS",
+    "HOURS",
+    "MICROSECONDS",
+    "MILLISECONDS",
+    "MINUTES",
+    "NANOSECONDS",
+    "SECONDS",
+    "YEARS",
+    "Stopwatch",
+    "VirtualClock",
+    "DEFAULT_COST_MODEL",
+    "GIB",
+    "CostModel",
+    "Engine",
+    "Process",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Summary",
+    "RngFactory",
+    "ZipfSampler",
+    "zipf_weights",
+    "TraceEvent",
+    "Tracer",
+]

@@ -1,0 +1,188 @@
+"""A small discrete-event simulation engine (SimPy-flavoured, self-contained).
+
+Experiments E3–E5 simulate a service over long horizons (up to a year of
+virtual time) with stochastic fault arrivals and client workloads. The engine
+supports two styles:
+
+* **callback events** — :meth:`Engine.schedule` a plain callable at an
+  absolute time; and
+* **process coroutines** — generator functions that ``yield`` either a float
+  delay (sleep) or another :class:`Process` (join), scheduled with
+  :meth:`Engine.spawn`.
+
+The engine is single-threaded and deterministic: ties in event time are
+broken by insertion order, so a given seed always produces the same history.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, Generator, Optional, Union
+
+from ..errors import SimulationError
+from .clock import VirtualClock
+
+#: What a process generator may yield: a delay in seconds, or a process to
+#: join (resume when it finishes).
+ProcessYield = Union[float, int, "Process"]
+ProcessGenerator = Generator[ProcessYield, object, object]
+
+
+class Process:
+    """A simulated process driven by a generator.
+
+    The generator's ``yield`` values control scheduling; its return value is
+    captured in :attr:`result` when it finishes. Exceptions escaping the
+    generator are stored in :attr:`error` and re-raised by :meth:`Engine.run`
+    unless the process was spawned with ``daemon=True``.
+    """
+
+    _ids = itertools.count()
+
+    def __init__(self, generator: ProcessGenerator, name: str = "", daemon: bool = False) -> None:
+        self.pid = next(Process._ids)
+        self.name = name or f"process-{self.pid}"
+        self.daemon = daemon
+        self.generator = generator
+        self.finished = False
+        self.result: object = None
+        self.error: Optional[BaseException] = None
+        self._waiters: list[Process] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "finished" if self.finished else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class Engine:
+    """The event loop: owns the clock and the pending-event heap."""
+
+    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+        self.clock = clock if clock is not None else VirtualClock()
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._running = False
+        self._live_processes = 0
+
+    @property
+    def now(self) -> float:
+        return self.clock.now
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)
+
+    # ------------------------------------------------------------------
+    # Scheduling primitives
+    # ------------------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event {delay}s in the past")
+        self.schedule_at(self.clock.now + delay, callback)
+
+    def schedule_at(self, timestamp: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute virtual time ``timestamp``."""
+        if timestamp < self.clock.now:
+            raise SimulationError(
+                f"cannot schedule event at {timestamp} before now={self.clock.now}"
+            )
+        heapq.heappush(self._heap, (timestamp, next(self._sequence), callback))
+
+    def spawn(
+        self,
+        generator: ProcessGenerator,
+        name: str = "",
+        daemon: bool = False,
+        delay: float = 0.0,
+    ) -> Process:
+        """Start a process coroutine after ``delay`` seconds."""
+        process = Process(generator, name=name, daemon=daemon)
+        self._live_processes += 1
+        self.schedule(delay, lambda: self._step(process, None))
+        return process
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Drain events (optionally only up to time ``until``).
+
+        Returns the final clock value. Raises the first non-daemon process
+        error encountered, after the failing event has been consumed.
+        """
+        if self._running:
+            raise SimulationError("engine.run() is not reentrant")
+        self._running = True
+        try:
+            while self._heap:
+                timestamp, _seq, callback = self._heap[0]
+                if until is not None and timestamp > until:
+                    break
+                heapq.heappop(self._heap)
+                self.clock.advance_to(timestamp)
+                callback()
+            if until is not None and self.clock.now < until:
+                self.clock.advance_to(until)
+        finally:
+            self._running = False
+        return self.clock.now
+
+    def _step(self, process: Process, send_value: object) -> None:
+        """Advance one process coroutine by one yield."""
+        try:
+            yielded = process.generator.send(send_value)
+        except StopIteration as stop:
+            self._finish(process, result=stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - engine must capture all
+            self._finish(process, error=exc)
+            if not process.daemon:
+                raise
+            return
+        self._dispatch_yield(process, yielded)
+
+    def _dispatch_yield(self, process: Process, yielded: ProcessYield) -> None:
+        if isinstance(yielded, Process):
+            target = yielded
+            if target.finished:
+                self.schedule(0.0, lambda: self._step(process, target.result))
+            else:
+                target._waiters.append(process)
+            return
+        if isinstance(yielded, (int, float)):
+            delay = float(yielded)
+            if delay < 0:
+                self._finish(
+                    process,
+                    error=SimulationError(
+                        f"process {process.name!r} yielded negative delay {delay}"
+                    ),
+                )
+                raise process.error  # type: ignore[misc]
+            self.schedule(delay, lambda: self._step(process, None))
+            return
+        self._finish(
+            process,
+            error=SimulationError(
+                f"process {process.name!r} yielded unsupported value {yielded!r}"
+            ),
+        )
+        raise process.error  # type: ignore[misc]
+
+    def _finish(
+        self,
+        process: Process,
+        result: object = None,
+        error: Optional[BaseException] = None,
+    ) -> None:
+        process.finished = True
+        process.result = result
+        process.error = error
+        self._live_processes -= 1
+        for waiter in process._waiters:
+            self.schedule(0.0, lambda w=waiter: self._step(w, process.result))
+        process._waiters.clear()

@@ -1,0 +1,185 @@
+"""Lightweight metrics primitives used by every experiment.
+
+The benchmark harness reports the same *kinds* of rows the paper reports:
+throughput deltas (E1), latency distributions (E2, E6), availability
+percentages (E3), per-client success rates (E4) and energy totals (E5).
+Counters and histograms here are deliberately simple — plain Python data
+structures with explicit summary statistics — so benchmark output is easy to
+audit against the paper's claims.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Iterable
+
+
+class Counter:
+    """A monotonically increasing named counter."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, value={self._value})"
+
+
+class Gauge:
+    """A named value that can move in both directions (e.g. live replicas)."""
+
+    __slots__ = ("name", "_value")
+
+    def __init__(self, name: str, initial: float = 0.0) -> None:
+        self.name = name
+        self._value = float(initial)
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+
+@dataclass
+class Summary:
+    """Summary statistics of a sample set."""
+
+    count: int
+    mean: float
+    stdev: float
+    minimum: float
+    maximum: float
+    p50: float
+    p95: float
+    p99: float
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "stdev": self.stdev,
+            "min": self.minimum,
+            "max": self.maximum,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+
+class Histogram:
+    """Stores raw observations and computes exact quantiles on demand.
+
+    Experiments record at most a few hundred thousand observations, so exact
+    storage is affordable and avoids the bucketing-error caveats an HDR-style
+    histogram would add to result interpretation.
+    """
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._samples: list[float] = []
+
+    def observe(self, value: float) -> None:
+        self._samples.append(float(value))
+
+    def observe_many(self, values: Iterable[float]) -> None:
+        self._samples.extend(float(v) for v in values)
+
+    @property
+    def count(self) -> int:
+        return len(self._samples)
+
+    @property
+    def samples(self) -> list[float]:
+        return list(self._samples)
+
+    def percentile(self, q: float) -> float:
+        """Exact sample percentile ``q`` in [0, 100] (linear interpolation)."""
+        if not self._samples:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        if not 0.0 <= q <= 100.0:
+            raise ValueError(f"percentile must be in [0, 100], got {q}")
+        ordered = sorted(self._samples)
+        if len(ordered) == 1:
+            return ordered[0]
+        rank = (q / 100.0) * (len(ordered) - 1)
+        lower = math.floor(rank)
+        upper = math.ceil(rank)
+        if lower == upper:
+            return ordered[lower]
+        frac = rank - lower
+        return ordered[lower] * (1.0 - frac) + ordered[upper] * frac
+
+    def summary(self) -> Summary:
+        if not self._samples:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        n = len(self._samples)
+        mean = sum(self._samples) / n
+        if n > 1:
+            var = sum((s - mean) ** 2 for s in self._samples) / (n - 1)
+        else:
+            var = 0.0
+        return Summary(
+            count=n,
+            mean=mean,
+            stdev=math.sqrt(var),
+            minimum=min(self._samples),
+            maximum=max(self._samples),
+            p50=self.percentile(50),
+            p95=self.percentile(95),
+            p99=self.percentile(99),
+        )
+
+
+@dataclass
+class MetricsRegistry:
+    """A namespace of counters, gauges and histograms for one simulation run."""
+
+    counters: dict[str, Counter] = field(default_factory=dict)
+    gauges: dict[str, Gauge] = field(default_factory=dict)
+    histograms: dict[str, Histogram] = field(default_factory=dict)
+
+    def counter(self, name: str) -> Counter:
+        if name not in self.counters:
+            self.counters[name] = Counter(name)
+        return self.counters[name]
+
+    def gauge(self, name: str) -> Gauge:
+        if name not in self.gauges:
+            self.gauges[name] = Gauge(name)
+        return self.gauges[name]
+
+    def histogram(self, name: str) -> Histogram:
+        if name not in self.histograms:
+            self.histograms[name] = Histogram(name)
+        return self.histograms[name]
+
+    def snapshot(self) -> dict[str, object]:
+        """Flatten everything into a JSON-friendly dict for reports."""
+        out: dict[str, object] = {}
+        for name, counter in self.counters.items():
+            out[f"counter/{name}"] = counter.value
+        for name, gauge in self.gauges.items():
+            out[f"gauge/{name}"] = gauge.value
+        for name, histogram in self.histograms.items():
+            if histogram.count:
+                out[f"histogram/{name}"] = histogram.summary().as_dict()
+            else:
+                out[f"histogram/{name}"] = {"count": 0}
+        return out

@@ -1,0 +1,67 @@
+"""Carbon accounting: operational (grid) and embodied (manufacturing).
+
+The embodied term is what makes replication doubly expensive: a hot standby
+burns grid power *and* carries the manufacturing footprint of a whole extra
+server. Defaults follow commonly cited LCA figures (≈1300 kgCO₂e embodied
+per rack server, 4-year service life, ~300 gCO₂e/kWh for a mixed European
+grid); all are constructor arguments for sensitivity analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.clock import YEARS
+
+
+@dataclass(frozen=True)
+class CarbonModel:
+    """Carbon-intensity constants."""
+
+    #: Grid carbon intensity in gCO₂e per kWh.
+    grid_intensity_g_per_kwh: float = 300.0
+    #: Embodied manufacturing carbon per server, kgCO₂e.
+    embodied_kg_per_server: float = 1300.0
+    #: Amortisation lifetime of a server, seconds.
+    server_lifetime: float = 4 * YEARS
+
+    def __post_init__(self) -> None:
+        if self.grid_intensity_g_per_kwh < 0:
+            raise ValueError("grid intensity cannot be negative")
+        if self.embodied_kg_per_server < 0:
+            raise ValueError("embodied carbon cannot be negative")
+        if self.server_lifetime <= 0:
+            raise ValueError("server lifetime must be positive")
+
+    def operational_kg(self, kwh: float) -> float:
+        """kgCO₂e from grid electricity."""
+        if kwh < 0:
+            raise ValueError(f"energy cannot be negative, got {kwh}")
+        return kwh * self.grid_intensity_g_per_kwh / 1000.0
+
+    def embodied_kg(self, servers: int, horizon: float) -> float:
+        """Amortised manufacturing carbon for a fleet over a horizon."""
+        if servers < 0:
+            raise ValueError(f"server count cannot be negative, got {servers}")
+        if horizon < 0:
+            raise ValueError(f"horizon cannot be negative, got {horizon}")
+        share = horizon / self.server_lifetime
+        return servers * self.embodied_kg_per_server * share
+
+    def total_kg(self, kwh: float, servers: int, horizon: float) -> float:
+        return self.operational_kg(kwh) + self.embodied_kg(servers, horizon)
+
+
+def rebound_adjusted(savings_kg: float, rebound_fraction: float) -> float:
+    """Apply a rebound effect to a claimed saving.
+
+    The paper cites Gossart's ICT rebound-effect review [4]: efficiency
+    gains are partially (sometimes wholly) eaten by induced demand. A
+    ``rebound_fraction`` of 0.3 keeps 70 % of the nominal saving; values
+    ≥ 1 model backfire.
+    """
+    if savings_kg < 0:
+        raise ValueError(f"savings cannot be negative, got {savings_kg}")
+    if rebound_fraction < 0:
+        raise ValueError(f"rebound fraction cannot be negative, got {rebound_fraction}")
+    return savings_kg * (1.0 - rebound_fraction)

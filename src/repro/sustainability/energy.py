@@ -1,0 +1,103 @@
+"""Operational energy accounting for deployments.
+
+Turns a recovery strategy's deployment shape (replica count, runtime
+overhead) and a service load into kWh over a horizon. This is the
+"over-provisioning costs energy" half of the paper's §IV argument: an
+N-way replicated deployment pays N servers' power around the clock, while
+SDRaD pays one server plus a few percent of CPU.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..resilience.strategy import StrategySpec
+from ..sim.clock import YEARS
+from .power import ServerPowerModel
+
+
+@dataclass(frozen=True)
+class DeploymentEnergy:
+    """Energy breakdown for one strategy's deployment over a horizon."""
+
+    strategy: str
+    replicas: int
+    horizon: float
+    base_utilization: float
+    effective_utilization: float
+    operational_kwh: float
+    kwh_per_replica: float
+
+    @property
+    def operational_joules(self) -> float:
+        return self.operational_kwh * 3.6e6
+
+
+class EnergyModel:
+    """Computes deployment energy from power model + strategy spec."""
+
+    def __init__(self, power: ServerPowerModel | None = None) -> None:
+        self.power = power if power is not None else ServerPowerModel()
+
+    def deployment_energy(
+        self,
+        spec: StrategySpec,
+        base_utilization: float = 0.30,
+        horizon: float = YEARS,
+        standby_utilization: float = 0.05,
+    ) -> DeploymentEnergy:
+        """Energy of running ``spec``'s deployment for ``horizon`` seconds.
+
+        * the primary replica runs at ``base_utilization`` inflated by the
+          strategy's runtime overhead (isolation costs CPU);
+        * standby replicas idle at ``standby_utilization`` (hot standbys
+          still burn most of their idle power — the inefficiency §IV
+          targets).
+        """
+        if not 0.0 <= base_utilization <= 1.0:
+            raise ValueError(
+                f"base utilization must be in [0, 1], got {base_utilization}"
+            )
+        effective = min(1.0, base_utilization * (1.0 + spec.runtime_overhead))
+        primary_kwh = self.power.energy_kwh(effective, horizon)
+        standby_kwh = self.power.energy_kwh(standby_utilization, horizon)
+        total = primary_kwh + (spec.replicas - 1) * standby_kwh
+        return DeploymentEnergy(
+            strategy=spec.name,
+            replicas=spec.replicas,
+            horizon=horizon,
+            base_utilization=base_utilization,
+            effective_utilization=effective,
+            operational_kwh=total,
+            kwh_per_replica=total / spec.replicas,
+        )
+
+    def energy_per_request(
+        self,
+        spec: StrategySpec,
+        requests_per_second: float,
+        base_utilization: float = 0.30,
+    ) -> float:
+        """Joules per served request (a per-unit sustainability metric)."""
+        if requests_per_second <= 0:
+            raise ValueError(
+                f"request rate must be positive, got {requests_per_second}"
+            )
+        energy = self.deployment_energy(spec, base_utilization, horizon=1.0)
+        return energy.operational_joules / requests_per_second
+
+    def savings_vs(
+        self,
+        ours: StrategySpec,
+        baseline: StrategySpec,
+        base_utilization: float = 0.30,
+        horizon: float = YEARS,
+    ) -> float:
+        """Fractional operational-energy saving of ``ours`` vs ``baseline``."""
+        a = self.deployment_energy(ours, base_utilization, horizon).operational_kwh
+        b = self.deployment_energy(
+            baseline, base_utilization, horizon
+        ).operational_kwh
+        if b == 0:
+            raise ValueError("baseline consumes zero energy; nothing to compare")
+        return 1.0 - a / b

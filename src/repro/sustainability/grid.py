@@ -1,0 +1,186 @@
+"""Time-varying grid carbon intensity and carbon-aware recovery analysis.
+
+§IV calls for "further life-cycle assessment approaches with a focus on
+environmental sustainability through energy efficiency". A static
+gCO₂e/kWh figure (as in :mod:`repro.sustainability.carbon`) hides a
+dimension that matters for *recovery scheduling*: grid intensity swings by
+2–3× over a day (solar valleys, evening peaks). Two consequences this
+module quantifies:
+
+* **Restart-based recovery is exposed to when faults happen.** A 2-minute
+  restart at the evening peak emits at peak intensity; an operator can only
+  shift *planned* restarts, not fault-triggered ones.
+* **Rewind is indifferent.** Microsecond recoveries emit nothing
+  measurable regardless of when the fault lands, and the avoided standby
+  replica would otherwise draw power around the clock — including every
+  peak.
+
+The intensity model is a two-harmonic sinusoid fitted to the typical shape
+of a mixed European grid (overnight trough, midday solar dip, evening
+peak); all parameters are constructor arguments.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+from ..sim.clock import DAYS, HOURS
+
+
+@dataclass(frozen=True)
+class DiurnalIntensity:
+    """Grid carbon intensity as a function of time-of-day.
+
+    ``intensity(t) = mean · (1 + a₁·cos(ω(t−peak₁)) + a₂·cos(2ω(t−peak₂)))``
+    with ω = 2π/day. Defaults give ≈190–420 gCO₂e/kWh around a 300 mean,
+    peaking in the evening with a secondary morning shoulder and a midday
+    solar dip.
+    """
+
+    mean_g_per_kwh: float = 300.0
+    primary_amplitude: float = 0.30
+    primary_peak_hour: float = 19.0
+    secondary_amplitude: float = 0.10
+    secondary_peak_hour: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.mean_g_per_kwh < 0:
+            raise ValueError("mean intensity cannot be negative")
+        if self.primary_amplitude + self.secondary_amplitude >= 1.0:
+            raise ValueError("amplitudes would drive intensity negative")
+
+    def at(self, t: float) -> float:
+        """Intensity (gCO₂e/kWh) at absolute simulation time ``t``."""
+        omega = 2 * math.pi / DAYS
+        primary = self.primary_amplitude * math.cos(
+            omega * (t - self.primary_peak_hour * HOURS)
+        )
+        secondary = self.secondary_amplitude * math.cos(
+            2 * omega * (t - self.secondary_peak_hour * HOURS)
+        )
+        return self.mean_g_per_kwh * (1.0 + primary + secondary)
+
+    def peak(self) -> float:
+        """Maximum intensity over a day (scanned at minute resolution)."""
+        return max(self.at(m * 60.0) for m in range(24 * 60))
+
+    def trough(self) -> float:
+        return min(self.at(m * 60.0) for m in range(24 * 60))
+
+    def mean_over(self, start: float, duration: float, steps: int = 64) -> float:
+        """Average intensity over ``[start, start+duration]`` (midpoint rule)."""
+        if duration <= 0:
+            raise ValueError("duration must be positive")
+        if steps < 1:
+            raise ValueError("need at least one step")
+        step = duration / steps
+        return (
+            sum(self.at(start + (i + 0.5) * step) for i in range(steps)) / steps
+        )
+
+
+def interval_emissions_g(
+    intensity: DiurnalIntensity,
+    power_watts: float,
+    start: float,
+    duration: float,
+) -> float:
+    """gCO₂e emitted by ``power_watts`` over ``[start, start+duration]``."""
+    if power_watts < 0:
+        raise ValueError("power cannot be negative")
+    if duration <= 0:
+        return 0.0
+    kwh = power_watts * duration / (1000.0 * HOURS)
+    return kwh * intensity.mean_over(start, duration)
+
+
+@dataclass(frozen=True)
+class RecoveryEmissions:
+    """Emissions attributable to recovering from one year's faults."""
+
+    strategy: str
+    fault_count: int
+    recovery_emissions_g: float
+    worst_case_g: float  # every fault at peak intensity
+    best_case_g: float  # every fault at the trough
+
+
+def recovery_emissions(
+    strategy: str,
+    fault_times: Sequence[float],
+    recovery_duration: float,
+    recovery_power_watts: float,
+    intensity: DiurnalIntensity,
+) -> RecoveryEmissions:
+    """Emissions of the *recovery windows themselves* for a fault schedule.
+
+    For restart strategies the window is minutes of a busy server (state
+    reload pegs CPU and disk); for rewind it is microseconds. The worst/best
+    columns bound what fault-timing luck can do — which is the operator's
+    exposure, since fault times are not schedulable.
+    """
+    total = sum(
+        interval_emissions_g(intensity, recovery_power_watts, t, recovery_duration)
+        for t in fault_times
+    )
+    kwh_per_recovery = recovery_power_watts * recovery_duration / (1000.0 * HOURS)
+    return RecoveryEmissions(
+        strategy=strategy,
+        fault_count=len(fault_times),
+        recovery_emissions_g=total,
+        worst_case_g=len(fault_times) * kwh_per_recovery * intensity.peak(),
+        best_case_g=len(fault_times) * kwh_per_recovery * intensity.trough(),
+    )
+
+
+def standby_replica_emissions_g(
+    intensity: DiurnalIntensity,
+    standby_power_watts: float,
+    horizon: float,
+    steps_per_day: int = 24,
+) -> float:
+    """Emissions of a hot standby drawing constant power over ``horizon``.
+
+    Integrated against the diurnal curve (the standby runs through every
+    peak); this is the number the avoided replica saves.
+    """
+    if horizon <= 0:
+        raise ValueError("horizon must be positive")
+    day_steps = max(1, steps_per_day)
+    step = DAYS / day_steps
+    total = 0.0
+    t = 0.0
+    while t < horizon:
+        duration = min(step, horizon - t)
+        total += interval_emissions_g(intensity, standby_power_watts, t, duration)
+        t += duration
+    return total
+
+
+def best_maintenance_window(
+    intensity: DiurnalIntensity,
+    duration: float,
+    resolution_minutes: int = 15,
+) -> tuple[float, float]:
+    """Lowest-emission start-of-day offset for a *planned* window.
+
+    Returns ``(start_offset_seconds, mean_intensity)``. Relevant to
+    restart-based operations (planned reloads can chase the trough);
+    rewind-based recovery has nothing to schedule.
+    """
+    if duration <= 0:
+        raise ValueError("duration must be positive")
+    best_start, best_mean = 0.0, float("inf")
+    step = resolution_minutes * 60.0
+    t = 0.0
+    while t < DAYS:
+        mean = intensity.mean_over(t, duration)
+        if mean < best_mean:
+            best_start, best_mean = t, mean
+        t += step
+    return best_start, best_mean
+
+
+IntensityFn = Callable[[float], float]

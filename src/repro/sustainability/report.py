@@ -1,0 +1,97 @@
+"""Plain-text report rendering for experiment outputs.
+
+Benchmarks and examples print paper-style tables through these helpers so
+every experiment's output reads the same way and EXPERIMENTS.md can quote
+them directly.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..resilience.simulation import ServiceOutcome
+from .lca import LcaRow
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Fixed-width table with a separator line under the header."""
+    cells = [[str(h) for h in headers]] + [[str(c) for c in row] for row in rows]
+    widths = [max(len(row[i]) for row in cells) for i in range(len(headers))]
+    lines = []
+    for index, row in enumerate(cells):
+        line = "  ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        lines.append(line.rstrip())
+        if index == 0:
+            lines.append("  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-scale duration: 3.5e-6 → '3.5 µs', 119.8 → '2.0 min'."""
+    if seconds < 0:
+        raise ValueError(f"duration cannot be negative, got {seconds}")
+    if seconds == 0:
+        return "0 s"
+    if seconds < 1e-6:
+        return f"{seconds * 1e9:.1f} ns"
+    if seconds < 1e-3:
+        return f"{seconds * 1e6:.1f} µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f} ms"
+    if seconds < 120.0:
+        return f"{seconds:.1f} s"
+    if seconds < 7200.0:
+        return f"{seconds / 60.0:.1f} min"
+    return f"{seconds / 3600.0:.1f} h"
+
+
+def format_availability(availability: float) -> str:
+    """99.999 %-style rendering with enough digits to see the nines."""
+    return f"{availability * 100:.6f} %"
+
+
+def availability_table(outcomes: Sequence[ServiceOutcome]) -> str:
+    rows = [
+        (
+            o.strategy,
+            o.faults_injected,
+            format_seconds(o.downtime),
+            format_availability(o.availability),
+            f"{o.achieved_nines:.2f}",
+            "yes" if o.meets_five_nines else "NO",
+        )
+        for o in outcomes
+    ]
+    return format_table(
+        ("strategy", "faults", "downtime", "availability", "nines", "5-nines"),
+        rows,
+    )
+
+
+def lca_table(rows: Sequence[LcaRow]) -> str:
+    formatted = [
+        (
+            r.strategy,
+            r.replicas,
+            "yes" if r.meets_target else "NO",
+            format_seconds(r.expected_downtime),
+            f"{r.operational_kwh:.0f}",
+            f"{r.operational_kg:.1f}",
+            f"{r.embodied_kg:.1f}",
+            f"{r.total_kg:.1f}",
+        )
+        for r in rows
+    ]
+    return format_table(
+        (
+            "strategy",
+            "replicas",
+            "meets-SLO",
+            "downtime/yr",
+            "kWh/yr",
+            "op-kgCO2e",
+            "emb-kgCO2e",
+            "total-kgCO2e",
+        ),
+        formatted,
+    )

@@ -1,0 +1,28 @@
+"""Workload generation: key popularity, arrivals, clients, traces."""
+
+from .arrivals import ClosedLoop, OpenLoop
+from .clients import (
+    HttpClient,
+    MaliciousHttpClient,
+    MaliciousMemcachedClient,
+    MemcachedClient,
+    build_population,
+)
+from .traces import TraceEntry, WorkloadTrace, generate_trace
+from .zipf import Keyspace, KeyValueWorkload, ValueSizer
+
+__all__ = [
+    "ClosedLoop",
+    "OpenLoop",
+    "HttpClient",
+    "MaliciousHttpClient",
+    "MaliciousMemcachedClient",
+    "MemcachedClient",
+    "build_population",
+    "TraceEntry",
+    "WorkloadTrace",
+    "generate_trace",
+    "Keyspace",
+    "KeyValueWorkload",
+    "ValueSizer",
+]

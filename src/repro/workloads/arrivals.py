@@ -1,0 +1,62 @@
+"""Request arrival processes for driving the use-case servers.
+
+Two classic load shapes:
+
+* :class:`OpenLoop` — requests arrive at a fixed mean rate regardless of
+  service progress (Internet-facing traffic); inter-arrivals exponential.
+* :class:`ClosedLoop` — a fixed client population, each issuing the next
+  request one think-time after the previous response (benchmark harness
+  style, what memtier/wrk generate).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator
+
+
+class OpenLoop:
+    """Poisson arrivals at ``rate`` requests/second."""
+
+    def __init__(self, rate: float, rng: random.Random) -> None:
+        if rate <= 0:
+            raise ValueError(f"arrival rate must be positive, got {rate}")
+        self.rate = rate
+        self._rng = rng
+
+    def times(self, horizon: float) -> Iterator[float]:
+        t = 0.0
+        while True:
+            t += self._rng.expovariate(self.rate)
+            if t >= horizon:
+                return
+            yield t
+
+
+class ClosedLoop:
+    """Fixed population of ``clients`` with exponential think time."""
+
+    def __init__(
+        self, clients: int, think_time: float, rng: random.Random
+    ) -> None:
+        if clients <= 0:
+            raise ValueError(f"client count must be positive, got {clients}")
+        if think_time < 0:
+            raise ValueError(f"think time cannot be negative, got {think_time}")
+        self.clients = clients
+        self.think_time = think_time
+        self._rng = rng
+
+    def next_think(self) -> float:
+        if self.think_time == 0:
+            return 0.0
+        return self._rng.expovariate(1.0 / self.think_time)
+
+    def offered_rate(self, service_time: float) -> float:
+        """Approximate offered load (requests/s) for a mean service time."""
+        if service_time < 0:
+            raise ValueError(f"service time cannot be negative, got {service_time}")
+        denominator = self.think_time + service_time
+        if denominator == 0:
+            raise ValueError("think time and service time cannot both be zero")
+        return self.clients / denominator

@@ -1,0 +1,136 @@
+"""Synthetic request traces: deterministic interleavings of client traffic.
+
+A :class:`WorkloadTrace` freezes "who sends what, in which order" so that
+two server configurations (e.g. isolated vs baseline in E1/E4) can be fed
+*byte-identical* input — the comparison is then purely about the server.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Sequence
+
+from ..sim.rng import RngFactory
+
+
+@dataclass(frozen=True)
+class TraceEntry:
+    """One request in the trace."""
+
+    seq: int
+    client_id: str
+    payload: bytes
+    malicious: bool
+
+
+class WorkloadTrace:
+    """An immutable, replayable sequence of requests.
+
+    Traces serialise to JSON (:meth:`to_json` / :meth:`from_json`) so a
+    regression-triggering workload can be committed alongside the fix that
+    addresses it, exactly like a recorded pcap.
+    """
+
+    def __init__(self, entries: Sequence[TraceEntry]) -> None:
+        self._entries = list(entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self) -> Iterator[TraceEntry]:
+        return iter(self._entries)
+
+    def __getitem__(self, index: int) -> TraceEntry:
+        return self._entries[index]
+
+    @property
+    def clients(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for entry in self._entries:
+            seen.setdefault(entry.client_id, None)
+        return list(seen)
+
+    @property
+    def malicious_count(self) -> int:
+        return sum(1 for e in self._entries if e.malicious)
+
+    def for_client(self, client_id: str) -> list[TraceEntry]:
+        return [e for e in self._entries if e.client_id == client_id]
+
+    # ------------------------------------------------------------------
+    # Persistence
+    # ------------------------------------------------------------------
+
+    def to_json(self) -> str:
+        """Serialise to a JSON document (payloads latin-1-escaped)."""
+        import json
+
+        return json.dumps(
+            [
+                {
+                    "seq": e.seq,
+                    "client_id": e.client_id,
+                    "payload": e.payload.decode("latin-1"),
+                    "malicious": e.malicious,
+                }
+                for e in self._entries
+            ]
+        )
+
+    @classmethod
+    def from_json(cls, document: str) -> "WorkloadTrace":
+        import json
+
+        try:
+            raw = json.loads(document)
+        except ValueError as exc:
+            raise ValueError(f"invalid trace document: {exc}") from exc
+        entries = [
+            TraceEntry(
+                seq=int(item["seq"]),
+                client_id=str(item["client_id"]),
+                payload=str(item["payload"]).encode("latin-1"),
+                malicious=bool(item["malicious"]),
+            )
+            for item in raw
+        ]
+        return cls(entries)
+
+    def save(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "WorkloadTrace":
+        with open(path, "r", encoding="utf-8") as handle:
+            return cls.from_json(handle.read())
+
+
+def generate_trace(
+    clients: Sequence[object],
+    total_requests: int,
+    rng_factory: RngFactory,
+) -> WorkloadTrace:
+    """Interleave ``total_requests`` requests from a client population.
+
+    Clients are drawn uniformly per slot; each contributes its own
+    ``next_request()``. The interleaving RNG is split from the clients'
+    own streams, so changing the mix does not perturb per-client payloads.
+    """
+    if not clients:
+        raise ValueError("need at least one client")
+    if total_requests < 0:
+        raise ValueError(f"request count cannot be negative: {total_requests}")
+    pick = rng_factory.stream("trace/interleave")
+    entries = []
+    for seq in range(total_requests):
+        client = clients[pick.randrange(len(clients))]
+        entries.append(
+            TraceEntry(
+                seq=seq,
+                client_id=client.client_id,
+                payload=client.next_request(),
+                malicious=client.is_malicious(),
+            )
+        )
+    return WorkloadTrace(entries)

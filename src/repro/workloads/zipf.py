@@ -1,0 +1,84 @@
+"""Key/value workload shaping: Zipfian popularity, sized values.
+
+Key-value cache workloads (the Memcached use case) are characterised by a
+skewed key popularity and a heavy-tailed value-size distribution; both
+matter here because they drive slab occupancy (restart cost) and LRU
+behaviour. Defaults follow the commonly used YCSB-style parameters
+(Zipf 0.99, small-to-medium values).
+"""
+
+from __future__ import annotations
+
+import random
+
+from ..sim.rng import ZipfSampler
+
+
+class Keyspace:
+    """Deterministic mapping from rank to key bytes."""
+
+    def __init__(self, size: int, prefix: bytes = b"key") -> None:
+        if size <= 0:
+            raise ValueError(f"keyspace size must be positive, got {size}")
+        self.size = size
+        self.prefix = prefix
+
+    def key(self, rank: int) -> bytes:
+        if not 0 <= rank < self.size:
+            raise ValueError(f"rank {rank} outside keyspace of {self.size}")
+        return b"%s-%08d" % (self.prefix, rank)
+
+    def all_keys(self) -> list[bytes]:
+        return [self.key(rank) for rank in range(self.size)]
+
+
+class ValueSizer:
+    """Samples value sizes from a clamped log-normal distribution."""
+
+    def __init__(
+        self,
+        rng: random.Random,
+        median: int = 128,
+        sigma: float = 0.8,
+        minimum: int = 8,
+        maximum: int = 8192,
+    ) -> None:
+        if median <= 0:
+            raise ValueError(f"median must be positive, got {median}")
+        if not minimum <= median <= maximum:
+            raise ValueError("need minimum <= median <= maximum")
+        self._rng = rng
+        self.median = median
+        self.sigma = sigma
+        self.minimum = minimum
+        self.maximum = maximum
+
+    def sample(self) -> int:
+        import math
+
+        size = int(round(self.median * math.exp(self._rng.gauss(0.0, self.sigma))))
+        return max(self.minimum, min(self.maximum, size))
+
+
+class KeyValueWorkload:
+    """Bundles keyspace + popularity + value sizing for one workload."""
+
+    def __init__(
+        self,
+        keyspace: Keyspace,
+        skew: float,
+        rng: random.Random,
+        value_sizer: ValueSizer | None = None,
+    ) -> None:
+        self.keyspace = keyspace
+        self.sampler = ZipfSampler(keyspace.size, skew, rng)
+        self.values = value_sizer or ValueSizer(rng)
+        self._rng = rng
+
+    def next_key(self) -> bytes:
+        return self.keyspace.key(self.sampler.sample())
+
+    def next_value(self) -> bytes:
+        size = self.values.sample()
+        fill = self._rng.randrange(256)
+        return bytes([fill]) * size

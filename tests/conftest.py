@@ -1,0 +1,33 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.memory.address_space import AddressSpace
+from repro.sdrad.constants import DomainFlags
+from repro.sdrad.runtime import SdradRuntime
+from repro.sim.rng import RngFactory
+
+
+@pytest.fixture
+def space() -> AddressSpace:
+    """A small standalone address space (1 MiB) for memory-layer tests."""
+    return AddressSpace(size=1024 * 1024)
+
+
+@pytest.fixture
+def runtime() -> SdradRuntime:
+    """A fresh SDRaD runtime with default sizing."""
+    return SdradRuntime()
+
+
+@pytest.fixture
+def domain(runtime: SdradRuntime):
+    """A rewind-enabled domain on the shared runtime fixture."""
+    return runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+
+
+@pytest.fixture
+def rng_factory() -> RngFactory:
+    return RngFactory(1234)

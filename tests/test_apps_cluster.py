@@ -1,0 +1,118 @@
+"""Tests for the multi-worker cluster: blast radius and restart windows."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.cluster import NginxCluster
+from repro.apps.memcached_server import IsolationMode
+from repro.errors import SdradError
+
+GOOD = b"GET / HTTP/1.1\r\nHost: x\r\n\r\n"
+ATTACK = b"GET /" + b"A" * 1100 + b" HTTP/1.1\r\nHost: x\r\n\r\n"
+
+
+def cluster_with_clients(isolation: IsolationMode, workers: int = 4, clients: int = 12):
+    cluster = NginxCluster(workers=workers, isolation=isolation)
+    names = [f"client-{i}" for i in range(clients)]
+    for name in names:
+        cluster.connect(name)
+    return cluster, names
+
+
+class TestRouting:
+    def test_affinity_is_stable(self):
+        cluster, names = cluster_with_clients(IsolationMode.PER_CONNECTION)
+        first = {name: cluster.worker_of(name) for name in names}
+        for name in names:
+            cluster.handle(name, GOOD)
+        assert {name: cluster.worker_of(name) for name in names} == first
+
+    def test_clients_spread_over_workers(self):
+        cluster, names = cluster_with_clients(
+            IsolationMode.PER_CONNECTION, workers=4, clients=40
+        )
+        used = {cluster.worker_of(name) for name in names}
+        assert len(used) == 4
+
+    def test_unknown_client_rejected(self):
+        cluster, _ = cluster_with_clients(IsolationMode.PER_CONNECTION)
+        with pytest.raises(SdradError):
+            cluster.handle("stranger", GOOD)
+
+    def test_all_requests_served_when_benign(self):
+        cluster, names = cluster_with_clients(IsolationMode.PER_CONNECTION)
+        for _ in range(3):
+            for name in names:
+                assert cluster.handle(name, GOOD).startswith(b"HTTP/1.1 200")
+        assert cluster.metrics.served == 3 * len(names)
+
+    def test_validation(self):
+        with pytest.raises(SdradError):
+            NginxCluster(workers=0)
+
+
+class TestUnisolatedBlastRadius:
+    def test_attack_kills_one_worker_only(self):
+        cluster, names = cluster_with_clients(IsolationMode.NONE, clients=20)
+        attacker = names[0]
+        victim_worker = cluster.worker_of(attacker)
+        response = cluster.handle(attacker, ATTACK)
+        assert response.startswith(b"HTTP/1.1 502")
+        assert cluster.metrics.worker_crashes == 1
+
+        same = [n for n in names[1:] if cluster.worker_of(n) == victim_worker]
+        other = [n for n in names[1:] if cluster.worker_of(n) != victim_worker]
+        assert same and other
+        # same-worker clients get 503 during the restart window
+        assert cluster.handle(same[0], GOOD).startswith(b"HTTP/1.1 503")
+        # other workers keep serving
+        assert cluster.handle(other[0], GOOD).startswith(b"HTTP/1.1 200")
+
+    def test_worker_returns_after_restart_window(self):
+        cluster, names = cluster_with_clients(IsolationMode.NONE)
+        cluster.handle(names[0], ATTACK)
+        cluster.clock.advance(cluster.cost.process_restart_time(0) + 0.01)
+        assert cluster.handle(names[0], GOOD).startswith(b"HTTP/1.1 200")
+        assert cluster.metrics.connections_reset >= 1
+
+    def test_repeated_kills_accumulate_downtime(self):
+        cluster, names = cluster_with_clients(IsolationMode.NONE)
+        attacker = names[0]
+        for _ in range(3):
+            cluster.handle(attacker, ATTACK)
+            cluster.clock.advance(cluster.cost.process_restart_time(0) + 0.01)
+        assert cluster.metrics.worker_restarts == 3
+        fraction = cluster.downtime_fraction(cluster.clock.now)
+        assert fraction > 0
+
+    def test_crash_attributed_to_worker(self):
+        cluster, names = cluster_with_clients(IsolationMode.NONE)
+        attacker = names[0]
+        victim = cluster.worker_of(attacker)
+        cluster.handle(attacker, ATTACK)
+        assert cluster.metrics.per_worker_crashes == {victim: 1}
+
+
+class TestIsolatedCluster:
+    def test_attack_rewound_no_crash(self):
+        cluster, names = cluster_with_clients(IsolationMode.PER_CONNECTION)
+        response = cluster.handle(names[0], ATTACK)
+        assert response.startswith(b"HTTP/1.1 500")
+        assert cluster.metrics.worker_crashes == 0
+        assert cluster.total_rewinds() == 1
+
+    def test_everyone_served_during_attack(self):
+        cluster, names = cluster_with_clients(IsolationMode.PER_CONNECTION)
+        cluster.handle(names[0], ATTACK)
+        for name in names[1:]:
+            assert cluster.handle(name, GOOD).startswith(b"HTTP/1.1 200")
+        assert cluster.metrics.refused_worker_down == 0
+        assert cluster.metrics.connections_reset == 0
+
+    def test_no_downtime_fraction(self):
+        cluster, names = cluster_with_clients(IsolationMode.PER_CONNECTION)
+        for _ in range(5):
+            cluster.handle(names[0], ATTACK)
+        cluster.clock.advance(10.0)
+        assert cluster.downtime_fraction(cluster.clock.now) == 0.0

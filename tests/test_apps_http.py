@@ -1,0 +1,138 @@
+"""Tests for HTTP parsing and routing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.http import (
+    HttpRequest,
+    HttpResponse,
+    Router,
+    default_router,
+    parse_request_in_domain,
+)
+from repro.sdrad.runtime import SdradRuntime
+
+
+def parse(runtime: SdradRuntime, udi: int, raw: bytes):
+    return runtime.execute(udi, parse_request_in_domain, raw)
+
+
+class TestParsing:
+    def test_simple_get(self, runtime, domain):
+        result = parse(runtime, domain.udi, b"GET /x HTTP/1.1\r\nHost: h\r\n\r\n")
+        assert result.ok
+        request = result.value
+        assert request.method == "GET"
+        assert request.path == "/x"
+        assert request.version == "HTTP/1.1"
+        assert request.headers == {"host": "h"}
+
+    def test_headers_lowercased_and_trimmed(self, runtime, domain):
+        raw = b"GET / HTTP/1.1\r\nX-Thing:   padded value  \r\n\r\n"
+        request = parse(runtime, domain.udi, raw).value
+        assert request.headers["x-thing"] == "padded value"
+
+    def test_body_with_content_length(self, runtime, domain):
+        raw = b"POST /u HTTP/1.1\r\nContent-Length: 5\r\n\r\nhello"
+        request = parse(runtime, domain.udi, raw).value
+        assert request.body == b"hello"
+
+    def test_body_truncated_to_declared(self, runtime, domain):
+        # 3 declared, 5 sent: parser keeps the declared prefix... but a big
+        # lie overflows (see containment tests); small ones fit the
+        # allocation's rounded capacity
+        raw = b"POST /u HTTP/1.1\r\nContent-Length: 3\r\n\r\nhello"
+        request = parse(runtime, domain.udi, raw).value
+        assert request.body == b"hel"
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            b"nonsense",
+            b"GET /\r\n\r\n",  # missing version
+            b"BREW / HTTP/1.1\r\n\r\n",  # unsupported method
+            b"GET / FTP/1.0\r\n\r\n",  # bad version
+            b"GET / HTTP/1.1\r\nNoColonHere\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: abc\r\n\r\n",
+            b"GET / HTTP/1.1\r\nContent-Length: -1\r\n\r\n",
+        ],
+    )
+    def test_malformed_returns_none(self, runtime, domain, raw):
+        result = parse(runtime, domain.udi, raw)
+        assert result.ok
+        assert result.value is None
+
+    def test_too_many_headers_rejected(self, runtime, domain):
+        headers = b"".join(b"H%d: v\r\n" % i for i in range(80))
+        raw = b"GET / HTTP/1.1\r\n" + headers + b"\r\n"
+        result = parse(runtime, domain.udi, raw)
+        assert result.ok and result.value is None
+
+
+class TestParserVulnerabilities:
+    def test_long_request_line_faults(self, runtime, domain):
+        raw = b"GET /" + b"A" * 1100 + b" HTTP/1.1\r\nHost: h\r\n\r\n"
+        result = parse(runtime, domain.udi, raw)
+        assert not result.ok  # stack buffer smashed, domain rewound
+
+    def test_long_header_value_faults(self, runtime, domain):
+        raw = b"GET / HTTP/1.1\r\nX-Pad: " + b"B" * 300 + b"\r\n\r\n"
+        result = parse(runtime, domain.udi, raw)
+        assert not result.ok
+
+    def test_content_length_lie_faults(self, runtime, domain):
+        raw = b"POST /u HTTP/1.1\r\nContent-Length: 4\r\n\r\n" + b"C" * 500
+        result = parse(runtime, domain.udi, raw)
+        assert not result.ok
+
+    def test_domain_reusable_after_parser_fault(self, runtime, domain):
+        parse(runtime, domain.udi, b"GET /" + b"A" * 1100 + b" HTTP/1.1\r\n\r\n")
+        result = parse(runtime, domain.udi, b"GET / HTTP/1.1\r\nHost: h\r\n\r\n")
+        assert result.ok and result.value.path == "/"
+
+
+class TestRouter:
+    def test_exact_route(self):
+        router = default_router()
+        request = HttpRequest("GET", "/health", "HTTP/1.1")
+        assert router.route(request).status == 200
+
+    def test_prefix_route(self):
+        router = default_router()
+        request = HttpRequest("GET", "/static/app.js", "HTTP/1.1")
+        assert router.route(request).status == 200
+
+    def test_404(self):
+        router = default_router()
+        request = HttpRequest("GET", "/missing", "HTTP/1.1")
+        assert router.route(request).status == 404
+
+    def test_method_matters_for_exact_routes(self):
+        router = default_router()
+        request = HttpRequest("POST", "/health", "HTTP/1.1")
+        assert router.route(request).status == 404
+
+    def test_longest_prefix_wins(self):
+        router = Router()
+        router.add_prefix("/a/", HttpResponse(200, "OK", body=b"short"))
+        router.add_prefix("/a/b/", HttpResponse(200, "OK", body=b"long"))
+        request = HttpRequest("GET", "/a/b/c", "HTTP/1.1")
+        assert router.route(request).body == b"long"
+
+
+class TestResponseEncoding:
+    def test_encode_sets_content_length(self):
+        encoded = HttpResponse(200, "OK", body=b"12345").encode()
+        assert b"Content-Length: 5\r\n" in encoded
+        assert encoded.endswith(b"\r\n12345")
+
+    def test_status_line(self):
+        encoded = HttpResponse(404, "Not Found").encode()
+        assert encoded.startswith(b"HTTP/1.1 404 Not Found\r\n")
+
+    def test_custom_headers_preserved(self):
+        encoded = HttpResponse(
+            200, "OK", headers={"X-Custom": "yes"}
+        ).encode()
+        assert b"X-Custom: yes\r\n" in encoded

@@ -1,0 +1,108 @@
+"""Tests for the image-decoder FFI use case (§III's real-world scenario)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.imagelib import (
+    Image,
+    ImageService,
+    craft_dimension_lie,
+    craft_run_overflow,
+    decode_image_unsafe,
+    encode_image,
+    make_test_image,
+)
+from repro.errors import SdradError
+from repro.ffi.sandbox import Sandbox
+from repro.sdrad.runtime import SdradRuntime
+
+
+@pytest.fixture
+def service(runtime) -> ImageService:
+    return ImageService(Sandbox(runtime))
+
+
+class TestFormat:
+    def test_encode_decode_roundtrip(self, service: ImageService):
+        image = make_test_image(8, 8, 3)
+        decoded = service.decode(encode_image(image))
+        assert decoded == image
+
+    def test_single_channel(self, service: ImageService):
+        image = make_test_image(5, 3, 1)
+        assert service.decode(encode_image(image)) == image
+
+    def test_rle_compresses_flat_images(self):
+        flat = Image(width=16, height=16, channels=3, pixels=b"\xaa" * (16 * 16 * 3))
+        encoded = encode_image(flat)
+        assert len(encoded) < flat.size_bytes // 4
+
+    def test_image_validates_buffer_length(self):
+        with pytest.raises(SdradError):
+            Image(width=2, height=2, channels=3, pixels=b"short")
+
+    def test_garbage_rejected_cleanly(self, service: ImageService):
+        for garbage in (b"", b"NOPE", b"SIF1", b"SIF1\x00"):
+            assert service.decode(garbage) is None
+        assert service.rejected == 4
+        assert service.contained == 0
+
+
+class TestExploits:
+    def test_dimension_lie_contained(self, service: ImageService):
+        honest = encode_image(make_test_image(16, 16, 3))
+        # header claims 2x2 but the stream carries 256 pixels: the
+        # undersized buffer is overrun during decompression
+        attack = craft_dimension_lie(honest, 2, 2)
+        result = service.decode(attack)
+        assert result is not None
+        assert (result.width, result.height) == (1, 1)  # placeholder
+        assert service.contained == 1
+
+    def test_run_overflow_contained(self, service: ImageService):
+        result = service.decode(craft_run_overflow())
+        assert result is not None and result.width == 1
+        assert service.contained == 1
+
+    def test_process_survives_attack_volley(self, service: ImageService):
+        honest = encode_image(make_test_image(4, 4, 3))
+        for _ in range(10):
+            service.decode(craft_run_overflow())
+            service.decode(craft_dimension_lie(honest, 1, 1))
+        # and the decoder still works for honest input afterwards
+        assert service.decode(honest) == make_test_image(4, 4, 3)
+        assert service.contained == 20
+
+    def test_detection_mechanism_is_heap_integrity(self, service: ImageService):
+        service.decode(craft_run_overflow())
+        mechanisms = service._decode.stats.mechanisms
+        assert set(mechanisms) <= {"heap-integrity", "pkey-violation", "page-fault"}
+        assert sum(mechanisms.values()) == 1
+
+    def test_oversized_dimension_header_handled(self, service: ImageService):
+        # 4096x4096x3 = 48 MiB buffer > 4 MiB sandbox heap: allocation
+        # failure inside the domain, also contained
+        honest = encode_image(make_test_image(2, 2, 3))
+        attack = craft_dimension_lie(honest, 4096, 4096)
+        result = service.decode(attack)
+        assert result is not None and result.width == 1
+        assert service.contained == 1
+
+
+class TestUnsafeDecoderDirect:
+    """The decoder run without a sandbox crashes the process — the §III
+    motivation stated as a test."""
+
+    def test_unprotected_decode_is_fatal(self):
+        from repro.sdrad.policy import ProcessCrashed
+
+        runtime = SdradRuntime()
+        with pytest.raises(ProcessCrashed):
+            runtime.execute_unisolated(decode_image_unsafe, craft_run_overflow())
+
+    def test_honest_input_fine_without_sandbox(self):
+        runtime = SdradRuntime()
+        honest = encode_image(make_test_image(4, 4, 3))
+        result = runtime.execute_unisolated(decode_image_unsafe, honest)
+        assert result["width"] == 4

@@ -1,0 +1,160 @@
+"""Tests for the Memcached-like KV store."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.kvstore import KVStore
+from repro.errors import SdradError
+
+
+@pytest.fixture
+def store(runtime) -> KVStore:
+    return KVStore(runtime, arena_size=512 * 1024, slab_page_size=16 * 1024)
+
+
+class TestBasicOps:
+    def test_set_get(self, store: KVStore):
+        store.set(b"k", b"value", flags=7)
+        assert store.get(b"k") == (b"value", 7)
+
+    def test_miss_returns_none(self, store: KVStore):
+        assert store.get(b"missing") is None
+
+    def test_overwrite(self, store: KVStore):
+        store.set(b"k", b"one")
+        store.set(b"k", b"two much longer value")
+        assert store.get(b"k") == (b"two much longer value", 0)
+        assert store.item_count == 1
+
+    def test_delete(self, store: KVStore):
+        store.set(b"k", b"v")
+        assert store.delete(b"k")
+        assert store.get(b"k") is None
+        assert not store.delete(b"k")
+
+    def test_flush_all(self, store: KVStore):
+        for i in range(10):
+            store.set(b"k%d" % i, b"v")
+        store.flush_all()
+        assert store.item_count == 0
+        assert store.state_bytes() == 0
+
+    def test_contains_and_keys(self, store: KVStore):
+        store.set(b"a", b"1")
+        store.set(b"b", b"2")
+        assert store.contains(b"a")
+        assert set(store.keys()) == {b"a", b"b"}
+
+    def test_large_value(self, store: KVStore):
+        value = b"x" * 8000
+        store.set(b"big", value)
+        assert store.get(b"big") == (value, 0)
+
+    def test_empty_value(self, store: KVStore):
+        store.set(b"k", b"")
+        assert store.get(b"k") == (b"", 0)
+
+
+class TestKeyValidation:
+    def test_empty_key_rejected(self, store: KVStore):
+        with pytest.raises(SdradError):
+            store.set(b"", b"v")
+
+    def test_overlong_key_rejected(self, store: KVStore):
+        with pytest.raises(SdradError):
+            store.set(b"k" * 251, b"v")
+
+    def test_delimiter_keys_rejected(self, store: KVStore):
+        for bad in (b"has space", b"has\rcr", b"has\nlf"):
+            with pytest.raises(SdradError):
+                store.set(bad, b"v")
+
+    def test_250_byte_key_allowed(self, store: KVStore):
+        store.set(b"k" * 250, b"v")
+        assert store.get(b"k" * 250) == (b"v", 0)
+
+
+class TestEviction:
+    def test_lru_eviction_under_pressure(self, runtime):
+        store = KVStore(runtime, arena_size=64 * 1024, slab_page_size=16 * 1024)
+        value = b"v" * 1000
+        inserted = 0
+        for i in range(200):
+            store.set(b"key-%04d" % i, value)
+            inserted += 1
+        assert store.stats.evictions > 0
+        assert store.item_count < inserted
+        # the most recent key must still be present (LRU evicts oldest)
+        assert store.contains(b"key-0199")
+        assert not store.contains(b"key-0000")
+
+    def test_get_refreshes_recency(self, runtime):
+        store = KVStore(runtime, arena_size=64 * 1024, slab_page_size=16 * 1024)
+        value = b"v" * 1000
+        store.set(b"keep-me", value)
+        for i in range(100):
+            store.set(b"filler-%04d" % i, value)
+            store.get(b"keep-me")  # keep refreshing
+        assert store.contains(b"keep-me")
+
+
+class TestAccounting:
+    def test_hit_rate(self, store: KVStore):
+        store.set(b"k", b"v")
+        store.get(b"k")
+        store.get(b"k")
+        store.get(b"nope")
+        assert store.stats.hits == 2
+        assert store.stats.misses == 1
+        assert store.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_state_bytes_grows_with_data(self, store: KVStore):
+        before = store.state_bytes()
+        for i in range(50):
+            store.set(b"key-%d" % i, b"v" * 500)
+        assert store.state_bytes() > before
+
+    def test_ops_charge_virtual_time(self, runtime, store: KVStore):
+        before = runtime.clock.now
+        store.set(b"k", b"v")
+        store.get(b"k")
+        assert runtime.clock.now - before == pytest.approx(
+            2 * runtime.cost.memcached_op
+        )
+
+
+class TestConditionalStores:
+    def test_add_only_when_absent(self, store: KVStore):
+        assert store.add(b"k", b"first")
+        assert not store.add(b"k", b"second")
+        assert store.get(b"k") == (b"first", 0)
+
+    def test_replace_only_when_present(self, store: KVStore):
+        assert not store.replace(b"k", b"nope")
+        store.set(b"k", b"old")
+        assert store.replace(b"k", b"new")
+        assert store.get(b"k") == (b"new", 0)
+
+
+class TestCounters:
+    def test_incr(self, store: KVStore):
+        store.set(b"n", b"10")
+        assert store.incr(b"n", 5) == 15
+        assert store.get(b"n") == (b"15", 0)
+
+    def test_decr_clamps_at_zero(self, store: KVStore):
+        store.set(b"n", b"3")
+        assert store.incr(b"n", -10) == 0
+
+    def test_incr_missing_key(self, store: KVStore):
+        assert store.incr(b"missing", 1) is None
+
+    def test_incr_non_numeric(self, store: KVStore):
+        store.set(b"s", b"not a number")
+        assert store.incr(b"s", 1) is None
+
+    def test_incr_preserves_flags(self, store: KVStore):
+        store.set(b"n", b"1", flags=9)
+        store.incr(b"n", 1)
+        assert store.get(b"n") == (b"2", 9)

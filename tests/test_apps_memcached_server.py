@@ -1,0 +1,203 @@
+"""Tests for the Memcached server: protocol, attacks, containment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.memcached_server import IsolationMode, MemcachedServer
+from repro.errors import SdradError
+from repro.sdrad.policy import ProcessCrashed
+from repro.sdrad.runtime import SdradRuntime
+
+ATTACK_LONG_KEY = b"get " + b"K" * 270 + b"\r\n"
+ATTACK_LENGTH_LIE = b"set pwn 0 0 4\r\n" + b"Z" * 400 + b"\r\n"
+
+
+@pytest.fixture
+def server(runtime) -> MemcachedServer:
+    srv = MemcachedServer(runtime)
+    srv.connect("alice")
+    return srv
+
+
+class TestProtocol:
+    def test_set_get_roundtrip(self, server: MemcachedServer):
+        assert server.handle("alice", b"set foo 7 0 5\r\nhello\r\n") == b"STORED\r\n"
+        response = server.handle("alice", b"get foo\r\n")
+        assert response == b"VALUE foo 7 5\r\nhello\r\nEND\r\n"
+
+    def test_get_miss(self, server: MemcachedServer):
+        assert server.handle("alice", b"get nope\r\n") == b"END\r\n"
+
+    def test_delete(self, server: MemcachedServer):
+        server.handle("alice", b"set k 0 0 1\r\nx\r\n")
+        assert server.handle("alice", b"delete k\r\n") == b"DELETED\r\n"
+        assert server.handle("alice", b"delete k\r\n") == b"NOT_FOUND\r\n"
+
+    def test_stats_command(self, server: MemcachedServer):
+        server.handle("alice", b"set k 0 0 1\r\nx\r\n")
+        server.handle("alice", b"get k\r\n")
+        response = server.handle("alice", b"stats\r\n")
+        assert b"STAT cmd_get 1" in response
+        assert b"STAT cmd_set 1" in response
+
+    def test_malformed_requests_are_client_errors(self, server: MemcachedServer):
+        for bad in (b"bogus\r\n", b"set onlykey\r\n", b"get\r\n", b"no crlf"):
+            response = server.handle("alice", bad)
+            assert response == b"ERROR\r\n", bad
+
+    def test_bad_numbers_rejected_cleanly(self, server: MemcachedServer):
+        assert server.handle("alice", b"set k x 0 5\r\nhello\r\n") == b"ERROR\r\n"
+        assert server.handle("alice", b"set k 0 0 -5\r\nhello\r\n") == b"ERROR\r\n"
+
+    def test_binary_value_roundtrip(self, server: MemcachedServer):
+        value = bytes(range(256))
+        server.handle("alice", b"set bin 0 0 %d\r\n" % len(value) + value + b"\r\n")
+        response = server.handle("alice", b"get bin\r\n")
+        assert value in response
+
+    def test_unknown_client_rejected(self, server: MemcachedServer):
+        with pytest.raises(SdradError):
+            server.handle("nobody", b"get k\r\n")
+
+    def test_double_connect_rejected(self, server: MemcachedServer):
+        with pytest.raises(SdradError):
+            server.connect("alice")
+
+
+class TestAttackContainment:
+    def test_long_key_attack_contained(self, server: MemcachedServer):
+        server.connect("mallory")
+        response = server.handle("mallory", ATTACK_LONG_KEY)
+        assert response.startswith(b"SERVER_ERROR")
+        assert server.metrics.rewinds == 1
+
+    def test_length_lie_attack_contained(self, server: MemcachedServer):
+        server.connect("mallory")
+        response = server.handle("mallory", ATTACK_LENGTH_LIE)
+        assert response.startswith(b"SERVER_ERROR")
+
+    def test_store_survives_attack(self, server: MemcachedServer):
+        server.connect("mallory")
+        server.handle("alice", b"set keep 0 0 4\r\nsafe\r\n")
+        server.handle("mallory", ATTACK_LONG_KEY)
+        server.handle("mallory", ATTACK_LENGTH_LIE)
+        assert server.handle("alice", b"get keep\r\n") == (
+            b"VALUE keep 0 4\r\nsafe\r\nEND\r\n"
+        )
+
+    def test_attacker_connection_survives(self, server: MemcachedServer):
+        server.connect("mallory")
+        server.handle("mallory", ATTACK_LONG_KEY)
+        # same connection can still issue valid requests (domain was rewound)
+        assert server.handle("mallory", b"get keep\r\n") == b"END\r\n"
+
+    def test_faults_attributed_to_attacker(self, server: MemcachedServer):
+        server.connect("mallory")
+        server.handle("mallory", ATTACK_LONG_KEY)
+        server.handle("alice", b"get x\r\n")
+        assert server.metrics.per_client_faults == {"mallory": 1}
+
+    def test_key_at_protocol_limit_is_clean(self, server: MemcachedServer):
+        # 250 bytes: legal; parser buffer is 256 so no overflow either
+        key = b"k" * 250
+        assert server.handle("alice", b"set %s 0 0 1\r\nx\r\n" % key) == b"STORED\r\n"
+
+    def test_key_between_limit_and_buffer_is_client_error(self, server):
+        # 251..254 bytes: fits the 256-byte buffer (with NUL), over protocol
+        # limit — parser survives, trusted side rejects
+        key = b"k" * 253
+        assert server.handle("alice", b"get %s\r\n" % key) == b"ERROR\r\n"
+
+
+class TestIsolationModes:
+    def test_none_mode_crashes_on_attack(self):
+        runtime = SdradRuntime()
+        server = MemcachedServer(runtime, isolation=IsolationMode.NONE)
+        server.connect("mallory")
+        with pytest.raises(ProcessCrashed):
+            server.handle("mallory", ATTACK_LONG_KEY)
+        assert server.metrics.crashes == 1
+
+    def test_none_mode_serves_benign_traffic(self):
+        runtime = SdradRuntime()
+        server = MemcachedServer(runtime, isolation=IsolationMode.NONE)
+        server.connect("alice")
+        assert server.handle("alice", b"set k 0 0 2\r\nhi\r\n") == b"STORED\r\n"
+
+    def test_per_request_mode_contains_attack(self):
+        runtime = SdradRuntime()
+        server = MemcachedServer(runtime, isolation=IsolationMode.PER_REQUEST)
+        server.connect("mallory")
+        assert server.handle("mallory", ATTACK_LONG_KEY).startswith(b"SERVER_ERROR")
+        assert server.handle("mallory", b"get x\r\n") == b"END\r\n"
+
+    def test_per_request_mode_does_not_leak_domains(self):
+        runtime = SdradRuntime()
+        server = MemcachedServer(runtime, isolation=IsolationMode.PER_REQUEST)
+        server.connect("c")
+        baseline = len(runtime.domains())
+        for _ in range(30):
+            server.handle("c", b"get x\r\n")
+        assert len(runtime.domains()) == baseline
+
+    def test_per_connection_cheaper_than_per_request(self):
+        def run(isolation):
+            runtime = SdradRuntime()
+            server = MemcachedServer(runtime, isolation=isolation)
+            server.connect("c")
+            start = runtime.clock.now
+            for _ in range(20):
+                server.handle("c", b"get x\r\n")
+            return runtime.clock.now - start
+
+        assert run(IsolationMode.PER_CONNECTION) < run(IsolationMode.PER_REQUEST)
+
+    def test_disconnect_frees_domain(self, runtime):
+        server = MemcachedServer(runtime)
+        baseline = len(runtime.domains())
+        server.connect("c")
+        assert len(runtime.domains()) == baseline + 1
+        server.disconnect("c")
+        assert len(runtime.domains()) == baseline
+
+    def test_sixteen_connections_need_key_recycling(self, runtime):
+        """Only 15 pkeys exist: per-connection isolation must reuse them."""
+        server = MemcachedServer(runtime)
+        for i in range(14):  # conftest domain may exist; stay under limit
+            server.connect(f"c{i}")
+        for i in range(14):
+            server.disconnect(f"c{i}")
+        for i in range(14):
+            server.connect(f"d{i}")
+
+
+class TestExtendedCommands:
+    def test_add_command(self, server: MemcachedServer):
+        assert server.handle("alice", b"add k 0 0 1\r\nx\r\n") == b"STORED\r\n"
+        assert server.handle("alice", b"add k 0 0 1\r\ny\r\n") == b"NOT_STORED\r\n"
+
+    def test_replace_command(self, server: MemcachedServer):
+        assert server.handle("alice", b"replace k 0 0 1\r\nx\r\n") == b"NOT_STORED\r\n"
+        server.handle("alice", b"set k 0 0 1\r\nx\r\n")
+        assert server.handle("alice", b"replace k 0 0 1\r\ny\r\n") == b"STORED\r\n"
+
+    def test_incr_decr(self, server: MemcachedServer):
+        server.handle("alice", b"set n 0 0 2\r\n10\r\n")
+        assert server.handle("alice", b"incr n 5\r\n") == b"15\r\n"
+        assert server.handle("alice", b"decr n 20\r\n") == b"0\r\n"
+
+    def test_incr_missing(self, server: MemcachedServer):
+        assert server.handle("alice", b"incr nope 1\r\n") == b"NOT_FOUND\r\n"
+
+    def test_incr_malformed(self, server: MemcachedServer):
+        assert server.handle("alice", b"incr n abc\r\n") == b"ERROR\r\n"
+        assert server.handle("alice", b"incr n -1\r\n") == b"ERROR\r\n"
+        assert server.handle("alice", b"incr n\r\n") == b"ERROR\r\n"
+
+    def test_extended_commands_share_the_vulnerable_parser(self, server):
+        server.connect("m2")
+        response = server.handle("m2", b"incr " + b"K" * 270 + b" 1\r\n")
+        assert response.startswith(b"SERVER_ERROR")
+        response = server.handle("m2", b"add pwn 0 0 4\r\n" + b"Z" * 400 + b"\r\n")
+        assert response.startswith(b"SERVER_ERROR")

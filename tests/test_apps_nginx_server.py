@@ -1,0 +1,117 @@
+"""Tests for the NGINX-like server."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.memcached_server import IsolationMode
+from repro.apps.nginx_server import NginxServer
+from repro.errors import SdradError
+from repro.sdrad.policy import ProcessCrashed
+from repro.sdrad.runtime import SdradRuntime
+
+GOOD = b"GET / HTTP/1.1\r\nHost: h\r\n\r\n"
+ATTACK = b"GET /" + b"A" * 1100 + b" HTTP/1.1\r\nHost: h\r\n\r\n"
+
+
+@pytest.fixture
+def server(runtime) -> NginxServer:
+    srv = NginxServer(runtime)
+    srv.connect("alice")
+    return srv
+
+
+class TestServing:
+    def test_200_for_root(self, server: NginxServer):
+        response = server.handle("alice", GOOD)
+        assert response.startswith(b"HTTP/1.1 200 OK")
+        assert server.metrics.responses_2xx == 1
+
+    def test_404(self, server: NginxServer):
+        response = server.handle("alice", b"GET /nope HTTP/1.1\r\nHost: h\r\n\r\n")
+        assert response.startswith(b"HTTP/1.1 404")
+        assert server.metrics.responses_4xx == 1
+
+    def test_400_for_malformed(self, server: NginxServer):
+        response = server.handle("alice", b"garbage\r\n\r\n")
+        assert response.startswith(b"HTTP/1.1 400")
+
+    def test_unknown_client_rejected(self, server: NginxServer):
+        with pytest.raises(SdradError):
+            server.handle("ghost", GOOD)
+
+    def test_charges_request_cost(self, runtime, server: NginxServer):
+        before = runtime.clock.now
+        server.handle("alice", GOOD)
+        assert runtime.clock.now - before >= runtime.cost.nginx_request
+
+
+class TestContainment:
+    def test_attack_returns_500_and_rewinds(self, server: NginxServer):
+        server.connect("mallory")
+        response = server.handle("mallory", ATTACK)
+        assert response.startswith(b"HTTP/1.1 500")
+        assert server.metrics.rewinds == 1
+        assert server.metrics.per_client_faults == {"mallory": 1}
+
+    def test_benign_unaffected_by_attack(self, server: NginxServer):
+        server.connect("mallory")
+        server.handle("mallory", ATTACK)
+        assert server.handle("alice", GOOD).startswith(b"HTTP/1.1 200")
+
+    def test_none_mode_crashes(self):
+        runtime = SdradRuntime()
+        server = NginxServer(runtime, isolation=IsolationMode.NONE)
+        server.connect("mallory")
+        with pytest.raises(ProcessCrashed):
+            server.handle("mallory", ATTACK)
+        assert server.metrics.crashes == 1
+
+    def test_per_request_mode(self):
+        runtime = SdradRuntime()
+        server = NginxServer(runtime, isolation=IsolationMode.PER_REQUEST)
+        server.connect("c")
+        assert server.handle("c", ATTACK).startswith(b"HTTP/1.1 500")
+        assert server.handle("c", GOOD).startswith(b"HTTP/1.1 200")
+
+    def test_disconnect_frees_domain(self, runtime):
+        server = NginxServer(runtime)
+        baseline = len(runtime.domains())
+        server.connect("x")
+        server.disconnect("x")
+        assert len(runtime.domains()) == baseline
+
+
+class TestNginxWatchdog:
+    def make_server(self, runtime):
+        from repro.sdrad.watchdog import FaultWatchdog, WatchdogConfig
+
+        watchdog = FaultWatchdog(
+            runtime.clock,
+            WatchdogConfig(threshold=2, window=10.0, quarantine_period=60.0),
+        )
+        server = NginxServer(runtime, watchdog=watchdog)
+        server.connect("mallory")
+        server.connect("alice")
+        return server
+
+    def test_repeat_attacker_gets_429(self, runtime):
+        server = self.make_server(runtime)
+        server.handle("mallory", ATTACK)
+        server.handle("mallory", ATTACK)  # trips the threshold
+        response = server.handle("mallory", GOOD)
+        assert response.startswith(b"HTTP/1.1 429")
+        assert server.metrics.quarantines == 1
+        assert server.metrics.quarantine_refusals == 1
+
+    def test_benign_client_not_quarantined(self, runtime):
+        server = self.make_server(runtime)
+        server.handle("mallory", ATTACK)
+        server.handle("mallory", ATTACK)
+        assert server.handle("alice", GOOD).startswith(b"HTTP/1.1 200")
+
+    def test_rewinds_capped(self, runtime):
+        server = self.make_server(runtime)
+        for _ in range(10):
+            server.handle("mallory", ATTACK)
+        assert server.metrics.rewinds == 2

@@ -1,0 +1,92 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["availability"])
+        assert args.dataset_gib == 10.0
+        assert args.faults == 3
+
+
+class TestCommands:
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "rewound in" in out
+        assert "alive" in out
+
+    def test_recovery(self, capsys):
+        assert main(["recovery", "--dataset-gib", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "sdrad-rewind" in out
+        assert "3.5 µs" in out
+        assert "process-restart" in out
+
+    def test_availability(self, capsys):
+        assert main(["availability", "--faults", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "NO" in out  # restart violates five nines at 3 faults
+        assert "sdrad-rewind" in out
+
+    def test_availability_low_faults_all_pass(self, capsys):
+        assert main(["availability", "--faults", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "NO" not in out
+
+    def test_lca(self, capsys):
+        assert main(["lca", "--faults", "3", "--rebound", "0.3"]) == 0
+        out = capsys.readouterr().out
+        assert "kWh/yr" in out
+        assert "net saving" in out
+        assert "rebound 30%" in out
+
+    def test_crossover(self, capsys):
+        assert main(["crossover", "--dataset-gib", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "five-nines" in out
+        assert "rewind" in out
+
+    def test_fleet(self, capsys):
+        assert main(["fleet"]) == 0
+        out = capsys.readouterr().out
+        assert "telecom-edge" in out
+        assert "smart-grid" in out
+
+    def test_inject_single_kind(self, capsys):
+        assert main(["inject", "--kind", "stack-smash", "--count", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "injected 4 fault(s)" in out
+        assert "stack-canary" in out
+        assert "containment 100%" in out
+
+    def test_inject_all_kinds(self, capsys):
+        assert main(["inject", "--kind", "all", "--count", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "injected 8 fault(s)" in out
+
+    def test_module_entry_point(self):
+        import subprocess
+        import sys
+
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "recovery"],
+            capture_output=True,
+            text=True,
+            timeout=120,
+        )
+        assert completed.returncode == 0
+        assert "sdrad-rewind" in completed.stdout

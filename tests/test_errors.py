@@ -1,0 +1,91 @@
+"""Tests for the exception hierarchy: classification and messages."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AllocationFailure,
+    DetectedCorruption,
+    FfiError,
+    HeapCorruption,
+    InvalidFree,
+    MemoryError_,
+    PermissionFault,
+    ProtectionKeyViolation,
+    ReproError,
+    SandboxViolation,
+    SdradError,
+    SegmentationFault,
+    ServiceUnavailable,
+    StackCanaryViolation,
+)
+
+
+class TestHierarchy:
+    def test_everything_is_a_repro_error(self):
+        for exc in (
+            SegmentationFault(0),
+            ProtectionKeyViolation(0, 1),
+            StackCanaryViolation("f", 1, 2),
+            HeapCorruption(0, "x"),
+            SdradError("x"),
+            SandboxViolation("f", ValueError()),
+            ServiceUnavailable("svc", 1.0),
+        ):
+            assert isinstance(exc, ReproError)
+
+    def test_hardware_vs_software_split(self):
+        assert isinstance(SegmentationFault(0), MemoryError_)
+        assert isinstance(ProtectionKeyViolation(0, 1), MemoryError_)
+        assert isinstance(StackCanaryViolation("f", 1, 2), DetectedCorruption)
+        assert isinstance(HeapCorruption(0, "x"), DetectedCorruption)
+        assert not isinstance(StackCanaryViolation("f", 1, 2), MemoryError_)
+
+    def test_builtin_memoryerror_not_shadowed(self):
+        assert not issubclass(MemoryError_, MemoryError)
+
+    def test_ffi_errors(self):
+        violation = SandboxViolation("decode", RuntimeError("boom"))
+        assert isinstance(violation, FfiError)
+        assert violation.function == "decode"
+        assert isinstance(violation.cause, RuntimeError)
+
+
+class TestMessages:
+    def test_segfault_mentions_address(self):
+        assert "0xdead" in str(SegmentationFault(0xDEAD))
+
+    def test_pkey_violation_mentions_key_and_access(self):
+        text = str(ProtectionKeyViolation(0x100, 7, access="store"))
+        assert "pkey=7" in text and "store" in text
+
+    def test_permission_fault_mentions_perms(self):
+        assert "'r--'" in str(PermissionFault(0x10, "store", "r--"))
+
+    def test_canary_shows_both_values(self):
+        text = str(StackCanaryViolation("parse", 0xAA00, 0xBB00))
+        assert "0xaa00" in text and "0xbb00" in text and "parse" in text
+
+    def test_invalid_free_reason(self):
+        assert "double free" in str(InvalidFree(0x20, "double free"))
+
+    def test_allocation_failure_is_plain(self):
+        assert "oom" in str(AllocationFailure("oom"))
+
+    def test_service_unavailable_gives_eta(self):
+        text = str(ServiceUnavailable("memcached", 12.5))
+        assert "memcached" in text and "12.5" in text
+
+
+class TestAttributes:
+    def test_fault_attributes_preserved(self):
+        fault = ProtectionKeyViolation(0x40, 3, access="load")
+        assert fault.address == 0x40
+        assert fault.pkey == 3
+        assert fault.access == "load"
+
+    def test_heap_corruption_detail(self):
+        fault = HeapCorruption(0x80, "guard smashed")
+        assert fault.address == 0x80
+        assert fault.detail == "guard smashed"

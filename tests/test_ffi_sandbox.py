@@ -1,0 +1,349 @@
+"""Tests for the SDRaD-FFI sandbox: marshalling, violations, fallbacks."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SandboxViolation
+from repro.ffi.fallback import fallback_call, fallback_value
+from repro.ffi.marshal import MarshalStats, marshal_args, roundtrip_check
+from repro.ffi.sandbox import Sandbox
+from repro.ffi.serialization import get_serializer
+from repro.sdrad.runtime import SdradRuntime
+
+
+@pytest.fixture
+def sandbox(runtime: SdradRuntime) -> Sandbox:
+    return Sandbox(runtime)
+
+
+class TestCleanCalls:
+    def test_pure_function(self, sandbox: Sandbox):
+        @sandbox.sandboxed
+        def add(a, b):
+            return a + b
+
+        assert add(2, 3) == 5
+        assert add.stats.calls == 1
+        assert add.stats.violations == 0
+
+    def test_kwargs_cross_boundary(self, sandbox: Sandbox):
+        @sandbox.sandboxed
+        def greet(name, *, prefix="Dr."):
+            return f"{prefix} {name}"
+
+        assert greet("Who", prefix="Mr.") == "Mr. Who"
+
+    def test_complex_values(self, sandbox: Sandbox):
+        @sandbox.sandboxed
+        def transform(data):
+            return {"doubled": [x * 2 for x in data["items"]], "blob": b"\x00\x01"}
+
+        out = transform({"items": [1, 2, 3]})
+        assert out == {"doubled": [2, 4, 6], "blob": b"\x00\x01"}
+
+    def test_arguments_are_copies_not_references(self, sandbox: Sandbox):
+        """The sandbox must see a serialized copy, like a real FFI call."""
+        original = {"list": [1, 2]}
+
+        @sandbox.sandboxed
+        def mutate(data):
+            data["list"].append(99)
+            return data["list"]
+
+        result = mutate(original)
+        assert result == [1, 2, 99]
+        assert original == {"list": [1, 2]}  # caller's object untouched
+
+    def test_each_function_gets_own_domain(self, sandbox: Sandbox):
+        @sandbox.sandboxed
+        def f():
+            return 1
+
+        @sandbox.sandboxed
+        def g():
+            return 2
+
+        f(), g()
+        assert f._udi != g._udi
+
+    def test_domain_reused_across_calls(self, sandbox: Sandbox):
+        @sandbox.sandboxed
+        def f():
+            return 1
+
+        f(), f()
+        domains = len(sandbox.runtime.domains())
+        f()
+        assert len(sandbox.runtime.domains()) == domains
+
+    def test_charges_virtual_time(self, sandbox: Sandbox):
+        @sandbox.sandboxed
+        def f():
+            return 1
+
+        before = sandbox.runtime.clock.now
+        f()
+        assert sandbox.runtime.clock.now > before
+
+
+class TestViolations:
+    def test_memory_fault_raises_sandbox_violation(self, sandbox: Sandbox):
+        @sandbox.sandboxed(wants_handle=True)
+        def unsafe(handle):
+            handle.store(0, b"null write")
+
+        with pytest.raises(SandboxViolation):
+            unsafe()
+        assert unsafe.stats.violations == 1
+
+    def test_fallback_value_applied(self, sandbox: Sandbox):
+        @sandbox.sandboxed(fallback=fallback_value("default"), wants_handle=True)
+        def unsafe(handle):
+            handle.store(0, b"x")
+
+        assert unsafe() == "default"
+        assert unsafe.stats.fallbacks_applied == 1
+
+    def test_fallback_callable_gets_report_and_args(self, sandbox: Sandbox):
+        seen = {}
+
+        def alternate(report, value):
+            seen["mechanism"] = report.mechanism.value
+            seen["value"] = value
+            return value * 2
+
+        @sandbox.sandboxed(fallback=fallback_call(alternate), wants_handle=True)
+        def unsafe(handle, value):
+            handle.store(0, b"x")
+
+        assert unsafe(21) == 42
+        assert seen == {"mechanism": "page-fault", "value": 21}
+
+    def test_none_is_a_valid_fallback_value(self, sandbox: Sandbox):
+        @sandbox.sandboxed(fallback=fallback_value(None), wants_handle=True)
+        def unsafe(handle):
+            handle.store(0, b"x")
+
+        assert unsafe() is None
+
+    def test_process_survives_violations(self, sandbox: Sandbox):
+        @sandbox.sandboxed(fallback=fallback_value(-1), wants_handle=True)
+        def unsafe(handle, should_fault):
+            if should_fault:
+                handle.store(0, b"x")
+            return 0
+
+        assert unsafe(True) == -1
+        assert unsafe(False) == 0  # domain was rewound and reused
+        assert unsafe(True) == -1
+
+    def test_heap_overflow_inside_sandbox(self, sandbox: Sandbox):
+        @sandbox.sandboxed(fallback=fallback_value(b""), wants_handle=True)
+        def parse(handle, data):
+            buf = handle.malloc(8)
+            handle.store(buf, data)  # overflows for len(data) > capacity
+            out = handle.load(buf, min(len(data), 8))
+            handle.free(buf)
+            return bytes(out)
+
+        assert parse(b"ok") == b"ok"
+        assert parse(b"A" * 100) == b""
+        assert parse.stats.mechanisms.get("heap-integrity", 0) >= 1
+
+    def test_mechanisms_recorded(self, sandbox: Sandbox):
+        @sandbox.sandboxed(fallback=fallback_value(0), wants_handle=True)
+        def unsafe(handle):
+            handle.store(sandbox.runtime.root.heap_base, b"x")
+
+        unsafe()
+        assert unsafe.stats.mechanisms == {"pkey-violation": 1}
+
+    def test_retries_reexecute_transparently(self, sandbox: Sandbox):
+        calls = []
+
+        @sandbox.sandboxed(retries=3, wants_handle=True)
+        def flaky(handle):
+            calls.append(1)
+            if len(calls) < 2:
+                handle.store(0, b"x")
+            return "recovered"
+
+        assert flaky() == "recovered"
+        assert flaky.stats.retries == 1
+
+
+class TestSerializerChoice:
+    @pytest.mark.parametrize("name", ["bincode", "msgpack", "json", "pickle"])
+    def test_each_serializer_works_end_to_end(self, runtime, name):
+        sandbox = Sandbox(runtime, serializer=name)
+
+        @sandbox.sandboxed
+        def echo(value):
+            return value
+
+        payload = {"k": [1, 2.5, "s", b"b", None, True]}
+        assert echo(payload) == payload
+
+    def test_per_function_override(self, sandbox: Sandbox):
+        @sandbox.sandboxed(serializer="json")
+        def f(x):
+            return x
+
+        assert f.serializer.name == "json"
+
+    def test_json_is_slower_than_bincode(self, runtime):
+        """The E6 shape: text serialization costs more virtual time."""
+        payload = {"data": "x" * 50000}
+        times = {}
+        for name in ("bincode", "json"):
+            rt = SdradRuntime()
+            sandbox = Sandbox(rt, serializer=name)
+
+            @sandbox.sandboxed
+            def echo(value):
+                return value
+
+            before = rt.clock.now
+            echo(payload)
+            times[name] = rt.clock.now - before
+        assert times["json"] > times["bincode"]
+
+
+class TestFreshDomainMode:
+    def test_fresh_domain_per_call(self, sandbox: Sandbox):
+        @sandbox.sandboxed(fresh_domain=True)
+        def f():
+            return 1
+
+        baseline = len(sandbox.runtime.domains())
+        f()
+        f()
+        assert len(sandbox.runtime.domains()) == baseline  # created and destroyed
+
+    def test_fresh_domain_costs_more(self, runtime):
+        sandbox = Sandbox(runtime)
+
+        @sandbox.sandboxed
+        def persistent():
+            return 1
+
+        @sandbox.sandboxed(fresh_domain=True)
+        def ephemeral():
+            return 1
+
+        persistent()  # domain created lazily here
+        start = runtime.clock.now
+        persistent()
+        persistent_cost = runtime.clock.now - start
+        start = runtime.clock.now
+        ephemeral()
+        ephemeral_cost = runtime.clock.now - start
+        assert ephemeral_cost > persistent_cost
+
+
+class TestResultSizeHardening:
+    def test_oversized_result_refused(self, sandbox: Sandbox):
+        @sandbox.sandboxed(max_result_bytes=1024)
+        def exfiltrate():
+            return b"\x00" * 100_000
+
+        with pytest.raises(SandboxViolation, match="exceeds limit"):
+            exfiltrate()
+        assert exfiltrate.stats.violations == 1
+
+    def test_oversized_result_uses_fallback(self, sandbox: Sandbox):
+        @sandbox.sandboxed(max_result_bytes=1024, fallback=fallback_value(b""))
+        def exfiltrate():
+            return b"\x00" * 100_000
+
+        assert exfiltrate() == b""
+
+    def test_normal_results_unaffected(self, sandbox: Sandbox):
+        @sandbox.sandboxed(max_result_bytes=4096)
+        def normal():
+            return b"\x01" * 100
+
+        assert normal() == b"\x01" * 100
+
+    def test_no_limit_by_default(self, sandbox: Sandbox):
+        @sandbox.sandboxed
+        def big():
+            return b"\x02" * 100_000
+
+        assert len(big()) == 100_000
+
+
+class TestSandboxManagement:
+    def test_close_releases_domains(self, runtime):
+        with Sandbox(runtime) as sandbox:
+
+            @sandbox.sandboxed
+            def f():
+                return 1
+
+            f()
+            assert len(runtime.domains()) == 2  # root + sandbox domain
+        assert len(runtime.domains()) == 1
+
+    def test_wrapper_preserves_metadata(self, sandbox: Sandbox):
+        @sandbox.sandboxed
+        def documented():
+            """Docstring survives."""
+            return 1
+
+        assert documented.__name__ == "documented"
+        assert "survives" in documented.__doc__
+
+
+class TestMarshalHelpers:
+    def test_marshal_args_stages_copy(self, runtime, domain):
+        stats = MarshalStats(serializer="bincode")
+        call = marshal_args(
+            runtime, domain.udi, get_serializer("bincode"), (1, "two"), {"k": 3}, stats
+        )
+        assert call.args == (1, "two")
+        assert call.kwargs == {"k": 3}
+        assert stats.args_bytes > 0
+        assert call.encoded_size == stats.args_bytes
+
+    def test_roundtrip_check(self):
+        serializer = get_serializer("bincode")
+        assert roundtrip_check(serializer, {"a": [1, b"x"]})
+        assert not roundtrip_check(serializer, object())
+
+
+class TestSandboxAtScale:
+    def test_dozens_of_sandboxed_functions_with_keyvirt(self):
+        """More sandboxed functions than physical keys: needs virtualisation."""
+        runtime = SdradRuntime(key_virtualization=True)
+        sandbox = Sandbox(runtime)
+        functions = []
+        for i in range(30):
+            @sandbox.sandboxed(heap_size=32 * 1024)
+            def fn(x, _i=i):
+                return x + _i
+
+            functions.append(fn)
+        for i, fn in enumerate(functions):
+            assert fn(100) == 100 + i
+        # and again, exercising rebinds
+        for i, fn in enumerate(functions):
+            assert fn(200) == 200 + i
+        assert runtime.keys.stats.evictions > 0
+
+    def test_sandbox_exhausts_keys_without_virtualization(self):
+        from repro.errors import OutOfDomains
+
+        runtime = SdradRuntime()
+        sandbox = Sandbox(runtime)
+        functions = []
+        for i in range(20):
+            @sandbox.sandboxed(heap_size=32 * 1024)
+            def fn(_i=i):
+                return _i
+
+            functions.append(fn)
+        with pytest.raises(OutOfDomains):
+            for fn in functions:  # domains are created lazily on first call
+                fn()

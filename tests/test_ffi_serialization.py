@@ -1,0 +1,178 @@
+"""Tests for the serializer suite (SDRaD-FFI crates)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.ffi.serialization import (
+    BincodeSerializer,
+    JsonSerializer,
+    MsgpackSerializer,
+    PickleSerializer,
+    available_serializers,
+    check_serializable,
+    get_serializer,
+)
+
+ALL = [BincodeSerializer(), MsgpackSerializer(), JsonSerializer(), PickleSerializer()]
+
+SAMPLES = [
+    None,
+    True,
+    False,
+    0,
+    -1,
+    2**40,
+    -(2**40),
+    3.14159,
+    -0.0,
+    "",
+    "hello",
+    "ünïcødé ⚙",
+    b"",
+    b"\x00\xff binary",
+    [],
+    [1, 2, 3],
+    ["mixed", 1, None, 2.5, b"bytes"],
+    {},
+    {"a": 1, "b": [True, {"nested": b"x"}]},
+    {"deep": {"deeper": {"deepest": [1, [2, [3]]]}}},
+]
+
+
+@pytest.mark.parametrize("serializer", ALL, ids=lambda s: s.name)
+@pytest.mark.parametrize("value", SAMPLES, ids=repr)
+def test_roundtrip(serializer, value):
+    assert serializer.decode(serializer.encode(value)) == value
+
+
+@pytest.mark.parametrize("serializer", ALL, ids=lambda s: s.name)
+def test_tuple_decodes_as_list(serializer):
+    assert serializer.decode(serializer.encode((1, 2))) == [1, 2]
+
+
+@pytest.mark.parametrize("serializer", ALL, ids=lambda s: s.name)
+def test_rejects_arbitrary_objects(serializer):
+    class Gadget:
+        pass
+
+    with pytest.raises(SerializationError):
+        serializer.encode(Gadget())
+
+
+@pytest.mark.parametrize("serializer", ALL, ids=lambda s: s.name)
+def test_rejects_non_string_dict_keys(serializer):
+    with pytest.raises(SerializationError):
+        serializer.encode({1: "x"})
+
+
+@pytest.mark.parametrize("serializer", ALL, ids=lambda s: s.name)
+def test_garbage_decode_raises_not_crashes(serializer):
+    for garbage in (b"", b"\xff" * 16, b"\x08\xff\xff\xff\xff", b"{broken"):
+        try:
+            serializer.decode(garbage)
+        except SerializationError:
+            pass  # the required behaviour
+        # a clean decode of garbage is acceptable only if it yields a value
+        # (pickle/json may parse some garbage as a value); crashing is not.
+
+
+class TestCheckSerializable:
+    def test_depth_limit(self):
+        value: list = []
+        current = value
+        for _ in range(100):
+            nested: list = []
+            current.append(nested)
+            current = nested
+        with pytest.raises(SerializationError, match="depth"):
+            check_serializable(value)
+
+    def test_accepts_reasonable_nesting(self):
+        check_serializable({"a": [{"b": [1, 2, {"c": b"x"}]}]})
+
+
+class TestBincodeDetails:
+    def test_compactness_vs_json(self):
+        value = {"key": [1, 2, 3, 4, 5], "flag": True}
+        bincode = BincodeSerializer().encode(value)
+        json_bytes = JsonSerializer().encode(value)
+        assert len(bincode) < len(json_bytes) * 3  # sanity: same magnitude
+
+    def test_big_integers(self):
+        serializer = BincodeSerializer()
+        for value in (2**100, -(2**100)):
+            assert serializer.decode(serializer.encode(value)) == value
+
+    def test_trailing_garbage_rejected(self):
+        serializer = BincodeSerializer()
+        data = serializer.encode(5) + b"\x00"
+        with pytest.raises(SerializationError, match="trailing"):
+            serializer.decode(data)
+
+    def test_truncation_rejected(self):
+        serializer = BincodeSerializer()
+        data = serializer.encode("some longer string value")
+        with pytest.raises(SerializationError):
+            serializer.decode(data[:-3])
+
+    def test_unknown_tag_rejected(self):
+        with pytest.raises(SerializationError, match="tag"):
+            BincodeSerializer().decode(b"\x7f")
+
+
+class TestMsgpackDetails:
+    def test_small_ints_are_one_byte(self):
+        serializer = MsgpackSerializer()
+        assert len(serializer.encode(5)) == 1
+        assert len(serializer.encode(-3)) == 1
+
+    def test_negative_fixint_roundtrip(self):
+        serializer = MsgpackSerializer()
+        for value in range(-32, 0):
+            assert serializer.decode(serializer.encode(value)) == value
+
+    def test_oversized_int_rejected(self):
+        with pytest.raises(SerializationError):
+            MsgpackSerializer().encode(2**70)
+
+
+class TestJsonDetails:
+    def test_bytes_marker_roundtrip(self):
+        serializer = JsonSerializer()
+        assert serializer.decode(serializer.encode(b"\x00\x01\xfe")) == b"\x00\x01\xfe"
+
+    def test_dict_that_looks_like_marker_is_distinct(self):
+        serializer = JsonSerializer()
+        tricky = {"__ffi_bytes__": "not really bytes", "other": 1}
+        assert serializer.decode(serializer.encode(tricky)) == tricky
+
+    def test_output_is_valid_utf8(self):
+        JsonSerializer().encode({"k": "v"}).decode("utf-8")
+
+
+class _Evil:
+    """Module-level so pickle can serialise it (the attack payload)."""
+
+
+class TestPickleDetails:
+    def test_decode_validates_data_model(self):
+        import pickle
+
+        # a pickle of a non-FFI type must be rejected on decode
+        payload = pickle.dumps(_Evil())
+        with pytest.raises(SerializationError):
+            PickleSerializer().decode(payload)
+
+
+class TestRegistry:
+    def test_all_names_available(self):
+        assert available_serializers() == ["bincode", "json", "msgpack", "pickle"]
+
+    def test_lookup(self):
+        assert get_serializer("bincode").name == "bincode"
+
+    def test_unknown_name(self):
+        with pytest.raises(SerializationError):
+            get_serializer("capnproto")

@@ -1,0 +1,120 @@
+"""Integration at scale: key virtualisation × servers × watchdog together.
+
+The extension features must compose: a Memcached server with per-connection
+domains for *50 clients* (far past MPK's 15-key limit) under a mixed
+benign/malicious trace, with the quarantine watchdog on — everything the
+library offers, in one deployment.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.memcached_server import IsolationMode, MemcachedServer
+from repro.sdrad.runtime import SdradRuntime
+from repro.sdrad.telemetry import consistency_check, snapshot
+from repro.sdrad.watchdog import FaultWatchdog, WatchdogConfig
+from repro.sim.rng import RngFactory
+from repro.workloads.clients import build_population
+from repro.workloads.traces import generate_trace
+from repro.workloads.zipf import Keyspace, KeyValueWorkload
+
+N_CLIENTS_BENIGN = 47
+N_CLIENTS_MALICIOUS = 3
+N_REQUESTS = 1500
+
+
+@pytest.fixture(scope="module")
+def deployment():
+    factory = RngFactory(77)
+    keyspace = Keyspace(300)
+    clients = build_population(
+        N_CLIENTS_BENIGN,
+        N_CLIENTS_MALICIOUS,
+        lambda cid, rng: KeyValueWorkload(keyspace, 0.99, rng),
+        factory,
+        attack_fraction=0.2,
+    )
+    trace = generate_trace(clients, N_REQUESTS, factory)
+
+    runtime = SdradRuntime(
+        space=None,
+        key_virtualization=True,
+    )
+    watchdog = FaultWatchdog(
+        runtime.clock,
+        WatchdogConfig(threshold=4, window=60.0, quarantine_period=300.0),
+    )
+    server = MemcachedServer(
+        runtime,
+        isolation=IsolationMode.PER_CONNECTION,
+        domain_heap_size=64 * 1024,
+        watchdog=watchdog,
+    )
+    for client in trace.clients:
+        server.connect(client)
+    responses = {}
+    for entry in trace:
+        responses[entry.seq] = server.handle(entry.client_id, entry.payload)
+    return runtime, server, trace, responses
+
+
+class TestScaleDeployment:
+    def test_fifty_isolated_connections(self, deployment):
+        runtime, server, trace, _ = deployment
+        assert len(server.connected_clients) == 50
+        assert runtime.keys is not None
+        assert runtime.keys.stats.binds >= 50
+
+    def test_every_request_got_a_response(self, deployment):
+        _, _, trace, responses = deployment
+        assert len(responses) == len(trace)
+        assert all(isinstance(r, bytes) and r for r in responses.values())
+
+    def test_no_benign_client_saw_a_server_error(self, deployment):
+        _, server, trace, responses = deployment
+        malicious = {e.seq for e in trace if e.malicious}
+        for seq, response in responses.items():
+            if seq not in malicious:
+                assert not response.startswith(b"SERVER_ERROR"), seq
+
+    def test_faults_only_from_malicious_clients(self, deployment):
+        _, server, _, _ = deployment
+        assert all(
+            owner.startswith("mallory") for owner in server.metrics.per_client_faults
+        )
+        assert server.metrics.rewinds > 0
+
+    def test_watchdog_engaged_under_pressure(self, deployment):
+        _, server, _, _ = deployment
+        # with a 20 % attack fraction over 1500 requests, the threshold of 4
+        # in-window faults trips for at least one attacker
+        assert server.metrics.quarantines >= 1
+        assert server.metrics.quarantine_refusals > 0
+
+    def test_key_pressure_was_real(self, deployment):
+        runtime, _, _, _ = deployment
+        # 50 domains over 14 physical keys: evictions must have occurred
+        assert runtime.keys.stats.evictions > 0
+        assert len(runtime.keys.bound_domains) <= 14
+
+    def test_database_contains_only_benign_writes(self, deployment):
+        _, server, trace, responses = deployment
+        for entry in trace:
+            if entry.malicious or not entry.payload.startswith(b"set "):
+                continue
+            if responses[entry.seq] == b"STORED\r\n":
+                key = entry.payload.split(b" ", 2)[1]
+                assert server.store.contains(key)
+
+    def test_telemetry_consistent_after_the_storm(self, deployment):
+        runtime, _, _, _ = deployment
+        assert consistency_check(runtime) == []
+        data = snapshot(runtime)
+        assert data["totals"]["faults"] == data["totals"]["rewinds"]
+        assert data["key_virtualization"]["evictions"] > 0
+
+    def test_total_recovery_time_stays_microscopic(self, deployment):
+        runtime, server, _, _ = deployment
+        recovery = server.metrics.rewinds * runtime.cost.rewind
+        assert recovery < 1e-3  # sub-millisecond for the whole storm

@@ -1,0 +1,206 @@
+"""Tests for the free-list allocator: correctness and corruption detection."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import AllocationFailure, HeapCorruption, InvalidFree, SdradError
+from repro.memory.address_space import AddressSpace
+from repro.memory.allocator import (
+    ALIGNMENT,
+    GUARD_SIZE,
+    HEADER_SIZE,
+    FreeListAllocator,
+)
+from repro.memory.layout import PAGE_SIZE
+
+ARENA = 16 * PAGE_SIZE
+
+
+@pytest.fixture
+def space() -> AddressSpace:
+    s = AddressSpace(size=ARENA * 2)
+    s.page_table.map_range(0, ARENA * 2, pkey=0)
+    return s
+
+
+@pytest.fixture
+def heap(space: AddressSpace) -> FreeListAllocator:
+    return FreeListAllocator(space, 0, ARENA)
+
+
+class TestAllocation:
+    def test_malloc_returns_aligned_payload(self, heap: FreeListAllocator):
+        for size in (1, 7, 16, 100, 1000):
+            addr = heap.malloc(size)
+            assert addr % ALIGNMENT == 0
+
+    def test_payloads_do_not_overlap(self, heap: FreeListAllocator):
+        blocks = [(heap.malloc(64), 64) for _ in range(20)]
+        regions = sorted((a, a + heap.payload_capacity(a)) for a, _ in blocks)
+        for (_, end), (start, _) in zip(regions, regions[1:]):
+            assert end <= start
+
+    def test_capacity_at_least_requested(self, heap: FreeListAllocator):
+        addr = heap.malloc(33)
+        assert heap.payload_capacity(addr) >= 33
+
+    def test_data_survives_other_allocations(self, heap: FreeListAllocator, space):
+        a = heap.malloc(32)
+        space.store(a, b"A" * 32)
+        b = heap.malloc(64)
+        space.store(b, b"B" * 64)
+        assert space.load(a, 32) == b"A" * 32
+
+    def test_zero_size_rejected(self, heap: FreeListAllocator):
+        with pytest.raises(SdradError):
+            heap.malloc(0)
+
+    def test_exhaustion_raises(self, heap: FreeListAllocator):
+        with pytest.raises(AllocationFailure):
+            heap.malloc(ARENA)
+
+    def test_many_small_allocations_until_full(self, heap: FreeListAllocator):
+        count = 0
+        try:
+            while True:
+                heap.malloc(64)
+                count += 1
+        except AllocationFailure:
+            pass
+        expected_max = ARENA // (64 + HEADER_SIZE + GUARD_SIZE)
+        assert count == pytest.approx(expected_max, rel=0.05)
+
+
+class TestFree:
+    def test_free_then_reuse(self, heap: FreeListAllocator):
+        addr = heap.malloc(128)
+        heap.free(addr)
+        again = heap.malloc(128)
+        assert again == addr  # first fit reuses the hole
+
+    def test_double_free_detected(self, heap: FreeListAllocator):
+        addr = heap.malloc(16)
+        heap.free(addr)
+        with pytest.raises(InvalidFree, match="double free"):
+            heap.free(addr)
+
+    def test_wild_free_detected(self, heap: FreeListAllocator):
+        heap.malloc(16)
+        with pytest.raises(InvalidFree):
+            heap.free(12345)
+
+    def test_free_all_returns_to_single_block(self, heap: FreeListAllocator):
+        addrs = [heap.malloc(100) for _ in range(10)]
+        for addr in addrs:
+            heap.free(addr)
+        stats = heap.stats()
+        assert stats.live_blocks == 0
+        assert stats.free_blocks == 1  # fully coalesced
+
+    def test_coalesce_backward_and_forward(self, heap: FreeListAllocator):
+        a = heap.malloc(64)
+        b = heap.malloc(64)
+        c = heap.malloc(64)
+        heap.free(a)
+        heap.free(c)
+        heap.free(b)  # merges with both neighbours
+        big = heap.malloc(200)  # only possible if coalesced
+        assert big == a
+
+    def test_alternating_free_leaves_holes(self, heap: FreeListAllocator):
+        addrs = [heap.malloc(64) for _ in range(6)]
+        for addr in addrs[::2]:
+            heap.free(addr)
+        stats = heap.stats()
+        assert stats.live_blocks == 3
+        assert stats.free_blocks >= 3
+
+
+class TestCorruptionDetection:
+    def test_overflow_smashes_guard(self, heap: FreeListAllocator, space):
+        addr = heap.malloc(16)
+        capacity = heap.payload_capacity(addr)
+        space.store(addr, b"X" * (capacity + 4))
+        with pytest.raises(HeapCorruption, match="guard"):
+            heap.free(addr)
+
+    def test_header_smash_detected_on_free(self, heap: FreeListAllocator, space):
+        addr = heap.malloc(16)
+        space.store(addr - HEADER_SIZE, b"\x00" * 4)  # wreck the magic
+        with pytest.raises(HeapCorruption):
+            heap.free(addr)
+
+    def test_check_walks_whole_arena(self, heap: FreeListAllocator, space):
+        a = heap.malloc(32)
+        heap.malloc(32)
+        heap.check()  # clean walk passes
+        capacity = heap.payload_capacity(a)
+        space.store(a, b"Y" * (capacity + 4))
+        with pytest.raises(HeapCorruption):
+            heap.check()
+
+    def test_checksum_mismatch_detected(self, heap: FreeListAllocator, space):
+        addr = heap.malloc(16)
+        # flip the size field without fixing the checksum
+        space.store(addr - HEADER_SIZE + 4, (9999).to_bytes(4, "little"))
+        with pytest.raises(HeapCorruption):
+            heap.free(addr)
+
+
+class TestReset:
+    def test_reset_discards_everything(self, heap: FreeListAllocator):
+        for _ in range(5):
+            heap.malloc(64)
+        heap.reset()
+        stats = heap.stats()
+        assert stats.live_blocks == 0
+        assert stats.allocated_bytes == 0
+        # arena is usable again
+        assert heap.malloc(64)
+
+    def test_reset_without_scrub_keeps_bytes(self, heap, space):
+        addr = heap.malloc(16)
+        space.store(addr, b"SECRETSECRETSECR")
+        heap.reset(scrub=False)
+        # pages were not scrubbed — old bytes are still there (as garbage)
+        assert b"SECRET" in space.raw_load(addr, 16)
+
+    def test_reset_with_scrub_zeroes_arena(self, heap, space):
+        addr = heap.malloc(16)
+        space.store(addr, b"SECRETSECRETSECR")
+        pages = heap.reset(scrub=True)
+        assert pages == ARENA // PAGE_SIZE
+        assert space.raw_load(addr, 16) == b"\x00" * 16
+
+    def test_reset_recovers_from_corruption(self, heap, space):
+        addr = heap.malloc(16)
+        capacity = heap.payload_capacity(addr)
+        space.store(addr, b"X" * (capacity + 4))
+        heap.reset()
+        heap.check()  # pristine again
+
+
+class TestStats:
+    def test_alloc_free_counters(self, heap: FreeListAllocator):
+        a = heap.malloc(16)
+        heap.malloc(16)
+        heap.free(a)
+        stats = heap.stats()
+        assert stats.total_allocs == 2
+        assert stats.total_frees == 1
+        assert stats.live_blocks == 1
+
+    def test_peak_tracking(self, heap: FreeListAllocator):
+        a = heap.malloc(1024)
+        heap.free(a)
+        heap.malloc(16)
+        assert heap.stats().peak_allocated_bytes >= 1024
+
+    def test_utilisation_fraction(self, heap: FreeListAllocator):
+        heap.malloc(ARENA // 4)
+        assert 0.2 < heap.stats().utilisation < 0.35
+
+    def test_arena_too_small_rejected(self, space):
+        with pytest.raises(SdradError):
+            FreeListAllocator(space, 0, HEADER_SIZE + GUARD_SIZE)

@@ -1,0 +1,54 @@
+"""Tests for address-space layout helpers."""
+
+from __future__ import annotations
+
+from repro.memory.layout import (
+    PAGE_SIZE,
+    is_page_aligned,
+    page_align_up,
+    page_base,
+    page_index,
+    pages_spanned,
+)
+
+
+class TestPageMath:
+    def test_page_index(self):
+        assert page_index(0) == 0
+        assert page_index(PAGE_SIZE - 1) == 0
+        assert page_index(PAGE_SIZE) == 1
+        assert page_index(10 * PAGE_SIZE + 5) == 10
+
+    def test_page_base(self):
+        assert page_base(0) == 0
+        assert page_base(PAGE_SIZE + 17) == PAGE_SIZE
+
+    def test_align_up(self):
+        assert page_align_up(0) == 0
+        assert page_align_up(1) == PAGE_SIZE
+        assert page_align_up(PAGE_SIZE) == PAGE_SIZE
+        assert page_align_up(PAGE_SIZE + 1) == 2 * PAGE_SIZE
+
+    def test_is_page_aligned(self):
+        assert is_page_aligned(0)
+        assert is_page_aligned(3 * PAGE_SIZE)
+        assert not is_page_aligned(3 * PAGE_SIZE + 8)
+
+
+class TestPagesSpanned:
+    def test_single_page(self):
+        assert list(pages_spanned(0, 10)) == [0]
+        assert list(pages_spanned(100, PAGE_SIZE - 100)) == [0]
+
+    def test_exact_page(self):
+        assert list(pages_spanned(0, PAGE_SIZE)) == [0]
+
+    def test_crossing_boundary(self):
+        assert list(pages_spanned(PAGE_SIZE - 4, 8)) == [0, 1]
+
+    def test_multiple_pages(self):
+        span = list(pages_spanned(PAGE_SIZE, 3 * PAGE_SIZE))
+        assert span == [1, 2, 3]
+
+    def test_zero_length(self):
+        assert list(pages_spanned(500, 0)) == []

@@ -1,0 +1,134 @@
+"""Tests for the simulated MPK hardware: PKRU semantics and key allocation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import OutOfDomains, SdradError
+from repro.memory.mpk import (
+    NUM_PKEYS,
+    PKEY_DEFAULT,
+    PkeyAllocator,
+    PkruRegister,
+    pkru_bits,
+)
+
+
+class TestPkruBits:
+    def test_access_disable_bit_position(self):
+        assert pkru_bits(0, access_disable=True, write_disable=False) == 0b01
+        assert pkru_bits(1, access_disable=True, write_disable=False) == 0b0100
+
+    def test_write_disable_bit_position(self):
+        assert pkru_bits(0, access_disable=False, write_disable=True) == 0b10
+        assert pkru_bits(2, access_disable=False, write_disable=True) == 0b10_0000
+
+    def test_out_of_range_key_rejected(self):
+        with pytest.raises(SdradError):
+            pkru_bits(16, access_disable=True, write_disable=False)
+        with pytest.raises(SdradError):
+            pkru_bits(-1, access_disable=True, write_disable=False)
+
+
+class TestPkruRegister:
+    def test_reset_state_allows_only_default_key(self):
+        pkru = PkruRegister()
+        assert pkru.allows_read(PKEY_DEFAULT)
+        assert pkru.allows_write(PKEY_DEFAULT)
+        for pkey in range(1, NUM_PKEYS):
+            assert not pkru.allows_read(pkey)
+            assert not pkru.allows_write(pkey)
+
+    def test_grant_full_access(self):
+        pkru = PkruRegister()
+        pkru.grant(5)
+        assert pkru.allows_read(5)
+        assert pkru.allows_write(5)
+
+    def test_grant_read_only(self):
+        pkru = PkruRegister()
+        pkru.grant(5, read=True, write=False)
+        assert pkru.allows_read(5)
+        assert not pkru.allows_write(5)
+
+    def test_grant_no_read_denies_everything(self):
+        pkru = PkruRegister()
+        pkru.grant(5, read=False, write=True)
+        assert not pkru.allows_read(5)
+        assert not pkru.allows_write(5)  # AD implies no write
+
+    def test_revoke(self):
+        pkru = PkruRegister()
+        pkru.grant(3)
+        pkru.revoke(3)
+        assert not pkru.allows_read(3)
+        assert not pkru.allows_write(3)
+
+    def test_write_counts_wrpkru_instructions(self):
+        pkru = PkruRegister()
+        assert pkru.writes == 0
+        pkru.grant(1)
+        pkru.revoke(1)
+        pkru.write(0)
+        assert pkru.writes == 3
+
+    def test_snapshot_restores_exactly(self):
+        pkru = PkruRegister()
+        pkru.grant(7, read=True, write=False)
+        saved = pkru.snapshot()
+        pkru.write(0)  # allow-all
+        pkru.write(saved)
+        assert pkru.allows_read(7)
+        assert not pkru.allows_write(7)
+
+    def test_value_masked_to_32_bits(self):
+        pkru = PkruRegister()
+        pkru.write(0x1_FFFF_FFFF)
+        assert pkru.value == 0xFFFF_FFFF
+
+    def test_zero_value_allows_everything(self):
+        pkru = PkruRegister(value=0)
+        for pkey in range(NUM_PKEYS):
+            assert pkru.allows_read(pkey)
+            assert pkru.allows_write(pkey)
+
+
+class TestPkeyAllocator:
+    def test_default_key_preallocated(self):
+        allocator = PkeyAllocator()
+        assert allocator.is_allocated(PKEY_DEFAULT)
+        assert allocator.available == NUM_PKEYS - 1
+
+    def test_alloc_returns_lowest_free(self):
+        allocator = PkeyAllocator()
+        assert allocator.alloc() == 1
+        assert allocator.alloc() == 2
+
+    def test_exhaustion_raises_out_of_domains(self):
+        allocator = PkeyAllocator()
+        for _ in range(NUM_PKEYS - 1):
+            allocator.alloc()
+        with pytest.raises(OutOfDomains):
+            allocator.alloc()
+
+    def test_free_enables_reuse(self):
+        allocator = PkeyAllocator()
+        key = allocator.alloc()
+        allocator.free(key)
+        assert allocator.alloc() == key
+
+    def test_cannot_free_default_key(self):
+        with pytest.raises(SdradError):
+            PkeyAllocator().free(PKEY_DEFAULT)
+
+    def test_cannot_free_unallocated(self):
+        with pytest.raises(SdradError):
+            PkeyAllocator().free(5)
+
+    def test_fifteen_domains_max(self):
+        """The MPK scalability limit the paper inherits: 15 isolated domains."""
+        allocator = PkeyAllocator()
+        allocated = [allocator.alloc() for _ in range(15)]
+        assert len(set(allocated)) == 15
+        with pytest.raises(OutOfDomains):
+            allocator.alloc()

@@ -1,0 +1,112 @@
+"""Tests for the page table (mmap/mprotect/pkey_mprotect analogues)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SdradError, SegmentationFault
+from repro.memory.layout import PAGE_SIZE
+from repro.memory.pagetable import PageTable
+
+
+@pytest.fixture
+def table() -> PageTable:
+    return PageTable(16 * PAGE_SIZE)
+
+
+class TestConstruction:
+    def test_rejects_unaligned_size(self):
+        with pytest.raises(SdradError):
+            PageTable(PAGE_SIZE + 1)
+
+    def test_rejects_zero_size(self):
+        with pytest.raises(SdradError):
+            PageTable(0)
+
+    def test_all_pages_start_unmapped(self, table: PageTable):
+        for page in range(table.num_pages):
+            assert not table.entry_for(page * PAGE_SIZE).present
+
+
+class TestMapping:
+    def test_map_sets_present_and_perms(self, table: PageTable):
+        table.map_range(0, 2 * PAGE_SIZE, readable=True, writable=False, pkey=3)
+        entry = table.entry_for(PAGE_SIZE)
+        assert entry.present and entry.readable and not entry.writable
+        assert entry.pkey == 3
+
+    def test_double_map_rejected(self, table: PageTable):
+        table.map_range(0, PAGE_SIZE)
+        with pytest.raises(SdradError):
+            table.map_range(0, PAGE_SIZE)
+
+    def test_unmap_clears_entry(self, table: PageTable):
+        table.map_range(0, PAGE_SIZE, pkey=5)
+        table.unmap_range(0, PAGE_SIZE)
+        entry = table.entry_for(0)
+        assert not entry.present
+        assert entry.pkey == 0
+
+    def test_double_unmap_rejected(self, table: PageTable):
+        table.map_range(0, PAGE_SIZE)
+        table.unmap_range(0, PAGE_SIZE)
+        with pytest.raises(SdradError):
+            table.unmap_range(0, PAGE_SIZE)
+
+    def test_unaligned_range_rejected(self, table: PageTable):
+        with pytest.raises(SdradError):
+            table.map_range(100, PAGE_SIZE)
+        with pytest.raises(SdradError):
+            table.map_range(0, 100)
+
+    def test_out_of_space_range_faults(self, table: PageTable):
+        with pytest.raises(SegmentationFault):
+            table.map_range(15 * PAGE_SIZE, 2 * PAGE_SIZE)
+
+    def test_mapped_bytes(self, table: PageTable):
+        table.map_range(0, 3 * PAGE_SIZE)
+        assert table.mapped_bytes() == 3 * PAGE_SIZE
+
+
+class TestProtection:
+    def test_protect_changes_perms(self, table: PageTable):
+        table.map_range(0, PAGE_SIZE)
+        table.protect_range(0, PAGE_SIZE, readable=True, writable=False)
+        assert table.entry_for(0).perms() == "r--"
+
+    def test_protect_unmapped_faults(self, table: PageTable):
+        with pytest.raises(SegmentationFault):
+            table.protect_range(0, PAGE_SIZE, readable=True, writable=True)
+
+
+class TestTagging:
+    def test_tag_range_sets_pkey(self, table: PageTable):
+        table.map_range(0, 2 * PAGE_SIZE)
+        table.tag_range(0, 2 * PAGE_SIZE, 7)
+        assert table.pages_tagged(7) == [0, 1]
+
+    def test_tag_unmapped_faults(self, table: PageTable):
+        with pytest.raises(SegmentationFault):
+            table.tag_range(0, PAGE_SIZE, 7)
+
+    def test_tag_invalid_key_rejected(self, table: PageTable):
+        table.map_range(0, PAGE_SIZE)
+        with pytest.raises(SdradError):
+            table.tag_range(0, PAGE_SIZE, 16)
+
+    def test_pages_tagged_excludes_unmapped(self, table: PageTable):
+        table.map_range(0, PAGE_SIZE)
+        table.tag_range(0, PAGE_SIZE, 4)
+        table.unmap_range(0, PAGE_SIZE)
+        assert table.pages_tagged(4) == []
+
+
+class TestLookup:
+    def test_entry_for_out_of_range_faults(self, table: PageTable):
+        with pytest.raises(SegmentationFault):
+            table.entry_for(16 * PAGE_SIZE)
+        with pytest.raises(SegmentationFault):
+            table.entry_for(-1)
+
+    def test_perms_string_unmapped(self, table: PageTable):
+        assert table.entry_for(0).perms() == "---"

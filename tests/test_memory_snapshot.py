@@ -1,0 +1,71 @@
+"""Tests for region snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SdradError
+from repro.memory.address_space import AddressSpace
+from repro.memory.snapshot import capture, differs, restore
+
+
+@pytest.fixture
+def space() -> AddressSpace:
+    return AddressSpace(size=64 * 1024)
+
+
+class TestSnapshot:
+    def test_capture_copies_bytes(self, space: AddressSpace):
+        space.raw_store(100, b"hello world")
+        snap = capture(space, 100, 11)
+        assert snap.data == b"hello world"
+        assert snap.size == 11
+
+    def test_capture_is_immutable_copy(self, space: AddressSpace):
+        space.raw_store(0, b"before")
+        snap = capture(space, 0, 6)
+        space.raw_store(0, b"after!")
+        assert snap.data == b"before"
+
+    def test_restore_writes_back(self, space: AddressSpace):
+        space.raw_store(0, b"original")
+        snap = capture(space, 0, 8)
+        space.raw_store(0, b"mutated!")
+        restore(space, snap)
+        assert space.raw_load(0, 8) == b"original"
+
+    def test_zero_size_rejected(self, space: AddressSpace):
+        with pytest.raises(SdradError):
+            capture(space, 0, 0)
+
+    def test_checksum_stable(self, space: AddressSpace):
+        space.raw_store(0, b"payload")
+        a = capture(space, 0, 7).checksum()
+        b = capture(space, 0, 7).checksum()
+        assert a == b
+
+    def test_checksum_changes_with_content(self, space: AddressSpace):
+        space.raw_store(0, b"payload")
+        a = capture(space, 0, 7).checksum()
+        space.raw_store(0, b"Payload")
+        b = capture(space, 0, 7).checksum()
+        assert a != b
+
+
+class TestDiffs:
+    def test_no_diff_when_unchanged(self, space: AddressSpace):
+        space.raw_store(0, b"constant")
+        snap = capture(space, 0, 8)
+        assert differs(space, snap) == []
+
+    def test_diff_reports_changed_offsets(self, space: AddressSpace):
+        space.raw_store(0, b"abcdef")
+        snap = capture(space, 0, 6)
+        space.raw_store(2, b"XY")
+        assert differs(space, snap) == [2, 3]
+
+    def test_diff_relative_to_base(self, space: AddressSpace):
+        space.raw_store(1000, b"abcd")
+        snap = capture(space, 1000, 4)
+        space.raw_store(1003, b"Z")
+        assert differs(space, snap) == [3]

@@ -1,0 +1,129 @@
+"""Property-based tests for allocator invariants under random op sequences."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, precondition, rule
+
+from repro.errors import AllocationFailure
+from repro.memory.address_space import AddressSpace
+from repro.memory.allocator import GUARD_SIZE, HEADER_SIZE, FreeListAllocator
+
+ARENA = 64 * 1024
+
+
+def fresh_heap() -> tuple[AddressSpace, FreeListAllocator]:
+    space = AddressSpace(size=ARENA)
+    space.page_table.map_range(0, ARENA, pkey=0)
+    return space, FreeListAllocator(space, 0, ARENA)
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=2048), min_size=1, max_size=40)
+)
+def test_alloc_all_then_free_all_restores_arena(sizes):
+    _, heap = fresh_heap()
+    addrs = []
+    for size in sizes:
+        try:
+            addrs.append(heap.malloc(size))
+        except AllocationFailure:
+            break
+    for addr in addrs:
+        heap.free(addr)
+    stats = heap.stats()
+    assert stats.live_blocks == 0
+    assert stats.free_blocks == 1  # full coalescing
+    heap.check()
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(min_value=1, max_value=1024)),
+        min_size=1,
+        max_size=80,
+    )
+)
+def test_random_alloc_free_interleaving_keeps_heap_consistent(ops):
+    space, heap = fresh_heap()
+    live: list[int] = []
+    for is_alloc, size in ops:
+        if is_alloc or not live:
+            try:
+                addr = heap.malloc(size)
+            except AllocationFailure:
+                continue
+            # fill exactly to capacity: must never corrupt
+            space.store(addr, b"\xaa" * heap.payload_capacity(addr))
+            live.append(addr)
+        else:
+            heap.free(live.pop(size % len(live)))
+    heap.check()  # arena walk must always pass
+    assert heap.stats().live_blocks == len(live)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=512), min_size=2, max_size=20),
+    seed=st.integers(min_value=0, max_value=2**16),
+)
+def test_payload_data_never_aliases(sizes, seed):
+    """Writing each block's full capacity must not disturb any other block."""
+    space, heap = fresh_heap()
+    blocks = {}
+    for i, size in enumerate(sizes):
+        try:
+            addr = heap.malloc(size)
+        except AllocationFailure:
+            break
+        pattern = bytes([(seed + i) % 256]) * heap.payload_capacity(addr)
+        space.store(addr, pattern)
+        blocks[addr] = pattern
+    for addr, pattern in blocks.items():
+        assert space.load(addr, len(pattern)) == pattern
+    heap.check()
+
+
+class AllocatorMachine(RuleBasedStateMachine):
+    """Stateful fuzz of malloc/free/check against a model of live blocks."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.space, self.heap = fresh_heap()
+        self.live: dict[int, int] = {}  # payload addr -> capacity
+
+    @rule(size=st.integers(min_value=1, max_value=4096))
+    def alloc(self, size):
+        try:
+            addr = self.heap.malloc(size)
+        except AllocationFailure:
+            return
+        capacity = self.heap.payload_capacity(addr)
+        assert capacity >= size
+        # no overlap with any live block
+        for other, other_capacity in self.live.items():
+            assert addr + capacity <= other - HEADER_SIZE or other + other_capacity + GUARD_SIZE <= addr - HEADER_SIZE + HEADER_SIZE or not (
+                other <= addr < other + other_capacity
+            )
+        self.live[addr] = capacity
+
+    @precondition(lambda self: self.live)
+    @rule(index=st.integers(min_value=0, max_value=10**6))
+    def free(self, index):
+        addr = sorted(self.live)[index % len(self.live)]
+        self.heap.free(addr)
+        del self.live[addr]
+
+    @invariant()
+    def heap_walk_is_clean(self):
+        self.heap.check()
+        assert self.heap.stats().live_blocks == len(self.live)
+
+
+TestAllocatorStateMachine = AllocatorMachine.TestCase
+TestAllocatorStateMachine.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None
+)

@@ -1,0 +1,159 @@
+"""Property-based tests of the isolation invariant itself.
+
+The load-bearing property of the whole reproduction: *no checked access
+issued from inside a domain can modify memory outside that domain's
+protection key* — for any address and any payload.
+"""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import MemoryError_
+from repro.memory.snapshot import capture
+from repro.sdrad.constants import DomainFlags
+from repro.sdrad.runtime import SdradRuntime
+from repro.sim.rng import zipf_weights
+
+
+def build_runtime() -> tuple[SdradRuntime, int, int]:
+    runtime = SdradRuntime()
+    attacker = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+    victim = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+    runtime.execute(victim.udi, lambda h: h.store(h.malloc(64), b"V" * 64))
+    return runtime, attacker.udi, victim.udi
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    offset=st.integers(min_value=0, max_value=2 * 1024 * 1024),
+    payload=st.binary(min_size=1, max_size=64),
+)
+def test_wild_write_never_escapes_the_domain(offset, payload):
+    runtime, attacker_udi, victim_udi = build_runtime()
+    attacker = runtime.domain(attacker_udi)
+    victim = runtime.domain(victim_udi)
+    target = offset % runtime.space.size
+
+    victim_snap = capture(runtime.space, victim.heap_base, victim.heap_size)
+    root_snap = capture(runtime.space, runtime.root.heap_base, 4096)
+
+    result = runtime.execute(attacker_udi, lambda h: h.store(target, payload))
+
+    in_attacker = (
+        attacker.heap_base <= target
+        and target + len(payload) <= attacker.heap_base + attacker.heap_size
+    ) or (
+        attacker.stack_base <= target
+        and target + len(payload) <= attacker.stack_base + attacker.stack_size
+    )
+    if result.ok:
+        # a successful store must have been entirely inside the attacker's
+        # own regions
+        assert in_attacker
+    # regardless of outcome, victim and root memory are byte-identical
+    assert capture(runtime.space, victim.heap_base, victim.heap_size).data == victim_snap.data
+    assert capture(runtime.space, runtime.root.heap_base, 4096).data == root_snap.data
+
+
+@settings(max_examples=80, deadline=None)
+@given(
+    offset=st.integers(min_value=0, max_value=2 * 1024 * 1024),
+    length=st.integers(min_value=1, max_value=4096),
+)
+def test_wild_read_never_returns_foreign_bytes(offset, length):
+    """Reads either stay inside the domain or fault — no cross-key leaks."""
+    runtime, attacker_udi, victim_udi = build_runtime()
+    attacker = runtime.domain(attacker_udi)
+    target = offset % runtime.space.size
+
+    result = runtime.execute(attacker_udi, lambda h: h.load(target, length))
+    if result.ok:
+        start_ok = (
+            attacker.heap_base <= target < attacker.heap_base + attacker.heap_size
+        ) or (
+            attacker.stack_base <= target < attacker.stack_base + attacker.stack_size
+        )
+        assert start_ok
+
+
+@settings(max_examples=50, deadline=None)
+@given(data=st.binary(min_size=1, max_size=256))
+def test_rewind_always_restores_a_working_domain(data):
+    """After any faulting input, the domain accepts the next request."""
+    runtime = SdradRuntime()
+    domain = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+
+    def risky(handle):
+        addr = handle.malloc(8)
+        handle.store(addr, data)  # overflows for len(data) > capacity
+        handle.free(addr)
+        return True
+
+    runtime.execute(domain.udi, risky)  # may fault, may not
+    assert runtime.execute(domain.udi, lambda h: "ok").value == "ok"
+    domain.heap.check()
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    n=st.integers(min_value=1, max_value=200),
+    skew=st.floats(min_value=0.0, max_value=3.0),
+)
+def test_zipf_weights_always_a_distribution(n, skew):
+    weights = zipf_weights(n, skew)
+    assert len(weights) == n
+    assert abs(sum(weights) - 1.0) < 1e-9
+    assert all(w > 0 for w in weights)
+    assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+
+@settings(max_examples=60, deadline=None)
+@given(payload=st.binary(max_size=512))
+def test_memcached_server_never_crashes_when_isolated(payload):
+    """Fuzz the whole server: arbitrary bytes must never escape containment."""
+    from repro.apps.memcached_server import MemcachedServer
+
+    runtime = SdradRuntime()
+    server = MemcachedServer(runtime)
+    server.connect("fuzz")
+    try:
+        response = server.handle("fuzz", payload)
+    except MemoryError_:  # pragma: no cover - would be a containment bug
+        raise AssertionError("memory fault escaped the domain boundary")
+    assert isinstance(response, bytes) and response
+
+
+@settings(max_examples=40, deadline=None)
+@given(depth=st.integers(min_value=1, max_value=5))
+def test_pkru_grants_exactly_the_active_domain(depth):
+    """PKRU invariant: inside any nesting of domain entries, the register
+    grants write access to the innermost domain's key and to no other
+    isolated domain's key; after full unwinding it is back to the root
+    state."""
+    runtime = SdradRuntime()
+    domains = [
+        runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+        for _ in range(depth)
+    ]
+    observed = []
+
+    def probe(level):
+        def inner(handle):
+            pkru = runtime.space.pkru
+            grants = [
+                d.pkey for d in domains if pkru.allows_write(d.pkey)
+            ]
+            observed.append((level, grants))
+            if level + 1 < depth:
+                runtime.execute(domains[level + 1].udi, probe(level + 1))
+            return None
+
+        return inner
+
+    before = runtime.space.pkru.snapshot()
+    runtime.execute(domains[0].udi, probe(0))
+    assert runtime.space.pkru.snapshot() == before
+    for level, grants in observed:
+        assert grants == [domains[level].pkey]

@@ -1,0 +1,87 @@
+"""Model-based property tests: the KV store against a reference dict."""
+
+from __future__ import annotations
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    invariant,
+    rule,
+)
+
+from repro.apps.kvstore import KVStore
+from repro.sdrad.runtime import SdradRuntime
+
+keys = st.binary(min_size=1, max_size=32).filter(
+    lambda k: b" " not in k and b"\r" not in k and b"\n" not in k
+)
+values = st.binary(max_size=512)
+
+
+class KVStoreMachine(RuleBasedStateMachine):
+    """Random set/get/delete sequences checked against a dict model.
+
+    Eviction makes strict equality impossible under memory pressure, so the
+    arena is sized to hold everything the machine can insert; a separate
+    deterministic test covers eviction (test_apps_kvstore).
+    """
+
+    inserted = Bundle("inserted")
+
+    def __init__(self) -> None:
+        super().__init__()
+        runtime = SdradRuntime()
+        self.store = KVStore(
+            runtime, arena_size=2 * 1024 * 1024, slab_page_size=16 * 1024
+        )
+        self.model: dict[bytes, tuple[bytes, int]] = {}
+
+    @rule(target=inserted, key=keys, value=values, flags=st.integers(0, 0xFFFF))
+    def set_item(self, key, value, flags):
+        self.store.set(key, value, flags)
+        self.model[key] = (value, flags)
+        return key
+
+    @rule(key=inserted)
+    def get_existing(self, key):
+        if key in self.model:
+            assert self.store.get(key) == self.model[key]
+        else:
+            assert self.store.get(key) is None
+
+    @rule(key=keys)
+    def get_arbitrary(self, key):
+        expected = self.model.get(key)
+        assert self.store.get(key) == expected
+
+    @rule(key=inserted)
+    def delete_item(self, key):
+        existed = key in self.model
+        assert self.store.delete(key) == existed
+        self.model.pop(key, None)
+
+    @rule()
+    def flush(self):
+        self.store.flush_all()
+        self.model.clear()
+
+    @invariant()
+    def counts_agree(self):
+        assert self.store.item_count == len(self.model)
+
+    @invariant()
+    def every_model_key_is_present(self):
+        for key in self.model:
+            assert self.store.contains(key)
+
+    @invariant()
+    def slab_metadata_clean(self):
+        self.store.slabs.check()
+
+
+TestKVStoreMachine = KVStoreMachine.TestCase
+TestKVStoreMachine.settings = settings(
+    max_examples=30, stateful_step_count=40, deadline=None
+)

@@ -1,0 +1,120 @@
+"""Tests for availability arithmetic — the paper's §IV numbers, exactly."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.resilience.availability import (
+    AvailabilityReport,
+    availability_from_downtime,
+    downtime_budget,
+    max_fault_rate,
+    max_recoveries,
+    nines,
+    violates_target,
+)
+from repro.sim.clock import MINUTES, YEARS
+
+
+class TestPaperArithmetic:
+    """§IV: 'a regular restart takes about 2 minutes (which would violate
+    99.999 % availability if there were three faults per year), while our
+    in-process rewinding takes only 3.5 µs, allowing for more than 9·10⁷
+    recoveries'."""
+
+    def test_five_nines_budget_is_315_seconds(self):
+        assert downtime_budget(0.99999) == pytest.approx(315.36, abs=0.01)
+
+    def test_three_two_minute_restarts_violate_five_nines(self):
+        assert violates_target(3, 2 * MINUTES, 0.99999)
+
+    def test_two_restarts_do_not_violate(self):
+        assert not violates_target(2, 2 * MINUTES, 0.99999)
+
+    def test_rewind_allows_more_than_9e7_recoveries(self):
+        recoveries = max_recoveries(0.99999, 3.5e-6)
+        assert recoveries > 9e7
+
+    def test_rewind_headroom_magnitude(self):
+        # 315.36 s / 3.5 µs ≈ 9.01·10⁷ — the paper's exact claim
+        assert max_recoveries(0.99999, 3.5e-6) == pytest.approx(9.01e7, rel=0.01)
+
+
+class TestBudget:
+    def test_budget_scales_with_horizon(self):
+        assert downtime_budget(0.99, 100.0) == pytest.approx(1.0)
+
+    def test_perfect_availability_zero_budget(self):
+        assert downtime_budget(1.0) == 0.0
+
+    def test_invalid_availability_rejected(self):
+        for bad in (0.0, -0.1, 1.1):
+            with pytest.raises(ValueError):
+                downtime_budget(bad)
+
+
+class TestAvailabilityFromDowntime:
+    def test_no_downtime_is_perfect(self):
+        assert availability_from_downtime(0.0) == 1.0
+
+    def test_half_horizon_down(self):
+        assert availability_from_downtime(50.0, 100.0) == pytest.approx(0.5)
+
+    def test_more_downtime_than_horizon_clamps_to_zero(self):
+        assert availability_from_downtime(200.0, 100.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            availability_from_downtime(1.0, 0.0)
+        with pytest.raises(ValueError):
+            availability_from_downtime(-1.0, 100.0)
+
+
+class TestNines:
+    @pytest.mark.parametrize(
+        "availability, expected",
+        [(0.9, 1.0), (0.99, 2.0), (0.999, 3.0), (0.99999, 5.0)],
+    )
+    def test_round_nines(self, availability, expected):
+        assert nines(availability) == pytest.approx(expected)
+
+    def test_perfect_is_infinite(self):
+        assert math.isinf(nines(1.0))
+
+    def test_zero_availability(self):
+        assert nines(0.0) == 0.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            nines(1.5)
+
+
+class TestRates:
+    def test_max_fault_rate_consistency(self):
+        rate = max_fault_rate(0.99999, 2 * MINUTES)
+        # rate × recovery time × horizon == budget
+        assert rate * 2 * MINUTES * YEARS == pytest.approx(
+            downtime_budget(0.99999), rel=1e-9
+        )
+
+    def test_zero_recovery_time_is_infinite_rate(self):
+        assert math.isinf(max_fault_rate(0.99999, 0.0))
+
+    def test_negative_recovery_rejected(self):
+        with pytest.raises(ValueError):
+            max_recoveries(0.99999, -1.0)
+
+
+class TestReport:
+    def test_compute(self):
+        report = AvailabilityReport.compute("restart", 3, 2 * MINUTES)
+        assert report.downtime == pytest.approx(360.0)
+        assert not report.meets_five_nines
+        assert report.achieved_nines == pytest.approx(4.94, abs=0.05)
+
+    def test_rewind_report_meets(self):
+        report = AvailabilityReport.compute("rewind", 1000, 3.5e-6)
+        assert report.meets_five_nines
+        assert report.availability > 0.9999999

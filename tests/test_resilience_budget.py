@@ -1,0 +1,105 @@
+"""Tests for error budgets (the operational view of E3)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.resilience.budget import ErrorBudget
+from repro.resilience.strategy import RecoveryStrategyModel
+from repro.sim.clock import DAYS, MINUTES, YEARS
+from repro.sim.cost import GIB
+
+MODEL = RecoveryStrategyModel()
+
+
+class TestBudgetArithmetic:
+    def test_five_nines_budget_total(self):
+        budget = ErrorBudget(0.99999)
+        assert budget.total == pytest.approx(315.36, abs=0.01)
+
+    def test_spending(self):
+        budget = ErrorBudget(0.99999)
+        budget.spend(1000.0, 100.0, cause="restart")
+        assert budget.spent == 100.0
+        assert budget.remaining == pytest.approx(budget.total - 100.0)
+        assert not budget.exhausted
+
+    def test_exhaustion(self):
+        budget = ErrorBudget(0.99999)
+        budget.spend(0.0, 400.0, cause="incident")
+        assert budget.exhausted
+        assert budget.remaining == 0.0
+
+    def test_validation(self):
+        budget = ErrorBudget(0.99999)
+        with pytest.raises(ValueError):
+            budget.spend(0.0, -1.0)
+        with pytest.raises(ValueError):
+            budget.spend(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            budget.burn_rate(0.0)
+
+    def test_spend_by_cause(self):
+        budget = ErrorBudget(0.999)
+        budget.spend(0.0, 10.0, cause="restart")
+        budget.spend(1.0, 5.0, cause="restart")
+        budget.spend(2.0, 1.0, cause="deploy")
+        assert budget.spend_by_cause() == {"restart": 15.0, "deploy": 1.0}
+
+
+class TestBurnRate:
+    def test_on_pace_burn_rate_is_one(self):
+        budget = ErrorBudget(0.99999, horizon=YEARS)
+        # half the budget spent at half the horizon
+        budget.spend(0.0, budget.total / 2)
+        assert budget.burn_rate(YEARS / 2) == pytest.approx(1.0)
+
+    def test_fast_burn(self):
+        budget = ErrorBudget(0.99999, horizon=YEARS)
+        budget.spend(0.0, budget.total / 2)
+        assert budget.burn_rate(YEARS / 10) == pytest.approx(5.0)
+
+    def test_no_spend_no_burn(self):
+        budget = ErrorBudget(0.99999)
+        assert budget.burn_rate(DAYS) == 0.0
+        assert math.isinf(budget.projected_breach_time(DAYS))
+
+    def test_projected_breach(self):
+        budget = ErrorBudget(0.99999, horizon=YEARS)
+        # one restart per month at ~115 s each
+        restart = MODEL.process_restart(10 * GIB).downtime_per_fault
+        now = 30 * DAYS
+        budget.spend(now / 2, restart)
+        breach = budget.projected_breach_time(now)
+        # ~115 s/month on a 315 s budget: breach within the year
+        assert now < breach < YEARS
+
+
+class TestPaperFraming:
+    def test_one_restart_spends_a_third_of_the_budget(self):
+        budget = ErrorBudget(0.99999)
+        restart = MODEL.process_restart(10 * GIB).downtime_per_fault
+        budget.spend(0.0, restart, cause="memory fault -> restart")
+        assert 0.30 < budget.spent_fraction < 0.45
+
+    def test_three_restarts_breach(self):
+        budget = ErrorBudget(0.99999)
+        restart = MODEL.process_restart(10 * GIB).downtime_per_fault
+        for i in range(3):
+            budget.spend(i * 1000.0, restart)
+        assert budget.exhausted
+
+    def test_faults_until_breach(self):
+        budget = ErrorBudget(0.99999)
+        restart = MODEL.process_restart(10 * GIB).downtime_per_fault
+        assert 2.0 < budget.faults_until_breach(restart) < 3.0
+        assert budget.faults_until_breach(3.5e-6) > 9e7
+        assert math.isinf(budget.faults_until_breach(0.0))
+
+    def test_rewinds_never_matter(self):
+        budget = ErrorBudget(0.99999)
+        for i in range(10_000):
+            budget.spend(float(i), 3.5e-6, cause="rewind")
+        assert budget.spent_fraction < 0.001

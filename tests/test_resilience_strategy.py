@@ -1,0 +1,104 @@
+"""Tests for recovery-strategy specs and the SLO ladder."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.resilience.slo import (
+    FIVE_NINES,
+    SLO_LADDER,
+    classify,
+    crossover_faults,
+)
+from repro.resilience.strategy import RecoveryStrategyModel
+from repro.sim.clock import MINUTES
+from repro.sim.cost import GIB
+
+
+@pytest.fixture
+def model() -> RecoveryStrategyModel:
+    return RecoveryStrategyModel()
+
+
+class TestStrategySpecs:
+    def test_rewind_spec(self, model):
+        spec = model.sdrad_rewind()
+        assert spec.downtime_per_fault == pytest.approx(3.5e-6)
+        assert spec.replicas == 1
+        assert spec.requests_lost_per_fault == 1
+        assert 0.02 <= spec.runtime_overhead <= 0.04
+
+    def test_restart_spec_scales_with_data(self, model):
+        small = model.process_restart(1 * GIB)
+        large = model.process_restart(10 * GIB)
+        assert large.downtime_per_fault > small.downtime_per_fault
+        assert large.downtime_per_fault == pytest.approx(2 * MINUTES, rel=0.25)
+
+    def test_container_slower_than_process(self, model):
+        assert (
+            model.container_restart(GIB).downtime_per_fault
+            > model.process_restart(GIB).downtime_per_fault
+        )
+
+    def test_failover_needs_two_replicas(self, model):
+        with pytest.raises(ValueError):
+            model.replicated_failover(1)
+        spec = model.replicated_failover(3)
+        assert spec.replicas == 3
+        assert spec.name == "replicated-3x"
+
+    def test_recoveries_per_budget(self, model):
+        spec = model.sdrad_rewind()
+        assert spec.recoveries_per_budget(315.36) == pytest.approx(9.01e7, rel=0.01)
+
+    def test_all_for_returns_comparison_set(self, model):
+        specs = model.all_for(10 * GIB)
+        names = [s.name for s in specs]
+        assert names == [
+            "sdrad-rewind",
+            "process-restart",
+            "container-restart",
+            "replicated-2x",
+        ]
+
+
+class TestSloLadder:
+    def test_ladder_is_increasing(self):
+        availabilities = [s.availability for s in SLO_LADDER]
+        assert availabilities == sorted(availabilities)
+
+    def test_five_nines_budget(self):
+        assert FIVE_NINES.yearly_budget == pytest.approx(315.36, abs=0.01)
+
+    def test_classify_picks_best_class(self):
+        assert classify(0.9999965).name == "five-nines"
+        assert classify(0.995).name == "two-nines"
+        assert classify(0.5) is None
+        assert classify(0.9999995).name == "six-nines"
+
+    def test_sustainable_faults_per_year(self):
+        # five nines at 2-minute recovery: ~2.6 faults/year — the paper's
+        # "three faults per year" is just past the cliff
+        faults = FIVE_NINES.sustainable_faults_per_year(2 * MINUTES)
+        assert 2.0 < faults < 3.0
+
+    def test_rewind_sustains_enormous_rates(self):
+        rate = FIVE_NINES.sustainable_fault_rate(3.5e-6)
+        assert rate * 3600 > 10000  # >10k faults/hour, forever
+
+
+class TestCrossover:
+    def test_crossover_for_restart(self):
+        faults = crossover_faults(2 * MINUTES)
+        assert faults == pytest.approx(2.628, abs=0.01)
+
+    def test_crossover_infinite_for_zero_recovery(self):
+        assert math.isinf(crossover_faults(0.0))
+
+    def test_crossover_scales_with_slo(self):
+        two_nines = SLO_LADDER[0]
+        assert crossover_faults(2 * MINUTES, two_nines) > crossover_faults(
+            2 * MINUTES, FIVE_NINES
+        )

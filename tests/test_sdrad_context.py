@@ -1,0 +1,56 @@
+"""Tests for execution-context bookkeeping (nesting discipline)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SdradError
+from repro.sdrad.context import ContextStack
+
+
+class TestContextStack:
+    def test_push_pop(self):
+        contexts = ContextStack()
+        ctx = contexts.push(udi=1, saved_pkru=0xFF, entered_at=1.0)
+        assert contexts.depth == 1
+        assert contexts.current is ctx
+        contexts.pop(ctx)
+        assert contexts.depth == 0
+        assert contexts.current is None
+
+    def test_nested_contexts(self):
+        contexts = ContextStack()
+        outer = contexts.push(1, 0, 0.0)
+        inner = contexts.push(2, 1, 1.0)
+        assert inner.depth == 1
+        assert contexts.current_udi(root_udi=0) == 2
+        contexts.pop(inner)
+        assert contexts.current_udi(root_udi=0) == 1
+        contexts.pop(outer)
+        assert contexts.current_udi(root_udi=0) == 0
+
+    def test_out_of_order_pop_rejected(self):
+        contexts = ContextStack()
+        outer = contexts.push(1, 0, 0.0)
+        contexts.push(2, 1, 1.0)
+        with pytest.raises(SdradError, match="out-of-order"):
+            contexts.pop(outer)
+
+    def test_pop_empty_rejected(self):
+        contexts = ContextStack()
+        ctx = contexts.push(1, 0, 0.0)
+        contexts.pop(ctx)
+        with pytest.raises(SdradError, match="underflow"):
+            contexts.pop(ctx)
+
+    def test_contains_udi(self):
+        contexts = ContextStack()
+        contexts.push(3, 0, 0.0)
+        assert contexts.contains_udi(3)
+        assert not contexts.contains_udi(4)
+
+    def test_saved_pkru_preserved(self):
+        contexts = ContextStack()
+        ctx = contexts.push(1, 0xDEAD, 2.0)
+        assert ctx.saved_pkru == 0xDEAD
+        assert ctx.entered_at == 2.0

@@ -1,0 +1,76 @@
+"""Tests for fault classification."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import (
+    AllocationFailure,
+    HeapCorruption,
+    InvalidFree,
+    PermissionFault,
+    ProtectionKeyViolation,
+    SegmentationFault,
+    StackCanaryViolation,
+)
+from repro.sdrad.detect import DetectionMechanism, classify, is_recoverable
+
+
+class TestRecoverability:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            SegmentationFault(0x100),
+            ProtectionKeyViolation(0x100, 3),
+            PermissionFault(0x100, "store", "r--"),
+            StackCanaryViolation("f", 1, 2),
+            HeapCorruption(0x100, "x"),
+            InvalidFree(0x100),
+            AllocationFailure("oom"),
+        ],
+    )
+    def test_memory_faults_are_recoverable(self, exc):
+        assert is_recoverable(exc)
+
+    @pytest.mark.parametrize(
+        "exc",
+        [KeyError("x"), ValueError("y"), RuntimeError("z"), ZeroDivisionError()],
+    )
+    def test_logic_errors_are_not_recoverable(self, exc):
+        assert not is_recoverable(exc)
+
+
+class TestClassification:
+    @pytest.mark.parametrize(
+        "exc, mechanism",
+        [
+            (ProtectionKeyViolation(0x10, 2), DetectionMechanism.PKEY_VIOLATION),
+            (SegmentationFault(0x10), DetectionMechanism.PAGE_FAULT),
+            (PermissionFault(0x10, "store", "r--"), DetectionMechanism.PAGE_PERMISSION),
+            (StackCanaryViolation("f", 1, 2), DetectionMechanism.STACK_CANARY),
+            (HeapCorruption(0x10, "g"), DetectionMechanism.HEAP_INTEGRITY),
+            (InvalidFree(0x10), DetectionMechanism.INVALID_FREE),
+            (AllocationFailure("oom"), DetectionMechanism.OUT_OF_MEMORY),
+        ],
+    )
+    def test_mechanism_mapping(self, exc, mechanism):
+        assert classify(exc).mechanism is mechanism
+
+    def test_report_carries_address(self):
+        report = classify(SegmentationFault(0xBEEF))
+        assert report.address == 0xBEEF
+
+    def test_report_carries_domain_and_time(self):
+        report = classify(SegmentationFault(1), domain_udi=4, timestamp=1.5)
+        assert report.domain_udi == 4
+        assert report.timestamp == 1.5
+
+    def test_classify_rejects_logic_errors(self):
+        with pytest.raises(TypeError):
+            classify(ValueError("not a memory fault"))
+
+    def test_report_str_mentions_mechanism(self):
+        report = classify(ProtectionKeyViolation(0x40, 3), domain_udi=2)
+        text = str(report)
+        assert "pkey-violation" in text
+        assert "domain 2" in text

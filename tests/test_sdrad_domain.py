@@ -1,0 +1,84 @@
+"""Tests for Domain objects and their discard semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import DomainStateError
+from repro.sdrad.constants import DomainFlags, DomainState
+
+
+class TestLifecycleStates:
+    def test_initial_state(self, domain):
+        assert domain.state is DomainState.INITIALIZED
+
+    def test_active_exit_cycle(self, domain):
+        domain.mark_active()
+        assert domain.state is DomainState.ACTIVE
+        domain.mark_exited()
+        assert domain.state is DomainState.INITIALIZED
+
+    def test_exit_without_enter_rejected(self, domain):
+        with pytest.raises(DomainStateError):
+            domain.mark_exited()
+
+    def test_destroyed_cannot_activate(self, domain):
+        domain.mark_destroyed()
+        with pytest.raises(DomainStateError):
+            domain.mark_active()
+
+    def test_faulted_can_reactivate(self, domain):
+        domain.mark_active()
+        domain.mark_faulted()
+        domain.mark_active()  # retry path
+        assert domain.state is DomainState.ACTIVE
+
+
+class TestDiscard:
+    def test_discard_resets_heap_and_stack(self, domain):
+        domain.heap.malloc(128)
+        domain.stack.push_frame("f")
+        domain.discard()
+        assert domain.heap.stats().live_blocks == 0
+        assert domain.stack.depth == 0
+        assert domain.state is DomainState.INITIALIZED
+
+    def test_discard_counts_rewinds(self, domain):
+        domain.discard()
+        domain.discard()
+        assert domain.stats.rewinds == 2
+
+    def test_discard_without_scrub_returns_zero_pages(self, domain):
+        assert domain.discard() == 0
+
+    def test_discard_with_scrub_flag_scrubs(self, runtime):
+        domain = runtime.domain_init(
+            flags=DomainFlags.RETURN_TO_PARENT | DomainFlags.SCRUB_ON_DISCARD
+        )
+        pages = domain.discard()
+        expected = (domain.heap_size + domain.stack_size) // 4096
+        assert pages == expected
+
+
+class TestProperties:
+    def test_isolated_heap_by_default(self, domain):
+        assert domain.is_isolated_heap
+
+    def test_nonisolated_flag(self, runtime):
+        domain = runtime.domain_init(flags=DomainFlags.NONISOLATED_HEAP)
+        assert not domain.is_isolated_heap
+
+    def test_rewind_flag(self, runtime, domain):
+        assert domain.rewinds_on_fault  # conftest uses RETURN_TO_PARENT
+        plain = runtime.domain_init(flags=DomainFlags.DEFAULT)
+        assert not plain.rewinds_on_fault
+
+    def test_footprint(self, domain):
+        assert domain.footprint_bytes() == domain.heap_size + domain.stack_size
+
+    def test_fault_kind_accounting(self, domain):
+        domain.stats.record_fault("stack-canary")
+        domain.stats.record_fault("stack-canary")
+        domain.stats.record_fault("pkey-violation")
+        assert domain.stats.faults == 3
+        assert domain.stats.fault_kinds["stack-canary"] == 2

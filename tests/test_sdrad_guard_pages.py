@@ -1,0 +1,71 @@
+"""Tests for the guard-pages option (intra-domain adjacency hardening)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sdrad.constants import DomainFlags
+from repro.sdrad.detect import DetectionMechanism
+from repro.sdrad.runtime import SdradRuntime
+
+
+def heap_end_overflow(runtime: SdradRuntime, domain):
+    """Write a run of bytes that starts inside the heap's last page and
+    crosses its end."""
+    last = domain.heap_base + domain.heap_size - 8
+
+    def overflow(handle):
+        handle.store(last, b"X" * 64)
+
+    return runtime.execute(domain.udi, overflow)
+
+
+class TestGuardPages:
+    def test_without_guard_heap_overflow_reaches_own_stack(self):
+        runtime = SdradRuntime(guard_pages=False)
+        domain = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+        # heap and stack are adjacent and share the pkey: silent success
+        result = heap_end_overflow(runtime, domain)
+        assert result.ok
+
+    def test_with_guard_heap_overflow_faults(self):
+        runtime = SdradRuntime(guard_pages=True)
+        domain = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+        result = heap_end_overflow(runtime, domain)
+        assert not result.ok
+        assert result.fault.mechanism is DetectionMechanism.PAGE_FAULT
+
+    def test_guarded_regions_still_fully_usable(self):
+        runtime = SdradRuntime(guard_pages=True)
+        domain = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+
+        def fill(handle):
+            addr = handle.malloc(1024)
+            handle.store(addr, b"y" * 1024)
+            return handle.load(addr, 1024)
+
+        assert runtime.execute(domain.udi, fill).value == b"y" * 1024
+
+    def test_guard_pages_isolation_unchanged(self):
+        runtime = SdradRuntime(guard_pages=True)
+        a = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+        b = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+        result = runtime.execute(a.udi, lambda h: h.store(b.heap_base, b"x"))
+        assert result.fault.mechanism is DetectionMechanism.PKEY_VIOLATION
+
+    def test_region_recycling_with_guards(self):
+        runtime = SdradRuntime(guard_pages=True)
+        for _ in range(50):
+            domain = runtime.domain_init(
+                flags=DomainFlags.RETURN_TO_PARENT,
+                heap_size=64 * 1024,
+                stack_size=16 * 1024,
+            )
+            runtime.domain_destroy(domain.udi)
+
+    def test_guard_costs_address_space(self):
+        plain = SdradRuntime(guard_pages=False)
+        guarded = SdradRuntime(guard_pages=True)
+        plain.domain_init()
+        guarded.domain_init()
+        assert guarded._bump > plain._bump

@@ -1,0 +1,186 @@
+"""Tests for libmpk-style protection-key virtualisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SdradError
+from repro.sdrad.constants import DomainFlags
+from repro.sdrad.detect import DetectionMechanism
+from repro.sdrad.runtime import SdradRuntime
+
+
+@pytest.fixture
+def vruntime() -> SdradRuntime:
+    return SdradRuntime(key_virtualization=True)
+
+
+def make_domains(runtime: SdradRuntime, count: int):
+    return [
+        runtime.domain_init(
+            flags=DomainFlags.RETURN_TO_PARENT,
+            heap_size=64 * 1024,
+            stack_size=16 * 1024,
+        )
+        for _ in range(count)
+    ]
+
+
+class TestScalability:
+    def test_more_than_fifteen_domains(self, vruntime):
+        domains = make_domains(vruntime, 40)
+        assert len(domains) == 40
+
+    def test_all_domains_executable(self, vruntime):
+        domains = make_domains(vruntime, 30)
+        for domain in domains:
+            result = vruntime.execute(domain.udi, lambda h: h.udi)
+            assert result.ok and result.value == domain.udi
+
+    def test_without_virtualization_limit_still_holds(self, runtime):
+        from repro.errors import OutOfDomains
+
+        for _ in range(15):
+            runtime.domain_init()
+        with pytest.raises(OutOfDomains):
+            runtime.domain_init()
+
+
+class TestBindingMechanics:
+    def test_domain_starts_on_lock_key(self, vruntime):
+        domain = make_domains(vruntime, 1)[0]
+        assert domain.pkey == vruntime.keys.lock_pkey
+        assert not vruntime.keys.is_bound(domain.udi)
+
+    def test_first_entry_binds(self, vruntime):
+        domain = make_domains(vruntime, 1)[0]
+        vruntime.execute(domain.udi, lambda h: None)
+        assert vruntime.keys.is_bound(domain.udi)
+        assert domain.pkey != vruntime.keys.lock_pkey
+
+    def test_repeat_entry_is_a_hit(self, vruntime):
+        domain = make_domains(vruntime, 1)[0]
+        vruntime.execute(domain.udi, lambda h: None)
+        vruntime.execute(domain.udi, lambda h: None)
+        assert vruntime.keys.stats.binds == 1
+        assert vruntime.keys.stats.hits == 1
+        assert vruntime.keys.hit_rate() == pytest.approx(0.5)
+
+    def test_eviction_under_pressure(self, vruntime):
+        domains = make_domains(vruntime, 20)
+        for domain in domains:
+            vruntime.execute(domain.udi, lambda h: None)
+        assert vruntime.keys.stats.evictions > 0
+        # bound set never exceeds the physical pool
+        assert len(vruntime.keys.bound_domains) <= 14
+
+    def test_lru_eviction_order(self, vruntime):
+        domains = make_domains(vruntime, 15)
+        for domain in domains[:14]:  # fill the pool
+            vruntime.execute(domain.udi, lambda h: None)
+        first_bound = vruntime.keys.bound_domains[0]
+        vruntime.execute(domains[14].udi, lambda h: None)  # forces eviction
+        assert not vruntime.keys.is_bound(first_bound)
+
+    def test_destroy_returns_key_to_pool(self, vruntime):
+        domains = make_domains(vruntime, 14)
+        for domain in domains:
+            vruntime.execute(domain.udi, lambda h: None)
+        free_before = vruntime.keys.free_physical_keys
+        vruntime.domain_destroy(domains[0].udi)
+        assert vruntime.keys.free_physical_keys == free_before + 1
+
+    def test_rebind_charges_retag_cost(self, vruntime):
+        domains = make_domains(vruntime, 15)
+        for domain in domains[:14]:
+            vruntime.execute(domain.udi, lambda h: None)
+        before = vruntime.clock.now
+        vruntime.execute(domains[14].udi, lambda h: None)  # evict + bind
+        elapsed = vruntime.clock.now - before
+        # two retags (evictee + bindee), each 2 syscalls + per-page cost
+        assert elapsed > 4 * vruntime.cost.pkey_syscall
+
+    def test_hit_path_charges_no_retag(self, vruntime):
+        domain = make_domains(vruntime, 1)[0]
+        vruntime.execute(domain.udi, lambda h: None)
+        before = vruntime.clock.now
+        vruntime.execute(domain.udi, lambda h: None)
+        elapsed = vruntime.clock.now - before
+        assert elapsed == pytest.approx(vruntime.cost.domain_roundtrip())
+
+
+class TestIsolationUnderVirtualization:
+    def test_cross_domain_write_still_trapped(self, vruntime):
+        a, b = make_domains(vruntime, 2)
+        result = vruntime.execute(a.udi, lambda h: h.store(b.heap_base, b"x"))
+        assert not result.ok
+        assert result.fault.mechanism is DetectionMechanism.PKEY_VIOLATION
+
+    def test_evicted_domain_memory_is_locked(self, vruntime):
+        domains = make_domains(vruntime, 20)
+        for domain in domains:
+            vruntime.execute(domain.udi, lambda h: h.store(h.malloc(16), b"data"))
+        evicted = next(
+            d for d in domains if not vruntime.keys.is_bound(d.udi)
+        )
+        reader = next(d for d in domains if vruntime.keys.is_bound(d.udi))
+        result = vruntime.execute(
+            reader.udi, lambda h: h.load(evicted.heap_base, 4)
+        )
+        assert not result.ok
+        assert result.fault.mechanism is DetectionMechanism.PKEY_VIOLATION
+
+    def test_data_survives_eviction_and_rebind(self, vruntime):
+        domains = make_domains(vruntime, 20)
+        target = domains[0]
+        addr_holder = {}
+
+        def write(handle):
+            addr = handle.malloc(32)
+            handle.store(addr, b"survives eviction!")
+            addr_holder["addr"] = addr
+
+        vruntime.execute(target.udi, write)
+        # thrash the pool so the target is definitely evicted
+        for domain in domains[1:]:
+            vruntime.execute(domain.udi, lambda h: None)
+        assert not vruntime.keys.is_bound(target.udi)
+        result = vruntime.execute(
+            target.udi, lambda h: h.load(addr_holder["addr"], 18)
+        )
+        assert result.ok and result.value == b"survives eviction!"
+
+    def test_rewind_still_works_when_virtualized(self, vruntime):
+        domain = make_domains(vruntime, 1)[0]
+        result = vruntime.execute(domain.udi, lambda h: h.store(0, b"x"))
+        assert not result.ok
+        assert vruntime.execute(domain.udi, lambda h: "ok").value == "ok"
+
+    def test_entered_domain_never_evicted(self, vruntime):
+        domains = make_domains(vruntime, 16)
+
+        def nest(handle):
+            # enter the other 15 from inside domain 0: the innermost entries
+            # must not evict the currently executing domain
+            for other in domains[1:15]:
+                vruntime.execute(other.udi, lambda h: None)
+            return "done"
+
+        result = vruntime.execute(domains[0].udi, nest)
+        assert result.ok
+
+    def test_eviction_refused_if_all_keys_live(self, vruntime):
+        domains = make_domains(vruntime, 15)
+
+        def nest(remaining):
+            def inner(handle):
+                if remaining:
+                    result = vruntime.execute(remaining[0].udi, nest(remaining[1:]))
+                    return result
+                return "deepest"
+
+            return inner
+
+        # 15 nested live entries need 15 physical keys but only 14 exist
+        with pytest.raises(SdradError, match="cannot evict"):
+            vruntime.execute(domains[0].udi, nest(domains[1:]))

@@ -1,0 +1,65 @@
+"""Tests for recovery policies."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SegmentationFault
+from repro.sdrad.detect import classify
+from repro.sdrad.policy import (
+    AbortPolicy,
+    ProcessCrashed,
+    RetryPolicy,
+    RewindPolicy,
+    default_policy,
+)
+
+
+@pytest.fixture
+def report():
+    return classify(SegmentationFault(0x10), domain_udi=1)
+
+
+class TestRewindPolicy:
+    def test_always_rewinds(self, report):
+        decision = RewindPolicy().decide(report, attempt=1)
+        assert decision.rewind and not decision.retry and not decision.abort
+
+    def test_is_default(self):
+        assert isinstance(default_policy(), RewindPolicy)
+
+
+class TestAbortPolicy:
+    def test_always_aborts(self, report):
+        decision = AbortPolicy().decide(report, attempt=1)
+        assert decision.abort and not decision.rewind
+
+
+class TestRetryPolicy:
+    def test_retries_within_budget(self, report):
+        policy = RetryPolicy(max_retries=2)
+        assert policy.decide(report, attempt=1).retry
+        assert policy.decide(report, attempt=2).retry
+        assert not policy.decide(report, attempt=3).retry
+
+    def test_zero_retries_behaves_like_rewind(self, report):
+        policy = RetryPolicy(max_retries=0)
+        decision = policy.decide(report, attempt=1)
+        assert decision.rewind and not decision.retry and not decision.abort
+
+    def test_negative_budget_rejected(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_retries=-1)
+
+    def test_always_rewinds_never_aborts(self, report):
+        policy = RetryPolicy(max_retries=1)
+        for attempt in range(1, 5):
+            decision = policy.decide(report, attempt)
+            assert decision.rewind and not decision.abort
+
+
+class TestProcessCrashed:
+    def test_carries_report(self, report):
+        crash = ProcessCrashed(report)
+        assert crash.report is report
+        assert "page-fault" in str(crash)

@@ -1,0 +1,161 @@
+"""Tests for confidentiality compartments (read-only cross-domain grants)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SdradError
+from repro.sdrad.constants import DomainFlags
+from repro.sdrad.detect import DetectionMechanism
+from repro.sdrad.runtime import SdradRuntime
+
+
+@pytest.fixture
+def vault_setup(runtime):
+    """A vault domain holding a secret, and a worker domain."""
+    vault = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+    worker = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+    secret_addr = runtime.copy_into(vault.udi, b"vault secret: hunter2")
+    return runtime, vault, worker, secret_addr
+
+
+class TestReadGrants:
+    def test_granted_worker_can_read_vault(self, vault_setup):
+        runtime, vault, worker, secret_addr = vault_setup
+        result = runtime.execute(
+            worker.udi,
+            lambda h: h.load(secret_addr, 21),
+            read_grants=[vault.udi],
+        )
+        assert result.ok
+        assert result.value == b"vault secret: hunter2"
+
+    def test_grant_is_read_only(self, vault_setup):
+        runtime, vault, worker, secret_addr = vault_setup
+        result = runtime.execute(
+            worker.udi,
+            lambda h: h.store(secret_addr, b"TAMPERED"),
+            read_grants=[vault.udi],
+        )
+        assert not result.ok
+        assert result.fault.mechanism is DetectionMechanism.PKEY_VIOLATION
+        # vault contents untouched
+        assert runtime.copy_out(vault.udi, secret_addr, 21) == b"vault secret: hunter2"
+
+    def test_without_grant_reads_fault(self, vault_setup):
+        runtime, vault, worker, secret_addr = vault_setup
+        result = runtime.execute(worker.udi, lambda h: h.load(secret_addr, 21))
+        assert not result.ok
+        assert result.fault.mechanism is DetectionMechanism.PKEY_VIOLATION
+
+    def test_grant_expires_at_exit(self, vault_setup):
+        runtime, vault, worker, secret_addr = vault_setup
+        runtime.execute(
+            worker.udi, lambda h: h.load(secret_addr, 4), read_grants=[vault.udi]
+        )
+        # next entry without the grant: access denied again
+        result = runtime.execute(worker.udi, lambda h: h.load(secret_addr, 4))
+        assert not result.ok
+
+    def test_self_grant_rejected(self, vault_setup):
+        runtime, vault, worker, _ = vault_setup
+        with pytest.raises(SdradError, match="itself"):
+            runtime.execute(worker.udi, lambda h: None, read_grants=[worker.udi])
+
+    def test_unknown_grant_rejected(self, vault_setup):
+        runtime, _, worker, _ = vault_setup
+        from repro.errors import DomainNotFound
+
+        with pytest.raises(DomainNotFound):
+            runtime.execute(worker.udi, lambda h: None, read_grants=[999])
+
+    def test_multiple_grants(self, runtime):
+        vault_a = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+        vault_b = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+        worker = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+        addr_a = runtime.copy_into(vault_a.udi, b"AAAA")
+        addr_b = runtime.copy_into(vault_b.udi, b"BBBB")
+
+        def read_both(handle):
+            return handle.load(addr_a, 4) + handle.load(addr_b, 4)
+
+        result = runtime.execute(
+            worker.udi, read_both, read_grants=[vault_a.udi, vault_b.udi]
+        )
+        assert result.value == b"AAAABBBB"
+
+    def test_fault_in_granted_run_still_rewinds_worker_only(self, vault_setup):
+        runtime, vault, worker, secret_addr = vault_setup
+
+        def misbehave(handle):
+            handle.load(secret_addr, 4)  # allowed
+            handle.store(0, b"crash")  # then fault
+
+        result = runtime.execute(
+            worker.udi, misbehave, read_grants=[vault.udi]
+        )
+        assert not result.ok
+        # vault untouched, worker rewound, both usable
+        assert runtime.copy_out(vault.udi, secret_addr, 4) == b"vaul"
+        assert runtime.execute(worker.udi, lambda h: "ok").value == "ok"
+
+    def test_grants_work_with_key_virtualization(self):
+        runtime = SdradRuntime(key_virtualization=True)
+        vault = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+        workers = [
+            runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+            for _ in range(20)
+        ]
+        secret_addr = runtime.copy_into(vault.udi, b"shared-config")
+        for worker in workers:
+            result = runtime.execute(
+                worker.udi,
+                lambda h: h.load(secret_addr, 13),
+                read_grants=[vault.udi],
+            )
+            assert result.ok and result.value == b"shared-config"
+
+    def test_nested_execution_inner_lacks_outer_grants(self, vault_setup):
+        runtime, vault, worker, secret_addr = vault_setup
+        inner = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+
+        def outer_fn(handle):
+            # outer can read the vault; the nested inner domain cannot
+            assert handle.load(secret_addr, 4) == b"vaul"
+            inner_result = runtime.execute(
+                inner.udi, lambda h: h.load(secret_addr, 4)
+            )
+            return inner_result.ok
+
+        result = runtime.execute(worker.udi, outer_fn, read_grants=[vault.udi])
+        assert result.ok
+        assert result.value is False  # inner read was denied
+
+
+class TestGrantEvictionSafety:
+    def test_vault_not_evicted_while_granted(self):
+        """Nested binds inside a granted run must not recycle the vault's
+        key out from under the reader."""
+        runtime = SdradRuntime(key_virtualization=True)
+        vault = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+        secret_addr = runtime.copy_into(vault.udi, b"pinned secret")
+        worker = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+        others = [
+            runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+            for _ in range(20)
+        ]
+
+        def granted_run(handle):
+            before = handle.load(secret_addr, 13)
+            # thrash the key pool from inside the granted execution
+            for other in others:
+                runtime.execute(other.udi, lambda h: None)
+            after = handle.load(secret_addr, 13)
+            return bytes(before), bytes(after)
+
+        result = runtime.execute(
+            worker.udi, granted_run, read_grants=[vault.udi]
+        )
+        assert result.ok
+        before, after = result.value
+        assert before == after == b"pinned secret"

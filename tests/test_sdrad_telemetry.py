@@ -1,0 +1,95 @@
+"""Tests for runtime telemetry and cross-subsystem consistency."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.sdrad.constants import DomainFlags
+from repro.sdrad.runtime import SdradRuntime
+from repro.sdrad.telemetry import consistency_check, snapshot
+
+
+def busy_runtime() -> SdradRuntime:
+    runtime = SdradRuntime()
+    a = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+    b = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+    runtime.execute(a.udi, lambda h: h.store(h.malloc(32), b"data"))
+    runtime.execute(a.udi, lambda h: h.store(0, b"fault"))  # rewind
+    runtime.execute(b.udi, lambda h: None)
+    runtime.copy_into(b.udi, b"staged")
+    return runtime
+
+
+class TestSnapshot:
+    def test_totals(self):
+        data = snapshot(busy_runtime())
+        assert data["domain_count"] == 2
+        assert data["totals"]["faults"] == 1
+        assert data["totals"]["rewinds"] == 1
+        assert data["totals"]["entries"] == 3
+        assert data["totals"]["fault_mix"] == {"page-fault": 1}
+
+    def test_recovery_time_accounted(self):
+        runtime = busy_runtime()
+        data = snapshot(runtime)
+        assert data["totals"]["recovery_time"] == pytest.approx(
+            runtime.cost.rewind
+        )
+
+    def test_per_domain_rows(self):
+        data = snapshot(busy_runtime())
+        by_udi = {d["udi"]: d for d in data["domains"]}
+        assert by_udi[1]["faults"] == 1
+        assert by_udi[2]["faults"] == 0
+        assert by_udi[2]["bytes_copied_in"] == 6
+
+    def test_memory_counters_present(self):
+        data = snapshot(busy_runtime())
+        memory = data["memory"]
+        assert memory["checked_stores"] > 0
+        assert memory["wrpkru_writes"] > 0
+        assert memory["mapped_bytes"] <= memory["space_bytes"]
+
+    def test_json_serialisable(self):
+        json.dumps(snapshot(busy_runtime()))
+
+    def test_keyvirt_section_when_enabled(self):
+        runtime = SdradRuntime(key_virtualization=True)
+        domain = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+        runtime.execute(domain.udi, lambda h: None)
+        data = snapshot(runtime)
+        assert data["key_virtualization"]["binds"] == 1
+        assert data["key_virtualization"]["bound_domains"] == 1
+
+    def test_no_keyvirt_section_by_default(self):
+        assert "key_virtualization" not in snapshot(SdradRuntime())
+
+
+class TestConsistency:
+    def test_clean_runtime_has_no_problems(self):
+        assert consistency_check(busy_runtime()) == []
+
+    def test_heavy_mixed_usage_stays_consistent(self):
+        runtime = SdradRuntime()
+        domains = [
+            runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+            for _ in range(5)
+        ]
+        for i, domain in enumerate(domains * 4):
+            if i % 3 == 0:
+                runtime.execute(domain.udi, lambda h: h.store(0, b"x"))
+            else:
+                runtime.execute(domain.udi, lambda h: h.malloc(64))
+        assert consistency_check(runtime) == []
+
+    def test_after_destroy_books_balance(self):
+        runtime = SdradRuntime()
+        domain = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+        runtime.execute(domain.udi, lambda h: h.store(0, b"x"))
+        runtime.domain_destroy(domain.udi)
+        # destroyed domain leaves the listing; trace still shows its fault,
+        # so the check must not claim trace/stat divergence spuriously
+        problems = consistency_check(runtime)
+        assert all("destroyed" not in p for p in problems)

@@ -1,0 +1,155 @@
+"""Tests for the fault watchdog and its server integration."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.memcached_server import MemcachedServer
+from repro.sdrad.runtime import SdradRuntime
+from repro.sdrad.watchdog import FaultWatchdog, WatchdogConfig
+from repro.sim.clock import VirtualClock
+
+ATTACK = b"get " + b"K" * 270 + b"\r\n"
+
+
+@pytest.fixture
+def clock() -> VirtualClock:
+    return VirtualClock()
+
+
+class TestWatchdogCore:
+    def test_below_threshold_no_quarantine(self, clock):
+        watchdog = FaultWatchdog(clock, WatchdogConfig(threshold=3, window=1.0))
+        assert not watchdog.record_fault("c")
+        assert not watchdog.record_fault("c")
+        assert not watchdog.is_quarantined("c")
+
+    def test_threshold_trips_quarantine(self, clock):
+        watchdog = FaultWatchdog(clock, WatchdogConfig(threshold=3, window=1.0))
+        watchdog.record_fault("c")
+        watchdog.record_fault("c")
+        assert watchdog.record_fault("c")
+        assert watchdog.is_quarantined("c")
+        assert watchdog.total_quarantines == 1
+
+    def test_window_slides(self, clock):
+        watchdog = FaultWatchdog(clock, WatchdogConfig(threshold=3, window=1.0))
+        watchdog.record_fault("c")
+        clock.advance(2.0)  # first fault falls out of the window
+        watchdog.record_fault("c")
+        assert not watchdog.record_fault("c")
+        assert not watchdog.is_quarantined("c")
+
+    def test_quarantine_expires(self, clock):
+        config = WatchdogConfig(threshold=1, window=1.0, quarantine_period=10.0)
+        watchdog = FaultWatchdog(clock, config)
+        watchdog.record_fault("c")
+        assert watchdog.is_quarantined("c")
+        clock.advance(10.001)
+        assert not watchdog.is_quarantined("c")
+
+    def test_escalation_doubles(self, clock):
+        config = WatchdogConfig(threshold=1, window=1.0, quarantine_period=10.0)
+        watchdog = FaultWatchdog(clock, config)
+        watchdog.record_fault("c")
+        assert watchdog.quarantine_remaining("c") == pytest.approx(10.0)
+        clock.advance(11.0)
+        watchdog.record_fault("c")
+        assert watchdog.quarantine_remaining("c") == pytest.approx(20.0)
+        clock.advance(21.0)
+        watchdog.record_fault("c")
+        assert watchdog.quarantine_remaining("c") == pytest.approx(40.0)
+
+    def test_escalation_capped(self, clock):
+        config = WatchdogConfig(
+            threshold=1, window=1.0, quarantine_period=10.0, max_quarantine=25.0
+        )
+        watchdog = FaultWatchdog(clock, config)
+        for _ in range(5):
+            watchdog.record_fault("c")
+            clock.advance(watchdog.quarantine_remaining("c") + 0.1)
+        watchdog.record_fault("c")
+        assert watchdog.quarantine_remaining("c") <= 25.0
+
+    def test_principals_independent(self, clock):
+        watchdog = FaultWatchdog(clock, WatchdogConfig(threshold=2, window=1.0))
+        watchdog.record_fault("a")
+        watchdog.record_fault("b")
+        assert not watchdog.is_quarantined("a")
+        assert not watchdog.is_quarantined("b")
+        watchdog.record_fault("a")
+        assert watchdog.is_quarantined("a")
+        assert not watchdog.is_quarantined("b")
+
+    def test_pardon(self, clock):
+        watchdog = FaultWatchdog(clock, WatchdogConfig(threshold=1, window=1.0))
+        watchdog.record_fault("c")
+        watchdog.pardon("c")
+        assert not watchdog.is_quarantined("c")
+
+    def test_quarantined_principals_listing(self, clock):
+        watchdog = FaultWatchdog(clock, WatchdogConfig(threshold=1, window=1.0))
+        watchdog.record_fault("x")
+        assert watchdog.quarantined_principals() == ["x"]
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            WatchdogConfig(threshold=0)
+        with pytest.raises(ValueError):
+            WatchdogConfig(window=0)
+        with pytest.raises(ValueError):
+            WatchdogConfig(quarantine_period=0)
+        with pytest.raises(ValueError):
+            WatchdogConfig(quarantine_period=10, max_quarantine=5)
+
+
+class TestServerIntegration:
+    def make_server(self, threshold: int = 3) -> MemcachedServer:
+        runtime = SdradRuntime()
+        watchdog = FaultWatchdog(
+            runtime.clock,
+            WatchdogConfig(threshold=threshold, window=10.0, quarantine_period=60.0),
+        )
+        server = MemcachedServer(runtime, watchdog=watchdog)
+        server.connect("mallory")
+        server.connect("alice")
+        return server
+
+    def test_attacker_gets_quarantined(self):
+        server = self.make_server(threshold=3)
+        for _ in range(3):
+            server.handle("mallory", ATTACK)
+        assert server.metrics.quarantines == 1
+        response = server.handle("mallory", b"get x\r\n")
+        assert response == b"SERVER_ERROR client quarantined\r\n"
+        assert server.metrics.quarantine_refusals == 1
+
+    def test_quarantined_requests_cost_nothing(self):
+        server = self.make_server(threshold=1)
+        server.handle("mallory", ATTACK)
+        before = server.runtime.clock.now
+        server.handle("mallory", ATTACK)
+        # refused at the front door: no parse, no domain switch, no rewind
+        assert server.runtime.clock.now == before
+
+    def test_benign_client_unaffected_by_quarantine(self):
+        server = self.make_server(threshold=1)
+        server.handle("mallory", ATTACK)
+        assert server.handle("alice", b"set k 0 0 2\r\nhi\r\n") == b"STORED\r\n"
+
+    def test_quarantine_stops_rewind_burn(self):
+        """The energy argument: with the watchdog, a fault-spinning attacker
+        stops costing rewinds after the threshold."""
+        server = self.make_server(threshold=3)
+        for _ in range(20):
+            server.handle("mallory", ATTACK)
+        assert server.metrics.rewinds == 3  # then the door closed
+        assert server.metrics.quarantine_refusals == 17
+
+    def test_no_watchdog_means_unbounded_rewinds(self):
+        runtime = SdradRuntime()
+        server = MemcachedServer(runtime)
+        server.connect("mallory")
+        for _ in range(20):
+            server.handle("mallory", ATTACK)
+        assert server.metrics.rewinds == 20

@@ -1,0 +1,125 @@
+"""Tests for the cost model — the calibration against the paper's numbers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import MICROSECONDS, MINUTES
+from repro.sim.cost import DEFAULT_COST_MODEL, GIB, CostModel
+
+
+class TestPaperCalibration:
+    """The constants the whole reproduction hangs on."""
+
+    def test_rewind_is_3_5_microseconds(self):
+        assert DEFAULT_COST_MODEL.rewind == pytest.approx(3.5e-6)
+
+    def test_restart_at_10gib_is_about_two_minutes(self):
+        t = DEFAULT_COST_MODEL.process_restart_time(10 * GIB)
+        assert 1.5 * MINUTES < t < 2.5 * MINUTES
+
+    def test_rewind_vs_restart_ratio_is_seven_orders(self):
+        restart = DEFAULT_COST_MODEL.process_restart_time(10 * GIB)
+        ratio = restart / DEFAULT_COST_MODEL.rewind
+        assert ratio > 1e7
+
+    def test_domain_roundtrip_is_sub_microsecond(self):
+        assert DEFAULT_COST_MODEL.domain_roundtrip() < 1 * MICROSECONDS
+
+    def test_isolation_overhead_band_on_memcached(self):
+        """Per-request isolation must land in the paper's 2-4 % band."""
+        overhead = (
+            DEFAULT_COST_MODEL.domain_roundtrip() / DEFAULT_COST_MODEL.memcached_op
+        )
+        assert 0.02 <= overhead <= 0.04
+
+
+class TestRestartTimes:
+    def test_restart_scales_linearly_with_dataset(self):
+        m = DEFAULT_COST_MODEL
+        t1 = m.process_restart_time(1 * GIB)
+        t2 = m.process_restart_time(2 * GIB)
+        reload_delta = t2 - t1
+        assert reload_delta == pytest.approx(GIB / m.reload_bandwidth_bytes_per_s)
+
+    def test_zero_dataset_restart_is_base_cost(self):
+        m = DEFAULT_COST_MODEL
+        assert m.process_restart_time(0) == pytest.approx(m.process_restart_base)
+
+    def test_container_slower_than_process(self):
+        m = DEFAULT_COST_MODEL
+        assert m.container_restart_time(GIB) > m.process_restart_time(GIB)
+
+    def test_negative_dataset_rejected(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.process_restart_time(-1)
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.container_restart_time(-1)
+
+
+class TestRewindTime:
+    def test_scrubbing_adds_per_page_cost(self):
+        m = DEFAULT_COST_MODEL
+        assert m.rewind_time(scrub_pages=10) == pytest.approx(
+            m.rewind + 10 * m.scrub_page
+        )
+
+    def test_no_scrub_is_plain_rewind(self):
+        assert DEFAULT_COST_MODEL.rewind_time() == DEFAULT_COST_MODEL.rewind
+
+
+class TestDataMovement:
+    def test_copy_time_linear(self):
+        m = DEFAULT_COST_MODEL
+        assert m.copy_time(2000) == pytest.approx(2 * m.copy_time(1000))
+
+    def test_copy_time_rejects_negative(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.copy_time(-1)
+
+    def test_serializer_ladder(self):
+        """bincode must be fastest, json slowest — the E6 expectation."""
+        m = DEFAULT_COST_MODEL
+        size = 64 * 1024
+        times = {
+            name: m.serialize_time(name, size)
+            for name in ("bincode", "msgpack", "json", "pickle")
+        }
+        assert times["bincode"] < times["msgpack"] < times["json"]
+        assert times["bincode"] < times["pickle"] < times["json"]
+
+    def test_unknown_serializer_rejected(self):
+        with pytest.raises(KeyError):
+            DEFAULT_COST_MODEL.serialize_time("capnproto", 10)
+
+    def test_serialize_rejects_negative_bytes(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.serialize_time("json", -5)
+
+
+class TestScaling:
+    def test_scaled_multiplies_isolation_costs(self):
+        scaled = DEFAULT_COST_MODEL.scaled(10.0)
+        assert scaled.rewind == pytest.approx(10 * DEFAULT_COST_MODEL.rewind)
+        assert scaled.domain_enter == pytest.approx(
+            10 * DEFAULT_COST_MODEL.domain_enter
+        )
+
+    def test_scaled_leaves_service_costs_alone(self):
+        scaled = DEFAULT_COST_MODEL.scaled(10.0)
+        assert scaled.memcached_op == DEFAULT_COST_MODEL.memcached_op
+        assert scaled.process_restart_base == DEFAULT_COST_MODEL.process_restart_base
+
+    def test_scaled_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.scaled(0)
+        with pytest.raises(ValueError):
+            DEFAULT_COST_MODEL.scaled(-2)
+
+    def test_model_is_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_COST_MODEL.rewind = 1.0  # type: ignore[misc]
+
+    def test_custom_model_propagates(self):
+        model = CostModel(rewind=1e-3)
+        assert model.rewind_time() == pytest.approx(1e-3)

@@ -1,0 +1,253 @@
+"""Tests for the discrete-event engine."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.engine import Engine
+
+
+class TestScheduling:
+    def test_events_run_in_time_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(3.0, lambda: order.append("c"))
+        engine.schedule(1.0, lambda: order.append("a"))
+        engine.schedule(2.0, lambda: order.append("b"))
+        engine.run()
+        assert order == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        engine = Engine()
+        order = []
+        engine.schedule(1.0, lambda: order.append(1))
+        engine.schedule(1.0, lambda: order.append(2))
+        engine.schedule(1.0, lambda: order.append(3))
+        engine.run()
+        assert order == [1, 2, 3]
+
+    def test_clock_advances_to_event_times(self):
+        engine = Engine()
+        seen = []
+        engine.schedule(2.5, lambda: seen.append(engine.now))
+        engine.run()
+        assert seen == [2.5]
+
+    def test_negative_delay_rejected(self):
+        engine = Engine()
+        with pytest.raises(SimulationError):
+            engine.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self):
+        engine = Engine()
+        engine.schedule(1.0, lambda: None)
+        engine.run()
+        with pytest.raises(SimulationError):
+            engine.schedule_at(0.5, lambda: None)
+
+    def test_run_until_stops_early(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(2))
+        engine.run(until=5.0)
+        assert fired == [1]
+        assert engine.now == 5.0
+        assert engine.pending_events == 1
+
+    def test_run_until_advances_clock_without_events(self):
+        engine = Engine()
+        engine.run(until=100.0)
+        assert engine.now == 100.0
+
+    def test_events_can_schedule_events(self):
+        engine = Engine()
+        log = []
+
+        def first():
+            log.append(("first", engine.now))
+            engine.schedule(2.0, lambda: log.append(("second", engine.now)))
+
+        engine.schedule(1.0, first)
+        engine.run()
+        assert log == [("first", 1.0), ("second", 3.0)]
+
+
+class TestProcesses:
+    def test_process_sleeps(self):
+        engine = Engine()
+        log = []
+
+        def worker():
+            log.append(engine.now)
+            yield 1.5
+            log.append(engine.now)
+            yield 0.5
+            log.append(engine.now)
+
+        engine.spawn(worker())
+        engine.run()
+        assert log == [0.0, 1.5, 2.0]
+
+    def test_process_result_captured(self):
+        engine = Engine()
+
+        def worker():
+            yield 1.0
+            return 42
+
+        process = engine.spawn(worker())
+        engine.run()
+        assert process.finished
+        assert process.result == 42
+
+    def test_process_join(self):
+        engine = Engine()
+        log = []
+
+        def child():
+            yield 2.0
+            return "done"
+
+        def parent():
+            result = yield engine.spawn(child())
+            log.append((engine.now, result))
+
+        engine.spawn(parent())
+        engine.run()
+        assert log == [(2.0, "done")]
+
+    def test_join_already_finished_process(self):
+        engine = Engine()
+        log = []
+
+        def child():
+            yield 0.5
+            return 7
+
+        child_process = engine.spawn(child())
+
+        def parent():
+            yield 1.0  # child finishes first
+            value = yield child_process
+            log.append(value)
+
+        engine.spawn(parent())
+        engine.run()
+        assert log == [7]
+
+    def test_process_error_propagates(self):
+        engine = Engine()
+
+        def bad():
+            yield 1.0
+            raise RuntimeError("boom")
+
+        engine.spawn(bad())
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.run()
+
+    def test_daemon_error_is_contained(self):
+        engine = Engine()
+        log = []
+
+        def bad():
+            yield 1.0
+            raise RuntimeError("boom")
+
+        def good():
+            yield 2.0
+            log.append("ok")
+
+        process = engine.spawn(bad(), daemon=True)
+        engine.spawn(good())
+        engine.run()
+        assert log == ["ok"]
+        assert isinstance(process.error, RuntimeError)
+
+    def test_negative_yield_rejected(self):
+        engine = Engine()
+
+        def bad():
+            yield -1.0
+
+        engine.spawn(bad())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_unsupported_yield_rejected(self):
+        engine = Engine()
+
+        def bad():
+            yield "nonsense"
+
+        engine.spawn(bad())
+        with pytest.raises(SimulationError):
+            engine.run()
+
+    def test_spawn_with_delay(self):
+        engine = Engine()
+        log = []
+
+        def worker():
+            log.append(engine.now)
+            yield 0.0
+
+        engine.spawn(worker(), delay=5.0)
+        engine.run()
+        assert log == [5.0]
+
+    def test_many_processes_interleave(self):
+        engine = Engine()
+        log = []
+
+        def worker(name, period):
+            for _ in range(3):
+                yield period
+                log.append((name, engine.now))
+
+        engine.spawn(worker("a", 1.0))
+        engine.spawn(worker("b", 1.5))
+        engine.run()
+        # at t=3.0 both fire; b's event was scheduled earlier (at t=1.5)
+        # so insertion order puts it first
+        assert log == [
+            ("a", 1.0),
+            ("b", 1.5),
+            ("a", 2.0),
+            ("b", 3.0),
+            ("a", 3.0),
+            ("b", 4.5),
+        ]
+
+    def test_run_not_reentrant(self):
+        engine = Engine()
+
+        def recurse():
+            engine.run()
+
+        engine.schedule(1.0, recurse)
+        with pytest.raises(SimulationError):
+            engine.run()
+
+
+class TestResumableRuns:
+    def test_run_until_then_continue(self):
+        engine = Engine()
+        fired = []
+        engine.schedule(1.0, lambda: fired.append(1))
+        engine.schedule(10.0, lambda: fired.append(2))
+        engine.run(until=5.0)
+        assert fired == [1]
+        engine.run()  # drain the rest
+        assert fired == [1, 2]
+        assert engine.now == 10.0
+
+    def test_scheduling_between_runs(self):
+        engine = Engine()
+        fired = []
+        engine.run(until=3.0)
+        engine.schedule(1.0, lambda: fired.append(engine.now))
+        engine.run()
+        assert fired == [4.0]

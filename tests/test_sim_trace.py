@@ -1,0 +1,106 @@
+"""Tests for structured tracing and downtime extraction."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.trace import Tracer
+
+
+class TestRecording:
+    def test_records_in_order(self):
+        tracer = Tracer()
+        tracer.record(1.0, "a")
+        tracer.record(2.0, "b", detail=1)
+        assert [e.kind for e in tracer.events] == ["a", "b"]
+        assert tracer.events[1].details == {"detail": 1}
+
+    def test_len_and_count(self):
+        tracer = Tracer()
+        tracer.record(0.0, "x")
+        tracer.record(1.0, "x")
+        tracer.record(2.0, "y")
+        assert len(tracer) == 3
+        assert tracer.count("x") == 2
+
+    def test_of_kind_filters(self):
+        tracer = Tracer()
+        tracer.record(0.0, "a")
+        tracer.record(1.0, "b")
+        tracer.record(2.0, "a")
+        assert [e.timestamp for e in tracer.of_kind("a")] == [0.0, 2.0]
+
+    def test_first_and_last(self):
+        tracer = Tracer()
+        tracer.record(0.0, "x", n=1)
+        tracer.record(5.0, "x", n=2)
+        assert tracer.first("x").details["n"] == 1
+        assert tracer.last("x").details["n"] == 2
+        assert tracer.first("missing") is None
+        assert tracer.last("missing") is None
+
+    def test_capacity_limit(self):
+        tracer = Tracer(capacity=2)
+        for i in range(5):
+            tracer.record(float(i), "e")
+        assert len(tracer) == 2
+
+    def test_subscriber_sees_all_events(self):
+        tracer = Tracer(capacity=1)
+        seen = []
+        tracer.subscribe(seen.append)
+        tracer.record(0.0, "a")
+        tracer.record(1.0, "b")
+        assert [e.kind for e in seen] == ["a", "b"]
+
+
+class TestDowntime:
+    def test_single_interval(self):
+        tracer = Tracer()
+        tracer.record(10.0, "service.down")
+        tracer.record(15.0, "service.up")
+        assert tracer.down_intervals() == [(10.0, 15.0)]
+        assert tracer.downtime(horizon=100.0) == pytest.approx(5.0)
+
+    def test_multiple_intervals(self):
+        tracer = Tracer()
+        for down, up in [(1.0, 2.0), (5.0, 9.0)]:
+            tracer.record(down, "service.down")
+            tracer.record(up, "service.up")
+        assert tracer.downtime(horizon=10.0) == pytest.approx(5.0)
+
+    def test_trailing_down_closed_at_horizon(self):
+        tracer = Tracer()
+        tracer.record(90.0, "service.down")
+        assert tracer.downtime(horizon=100.0) == pytest.approx(10.0)
+
+    def test_trailing_down_dropped_without_horizon(self):
+        tracer = Tracer()
+        tracer.record(90.0, "service.down")
+        assert tracer.down_intervals() == []
+
+    def test_duplicate_down_events_ignored(self):
+        tracer = Tracer()
+        tracer.record(1.0, "service.down")
+        tracer.record(2.0, "service.down")  # nested/duplicate
+        tracer.record(3.0, "service.up")
+        assert tracer.down_intervals() == [(1.0, 3.0)]
+
+    def test_up_without_down_ignored(self):
+        tracer = Tracer()
+        tracer.record(1.0, "service.up")
+        assert tracer.down_intervals() == []
+        assert tracer.downtime(horizon=10.0) == 0.0
+
+    def test_custom_kinds(self):
+        tracer = Tracer()
+        tracer.record(0.0, "db.offline")
+        tracer.record(4.0, "db.online")
+        intervals = tracer.down_intervals("db.offline", "db.online")
+        assert intervals == [(0.0, 4.0)]
+
+    def test_interval_past_horizon_truncated(self):
+        tracer = Tracer()
+        tracer.record(95.0, "service.down")
+        tracer.record(110.0, "service.up")
+        assert tracer.downtime(horizon=100.0) == pytest.approx(5.0)

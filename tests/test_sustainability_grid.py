@@ -1,0 +1,127 @@
+"""Tests for the diurnal grid-intensity model and carbon-aware analysis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.clock import DAYS, HOURS, YEARS
+from repro.sustainability.grid import (
+    DiurnalIntensity,
+    best_maintenance_window,
+    interval_emissions_g,
+    recovery_emissions,
+    standby_replica_emissions_g,
+)
+
+
+@pytest.fixture
+def grid() -> DiurnalIntensity:
+    return DiurnalIntensity()
+
+
+class TestDiurnalShape:
+    def test_always_positive(self, grid):
+        for hour in range(24):
+            assert grid.at(hour * HOURS) > 0
+
+    def test_daily_periodicity(self, grid):
+        for hour in (0, 6, 12, 18):
+            assert grid.at(hour * HOURS) == pytest.approx(
+                grid.at(hour * HOURS + 3 * DAYS)
+            )
+
+    def test_evening_peak(self, grid):
+        evening = grid.at(19 * HOURS)
+        night = grid.at(3 * HOURS)
+        assert evening > night
+
+    def test_peak_exceeds_trough_substantially(self, grid):
+        assert grid.peak() > 1.5 * grid.trough()
+
+    def test_mean_over_full_day_near_mean(self, grid):
+        mean = grid.mean_over(0.0, DAYS, steps=24 * 60)
+        assert mean == pytest.approx(grid.mean_g_per_kwh, rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalIntensity(mean_g_per_kwh=-1)
+        with pytest.raises(ValueError):
+            DiurnalIntensity(primary_amplitude=0.7, secondary_amplitude=0.4)
+        with pytest.raises(ValueError):
+            DiurnalIntensity().mean_over(0.0, 0.0)
+
+
+class TestIntervalEmissions:
+    def test_one_kwh_at_constant_grid(self):
+        flat = DiurnalIntensity(primary_amplitude=0.0, secondary_amplitude=0.0)
+        grams = interval_emissions_g(flat, 1000.0, 0.0, HOURS)
+        assert grams == pytest.approx(300.0)
+
+    def test_peak_window_emits_more(self, grid):
+        peak = interval_emissions_g(grid, 500.0, 19 * HOURS, HOURS)
+        trough_start, _ = best_maintenance_window(grid, HOURS)
+        trough = interval_emissions_g(grid, 500.0, trough_start, HOURS)
+        assert peak > trough
+
+    def test_zero_duration_is_zero(self, grid):
+        assert interval_emissions_g(grid, 500.0, 0.0, 0.0) == 0.0
+
+    def test_negative_power_rejected(self, grid):
+        with pytest.raises(ValueError):
+            interval_emissions_g(grid, -1.0, 0.0, 1.0)
+
+
+class TestRecoveryEmissions:
+    def test_rewind_recovery_is_negligible(self, grid):
+        times = [i * (YEARS / 1000) for i in range(1000)]
+        result = recovery_emissions("rewind", times, 3.5e-6, 300.0, grid)
+        assert result.recovery_emissions_g < 0.01  # grams, for 1000 faults
+
+    def test_restart_recovery_is_measurable(self, grid):
+        times = [i * (YEARS / 100) for i in range(100)]
+        result = recovery_emissions("restart", times, 120.0, 300.0, grid)
+        assert result.recovery_emissions_g > 100.0
+
+    def test_bounds_bracket_actual(self, grid):
+        times = [i * (YEARS / 50) for i in range(50)]
+        result = recovery_emissions("restart", times, 120.0, 300.0, grid)
+        assert result.best_case_g <= result.recovery_emissions_g <= result.worst_case_g
+
+    def test_timing_exposure_ratio(self, grid):
+        result = recovery_emissions("restart", [0.0], 120.0, 300.0, grid)
+        assert result.worst_case_g > 1.5 * result.best_case_g
+
+
+class TestStandbyReplica:
+    def test_standby_dwarfs_recovery_windows(self, grid):
+        standby = standby_replica_emissions_g(grid, 150.0, YEARS)
+        restarts = recovery_emissions(
+            "restart", [i * (YEARS / 10) for i in range(10)], 120.0, 300.0, grid
+        )
+        assert standby > 1000 * restarts.recovery_emissions_g
+
+    def test_scales_with_horizon(self, grid):
+        one = standby_replica_emissions_g(grid, 100.0, 30 * DAYS)
+        two = standby_replica_emissions_g(grid, 100.0, 60 * DAYS)
+        assert two == pytest.approx(2 * one, rel=0.01)
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            standby_replica_emissions_g(grid, 100.0, 0.0)
+
+
+class TestMaintenanceWindow:
+    def test_best_window_is_off_peak(self, grid):
+        start, mean = best_maintenance_window(grid, 2 * HOURS)
+        assert mean < grid.mean_g_per_kwh  # better than average
+        # not during the evening peak
+        peak_seconds = 19 * HOURS
+        assert not (peak_seconds - HOURS < start < peak_seconds + HOURS)
+
+    def test_window_mean_is_achievable(self, grid):
+        start, mean = best_maintenance_window(grid, HOURS)
+        assert mean == pytest.approx(grid.mean_over(start, HOURS))
+
+    def test_validation(self, grid):
+        with pytest.raises(ValueError):
+            best_maintenance_window(grid, 0.0)

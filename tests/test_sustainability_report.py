@@ -1,0 +1,87 @@
+"""Tests for the report formatting helpers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.faultinj.campaign import PeriodicArrivals
+from repro.resilience.simulation import compare_strategies
+from repro.resilience.strategy import RecoveryStrategyModel
+from repro.sim.clock import YEARS
+from repro.sim.cost import GIB
+from repro.sustainability.lca import LifecycleAssessment
+from repro.sustainability.report import (
+    availability_table,
+    format_availability,
+    format_seconds,
+    format_table,
+    lca_table,
+)
+
+
+class TestFormatSeconds:
+    @pytest.mark.parametrize(
+        "value, expected",
+        [
+            (0.0, "0 s"),
+            (3e-8, "30.0 ns"),
+            (3.5e-6, "3.5 µs"),
+            (0.002, "2.0 ms"),
+            (1.5, "1.5 s"),
+            (119.0, "119.0 s"),
+            (300.0, "5.0 min"),
+            (7200.0, "2.0 h"),
+        ],
+    )
+    def test_scales(self, value, expected):
+        assert format_seconds(value) == expected
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            format_seconds(-1.0)
+
+
+class TestFormatAvailability:
+    def test_shows_enough_digits_for_five_nines(self):
+        assert format_availability(0.99999) == "99.999000 %"
+        assert format_availability(1.0) == "100.000000 %"
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        text = format_table(("a", "long-header"), [("x", 1), ("yyyy", 22)])
+        lines = text.splitlines()
+        assert len(lines) == 4  # header, rule, two rows
+        assert lines[0].startswith("a")
+        assert "long-header" in lines[0]
+        assert set(lines[1]) <= {"-", " "}
+
+    def test_handles_empty_rows(self):
+        text = format_table(("only", "headers"), [])
+        assert "only" in text
+
+    def test_columns_line_up(self):
+        text = format_table(("col1", "col2"), [("a", "b"), ("ccc", "d")])
+        lines = text.splitlines()
+        # 'col2' and 'b'/'d' start at the same offset
+        offset = lines[0].index("col2")
+        assert lines[2][offset] == "b"
+        assert lines[3][offset] == "d"
+
+
+class TestDomainTables:
+    def test_availability_table_renders(self):
+        model = RecoveryStrategyModel()
+        times = list(PeriodicArrivals(3).times(YEARS))
+        outcomes = compare_strategies(model.all_for(10 * GIB), times)
+        text = availability_table(outcomes)
+        assert "sdrad-rewind" in text
+        assert "NO" in text  # the violating restart rows
+        assert "yes" in text
+
+    def test_lca_table_renders(self):
+        rows = LifecycleAssessment().assess(10 * GIB, 3)
+        text = lca_table(rows)
+        assert "kWh/yr" in text
+        assert "sdrad-rewind" in text
+        assert "total-kgCO2e" in text

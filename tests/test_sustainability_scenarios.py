@@ -1,0 +1,70 @@
+"""Tests for fleet-scale case-study scenarios."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sustainability.scenarios import (
+    CDN_CACHE,
+    DEFAULT_SCENARIOS,
+    SMART_GRID,
+    TELECOM_EDGE,
+    assess_fleet,
+    summarize,
+)
+
+
+class TestScenarioDefinitions:
+    def test_three_default_scenarios(self):
+        assert len(DEFAULT_SCENARIOS) == 3
+        names = {s.name for s in DEFAULT_SCENARIOS}
+        assert names == {"telecom-edge", "smart-grid", "cdn-cache"}
+
+    def test_carrier_grade_targets_five_nines(self):
+        assert TELECOM_EDGE.availability_target == 0.99999
+        assert SMART_GRID.availability_target == 0.99999
+
+    def test_cdn_targets_four_nines(self):
+        assert CDN_CACHE.availability_target == 0.9999
+
+
+class TestFleetAssessment:
+    def test_telecom_needs_replication_without_sdrad(self):
+        assessment = assess_fleet(TELECOM_EDGE)
+        assert assessment.fleet_servers_restart == 2 * TELECOM_EDGE.nodes
+        assert assessment.fleet_servers_sdrad == TELECOM_EDGE.nodes
+        assert assessment.servers_avoided == TELECOM_EDGE.nodes
+
+    def test_telecom_savings_positive(self):
+        assessment = assess_fleet(TELECOM_EDGE)
+        assert assessment.fleet_kwh_saving > 1e6  # > 1 GWh across the fleet
+        assert assessment.fleet_carbon_saving_kg > 1e5
+
+    def test_cdn_negative_control(self):
+        """Four nines at these fault rates doesn't force replication, so
+        SDRaD saves no hardware — the honest boundary of the claim."""
+        assessment = assess_fleet(CDN_CACHE)
+        assert assessment.servers_avoided == 0
+        assert assessment.fleet_carbon_saving_kg == 0.0
+
+    def test_rebound_scales_savings(self):
+        nominal = assess_fleet(TELECOM_EDGE).fleet_carbon_saving_kg
+        rebounded = assess_fleet(
+            TELECOM_EDGE, rebound_fraction=0.4
+        ).fleet_carbon_saving_kg
+        assert rebounded == pytest.approx(0.6 * nominal)
+
+    def test_per_node_rows_included(self):
+        assessment = assess_fleet(SMART_GRID)
+        strategies = {row.strategy for row in assessment.per_node_rows}
+        assert "sdrad-rewind" in strategies
+        assert "process-restart" in strategies
+
+
+class TestSummary:
+    def test_summary_rows(self):
+        assessments = [assess_fleet(s) for s in DEFAULT_SCENARIOS]
+        rows = summarize(assessments)
+        assert len(rows) == 3
+        assert rows[0][0] == "telecom-edge"
+        assert all(len(row) == 7 for row in rows)
