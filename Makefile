@@ -1,6 +1,6 @@
 # Convenience targets for the SDRaD reproduction.
 
-.PHONY: install test bench tables examples all
+.PHONY: install test bench bench-fast tables examples all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -10,6 +10,13 @@ test:
 
 bench:
 	pytest benchmarks/ --benchmark-only
+
+# Wall-clock harness for the simulation itself (TLB fast path, lazy scrub,
+# kvstore end-to-end). Writes BENCH_PR1.json and fails on >20% regression
+# against the previous BENCH_*.json.
+bench-fast:
+	PYTHONPATH=src python scripts/bench.py --out BENCH_PR1.json
+	python scripts/check_bench_regression.py
 
 tables:
 	pytest benchmarks/ -s --benchmark-disable

@@ -110,7 +110,9 @@ def test_e2_scrub_ablation(experiment_printer):
     microseconds; scrubbing a large domain costs 100× more."""
     rows = []
     for heap_kib in (64, 256, 1024):
-        runtime = SdradRuntime()
+        # Eager mode charges the scrub at discard time — that is the cost
+        # this ablation exists to expose (lazy, the default, defers it).
+        runtime = SdradRuntime(scrub_mode="eager")
         plain = runtime.domain_init(
             flags=DomainFlags.RETURN_TO_PARENT, heap_size=heap_kib * 1024
         )

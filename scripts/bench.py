@@ -1,0 +1,252 @@
+#!/usr/bin/env python
+"""Wall-clock performance harness for the simulated memory system.
+
+Measures the *host-time* cost of the simulation itself — not the virtual
+time the cost model charges (those numbers are what the experiments report
+and are unchanged by any of this). Four benches:
+
+* ``raw_access``     — checked load/store on a hot page, software TLB on
+                       vs. off (the tentpole speedup; the off run is the
+                       seed behaviour);
+* ``domain_switch``  — enter/exit a persistent domain with a trivial body;
+* ``fault_rewind``   — inject a stack smash and rewind, lazy vs. eager
+                       scrub (the E2b ablation axis, now also a wall-clock
+                       axis);
+* ``kvstore_e2e``    — the Memcached retrofit end-to-end: per-connection
+                       isolation, set/get mix through the unsafe parser,
+                       TLB on vs. off.
+
+Writes machine-readable results (ops/sec plus on/off speedups) to a JSON
+file — ``BENCH_PR1.json`` by default — which ``check_bench_regression.py``
+compares across PRs.
+
+Usage::
+
+    PYTHONPATH=src python scripts/bench.py [--out BENCH_PR1.json] [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.apps.memcached_server import IsolationMode, MemcachedServer
+from repro.memory.address_space import AddressSpace
+from repro.memory.layout import PAGE_SIZE
+from repro.sdrad.constants import DomainFlags
+from repro.sdrad.runtime import SdradRuntime
+
+
+def _measure(fn, *, min_time: float = 0.25, batch: int = 1) -> dict:
+    """Run ``fn(n)`` (which performs ``n`` operations) until ``min_time``
+    seconds of wall-clock have accumulated; return ops/sec statistics."""
+    # Warm up and calibrate the batch size so one call takes ~10 ms.
+    n = batch
+    while True:
+        start = time.perf_counter()
+        fn(n)
+        elapsed = time.perf_counter() - start
+        if elapsed >= 0.01:
+            break
+        n *= 4
+    best = 0.0
+    total_ops = 0
+    total_time = 0.0
+    while total_time < min_time:
+        start = time.perf_counter()
+        fn(n)
+        elapsed = time.perf_counter() - start
+        rate = n / elapsed
+        best = max(best, rate)
+        total_ops += n
+        total_time += elapsed
+    return {
+        "ops_per_sec": round(total_ops / total_time, 1),
+        "best_ops_per_sec": round(best, 1),
+        "ops": total_ops,
+        "seconds": round(total_time, 4),
+    }
+
+
+# ----------------------------------------------------------------------
+# Bench 1: raw checked access
+# ----------------------------------------------------------------------
+
+def bench_raw_access(min_time: float) -> dict:
+    def run(tlb: bool) -> dict:
+        space = AddressSpace(size=PAGE_SIZE * 16, tlb_enabled=tlb)
+        space.page_table.map_range(0, 4 * PAGE_SIZE, pkey=0)
+        space.store(64, b"x" * 32)
+
+        def loop(n: int) -> None:
+            load = space.load
+            store = space.store
+            payload = b"y" * 32
+            for _ in range(n // 2):
+                load(64, 32)
+                store(64, payload)
+
+        return _measure(loop, min_time=min_time, batch=2048)
+
+    on = run(True)
+    off = run(False)
+    return {
+        "tlb_on": on,
+        "tlb_off": off,
+        "speedup": round(on["ops_per_sec"] / off["ops_per_sec"], 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# Bench 2: domain switch
+# ----------------------------------------------------------------------
+
+def bench_domain_switch(min_time: float) -> dict:
+    runtime = SdradRuntime()
+    domain = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+
+    def body(handle):
+        return None
+
+    def loop(n: int) -> None:
+        execute = runtime.execute
+        udi = domain.udi
+        for _ in range(n):
+            execute(udi, body)
+
+    return _measure(loop, min_time=min_time, batch=64)
+
+
+# ----------------------------------------------------------------------
+# Bench 3: fault -> rewind cycle
+# ----------------------------------------------------------------------
+
+def bench_fault_rewind(min_time: float) -> dict:
+    def smash(handle):
+        frame = handle.push_frame("victim")
+        buf = frame.alloca(32)
+        frame.write_buffer(buf, b"A" * 128)  # canary smash
+
+    def run(mode: str) -> dict:
+        runtime = SdradRuntime(scrub_mode=mode)
+        domain = runtime.domain_init(
+            flags=DomainFlags.RETURN_TO_PARENT | DomainFlags.SCRUB_ON_DISCARD
+        )
+
+        def loop(n: int) -> None:
+            execute = runtime.execute
+            udi = domain.udi
+            for _ in range(n):
+                result = execute(udi, smash)
+                assert not result.ok
+
+        return _measure(loop, min_time=min_time, batch=32)
+
+    lazy = run("lazy")
+    eager = run("eager")
+    return {
+        "lazy": lazy,
+        "eager": eager,
+        "speedup": round(lazy["ops_per_sec"] / eager["ops_per_sec"], 2),
+    }
+
+
+# ----------------------------------------------------------------------
+# Bench 4: kvstore end-to-end
+# ----------------------------------------------------------------------
+
+def bench_kvstore_e2e(min_time: float) -> dict:
+    def run(tlb: bool) -> dict:
+        runtime = SdradRuntime(space=AddressSpace(tlb_enabled=tlb))
+        server = MemcachedServer(runtime, isolation=IsolationMode.PER_CONNECTION)
+        server.connect("bench-client")
+        requests = []
+        for i in range(16):
+            value = b"v" * 64
+            requests.append(
+                b"set key%d 0 0 %d\r\n%s\r\n" % (i, len(value), value)
+            )
+            requests.append(b"get key%d\r\n" % i)
+
+        def loop(n: int) -> None:
+            handle = server.handle
+            reqs = requests
+            for i in range(n):
+                handle("bench-client", reqs[i % len(reqs)])
+
+        return _measure(loop, min_time=min_time, batch=32)
+
+    on = run(True)
+    off = run(False)
+    return {
+        "tlb_on": on,
+        "tlb_off": off,
+        "speedup": round(on["ops_per_sec"] / off["ops_per_sec"], 2),
+    }
+
+
+# ----------------------------------------------------------------------
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--out",
+        default="BENCH_PR1.json",
+        help="output JSON path (default: BENCH_PR1.json)",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="shorter runs (noisier numbers, for smoke-testing the harness)",
+    )
+    args = parser.parse_args()
+    min_time = 0.05 if args.quick else 0.25
+
+    results = {
+        "schema": 1,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "benches": {},
+    }
+    for name, fn in (
+        ("raw_access", bench_raw_access),
+        ("domain_switch", bench_domain_switch),
+        ("fault_rewind", bench_fault_rewind),
+        ("kvstore_e2e", bench_kvstore_e2e),
+    ):
+        print(f"[bench] {name} ...", flush=True)
+        results["benches"][name] = fn(min_time)
+
+    out = Path(args.out)
+    out.write_text(json.dumps(results, indent=2) + "\n")
+
+    b = results["benches"]
+    print(f"\nresults -> {out}")
+    print(
+        f"  raw_access    : {b['raw_access']['tlb_on']['ops_per_sec']:>12,.0f} ops/s"
+        f"  (tlb off {b['raw_access']['tlb_off']['ops_per_sec']:,.0f},"
+        f" speedup {b['raw_access']['speedup']}x)"
+    )
+    print(f"  domain_switch : {b['domain_switch']['ops_per_sec']:>12,.0f} ops/s")
+    print(
+        f"  fault_rewind  : {b['fault_rewind']['lazy']['ops_per_sec']:>12,.0f} ops/s"
+        f"  (eager {b['fault_rewind']['eager']['ops_per_sec']:,.0f},"
+        f" lazy speedup {b['fault_rewind']['speedup']}x)"
+    )
+    print(
+        f"  kvstore_e2e   : {b['kvstore_e2e']['tlb_on']['ops_per_sec']:>12,.0f} req/s"
+        f"  (tlb off {b['kvstore_e2e']['tlb_off']['ops_per_sec']:,.0f},"
+        f" speedup {b['kvstore_e2e']['speedup']}x)"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

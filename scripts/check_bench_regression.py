@@ -1,0 +1,95 @@
+#!/usr/bin/env python
+"""Fail if the current bench results regressed vs. the previous PR's.
+
+Compares the tracked throughput metrics in the newest ``BENCH_*.json``
+against the previous one (lexicographic order — the files are named
+``BENCH_PR<N>.json``, zero history is fine). A metric that dropped by more
+than the threshold (default 20%) fails the check; improvements and new
+metrics pass. Wall-clock numbers are noisy, hence the generous threshold —
+this is a guard against accidentally reverting the fast path, not a
+micro-benchmark gate.
+
+Usage::
+
+    python scripts/check_bench_regression.py [--dir .] [--threshold 0.20]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: (bench, path-within-bench) pairs whose ops/sec we track across PRs.
+TRACKED = [
+    ("raw_access", ("tlb_on", "ops_per_sec")),
+    ("domain_switch", ("ops_per_sec",)),
+    ("fault_rewind", ("lazy", "ops_per_sec")),
+    ("kvstore_e2e", ("tlb_on", "ops_per_sec")),
+]
+
+
+def _dig(data: dict, path: tuple) -> float | None:
+    node = data
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return float(node) if isinstance(node, (int, float)) else None
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--dir", default=".", help="where the BENCH_*.json files live")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.20,
+        help="max allowed fractional drop (default 0.20 = 20%%)",
+    )
+    args = parser.parse_args()
+
+    files = sorted(Path(args.dir).glob("BENCH_*.json"))
+    if not files:
+        print("no BENCH_*.json files found — nothing to check")
+        return 1
+    current = files[-1]
+    cur = json.loads(current.read_text())["benches"]
+    if len(files) == 1:
+        print(f"{current.name}: first benchmark file, no baseline to compare")
+        return 0
+    previous = files[-2]
+    prev = json.loads(previous.read_text())["benches"]
+
+    print(f"comparing {current.name} against {previous.name}")
+    failed = False
+    for bench, path in TRACKED:
+        label = ".".join((bench,) + path[:-1]) or bench
+        new = _dig(cur.get(bench, {}), path)
+        old = _dig(prev.get(bench, {}), path)
+        if new is None:
+            print(f"  {label:28s} MISSING in {current.name}")
+            failed = True
+            continue
+        if old is None:
+            print(f"  {label:28s} {new:>14,.0f} ops/s  (new metric)")
+            continue
+        change = (new - old) / old
+        status = "ok"
+        if change < -args.threshold:
+            status = f"REGRESSION (>{args.threshold:.0%} drop)"
+            failed = True
+        print(
+            f"  {label:28s} {new:>14,.0f} ops/s  vs {old:>14,.0f}"
+            f"  ({change:+.1%})  {status}"
+        )
+    if failed:
+        print("bench regression check FAILED")
+        return 1
+    print("bench regression check passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -14,6 +14,29 @@ moving enforcement from MMU silicon into the load/store path preserves the
 *protocol* — a compromised domain's wild write faults at the domain boundary
 instead of corrupting its neighbour.
 
+Software TLB
+------------
+
+Real hardware amortises the page-table walk with a TLB; without the software
+analogue every simulated access pays a full walk plus PKRU evaluation, which
+is exactly the cost the paper's mechanism is designed to avoid. The
+*permission cache* here plays that role: the verdict of a successful check is
+cached per ``(page, read/write)`` under the **current PKRU value**, so the
+common case — repeated access to already-validated pages — is one dict probe.
+
+Invalidation mirrors what hardware (or the kernel on its behalf) does:
+
+* ``WRPKRU`` (every :meth:`PkruRegister.write`) switches the active verdict
+  cache to one keyed by the new PKRU value — verdicts computed under a
+  different PKRU are never consulted;
+* page-table updates (map/unmap/mprotect/pkey_mprotect) shoot down the
+  affected pages in *all* cached PKRU views;
+* ``pkey_free`` (key recycling) flushes everything.
+
+Only *allow* verdicts are cached. Denied accesses always take the slow path
+and raise, so fault counting and fault types are byte-for-byte identical to
+the uncached behaviour — the TLB must never change observable semantics.
+
 ``raw_load``/``raw_store`` bypass all checks; they model *kernel* access and
 are reserved for trusted-runtime internals (snapshotting, page scrubbing).
 Fault injectors must use the checked path: containment of an attacker is
@@ -22,7 +45,7 @@ exactly what experiments E4 and the integration tests assert.
 
 from __future__ import annotations
 
-from typing import Literal
+from typing import Iterable, Literal
 
 from ..errors import (
     PermissionFault,
@@ -40,6 +63,22 @@ from .pagetable import PageTable
 #: ``off``     — no checks (models a build without MPK, the E1 baseline).
 CheckMode = Literal["strict", "first", "off"]
 
+#: Largest fill block cached by :meth:`AddressSpace.raw_fill` (1 MiB): fills
+#: of any size reuse views of these blocks instead of materialising a
+#: ``length``-sized temporary.
+_FILL_BLOCK = 1 << 20
+_fill_blocks: dict[int, memoryview] = {}
+
+
+def _fill_block(value: int) -> memoryview:
+    block = _fill_blocks.get(value)
+    if block is None:
+        if len(_fill_blocks) >= 8:
+            _fill_blocks.clear()
+        block = memoryview(bytes([value]) * _FILL_BLOCK)
+        _fill_blocks[value] = block
+    return block
+
 
 class AddressSpace:
     """A simulated process address space: bytes + page table + PKRU."""
@@ -48,6 +87,7 @@ class AddressSpace:
         self,
         size: int = DEFAULT_SPACE_SIZE,
         check_mode: CheckMode = "strict",
+        tlb_enabled: bool = True,
     ) -> None:
         if check_mode not in ("strict", "first", "off"):
             raise SdradError(f"unknown check mode {check_mode!r}")
@@ -56,10 +96,26 @@ class AddressSpace:
         self.pkeys = PkeyAllocator()
         self.check_mode: CheckMode = check_mode
         self._memory = bytearray(size)
+        self._view = memoryview(self._memory)
         #: Access counters, used by cost accounting and tests.
         self.loads = 0
         self.stores = 0
         self.faults = 0
+        # --- software TLB (permission cache) --------------------------
+        # Verdict caches keyed by PKRU value; each cache maps
+        # ``page_index * 2 + (1 if write else 0)`` -> True (allow only).
+        self.tlb_enabled = tlb_enabled and check_mode != "off"
+        self.tlb_hits = 0
+        self.tlb_misses = 0
+        self.tlb_flushes = 0
+        self._tlb: dict[int, bool] = {}
+        self._tlb_by_pkru: dict[int, dict[int, bool]] = {
+            self.pkru.value: self._tlb
+        }
+        if self.tlb_enabled:
+            self.pkru.on_write = self._tlb_switch_pkru
+            self.pkeys.on_free = self._tlb_on_pkey_free
+            self.page_table.on_range_update = self._tlb_invalidate_pages
 
     @property
     def size(self) -> int:
@@ -71,15 +127,93 @@ class AddressSpace:
 
     def load(self, address: int, length: int) -> bytes:
         """Checked read of ``length`` bytes at ``address``."""
-        self._check_access(address, length, write=False)
+        # Fast path: single-page access whose read verdict is cached under
+        # the current PKRU. A cached page is mapped and inside the space, so
+        # the fused page/bounds condition is the only check needed.
+        if (
+            0 < length <= PAGE_SIZE - address % PAGE_SIZE
+            and address // PAGE_SIZE * 2 in self._tlb
+        ):
+            self.tlb_hits += 1
+        else:
+            self._check_access(address, length, write=False)
         self.loads += 1
-        return bytes(self._memory[address : address + length])
+        return bytes(self._view[address : address + length])
 
     def store(self, address: int, data: bytes) -> None:
         """Checked write of ``data`` at ``address``."""
-        self._check_access(address, len(data), write=True)
+        length = len(data)
+        if (
+            0 < length <= PAGE_SIZE - address % PAGE_SIZE
+            and address // PAGE_SIZE * 2 + 1 in self._tlb
+        ):
+            self.tlb_hits += 1
+        else:
+            self._check_access(address, length, write=True)
         self.stores += 1
-        self._memory[address : address + len(data)] = data
+        self._memory[address : address + length] = data
+
+    def load_view(self, address: int, length: int) -> memoryview:
+        """Checked zero-copy read: a read-only view of the bytes.
+
+        For callers that can consume a buffer without owning it (parsers,
+        checksumming, serialisation) this skips the copy ``load`` makes.
+        The view aliases live memory: it reflects later stores, so callers
+        must not hold it across writes they do not want to observe.
+        """
+        if (
+            0 < length <= PAGE_SIZE - address % PAGE_SIZE
+            and address // PAGE_SIZE * 2 in self._tlb
+        ):
+            self.tlb_hits += 1
+        else:
+            self._check_access(address, length, write=False)
+        self.loads += 1
+        return self._view[address : address + length].toreadonly()
+
+    def load_many(self, requests: Iterable[tuple[int, int]]) -> list[bytes]:
+        """Checked batched read: one call for many ``(address, length)``.
+
+        Semantically identical to ``[load(a, n) for a, n in requests]`` but
+        amortises the per-call overhead across the batch — the shape of the
+        kvstore/slab hot loops.
+        """
+        tlb = self._tlb
+        view = self._view
+        out: list[bytes] = []
+        hits = 0
+        for address, length in requests:
+            if (
+                0 < length <= PAGE_SIZE - address % PAGE_SIZE
+                and address // PAGE_SIZE * 2 in tlb
+            ):
+                hits += 1
+            else:
+                self._check_access(address, length, write=False)
+            out.append(bytes(view[address : address + length]))
+        self.tlb_hits += hits
+        self.loads += len(out)
+        return out
+
+    def store_many(self, items: Iterable[tuple[int, bytes]]) -> None:
+        """Checked batched write: one call for many ``(address, data)``."""
+        tlb = self._tlb
+        memory = self._memory
+        count = 0
+        hits = 0
+        for address, data in items:
+            length = len(data)
+            if (
+                0 < length <= PAGE_SIZE - address % PAGE_SIZE
+                and address // PAGE_SIZE * 2 + 1 in tlb
+            ):
+                hits += 1
+            else:
+                self._check_access(address, length, write=True)
+            memory[address : address + length] = data
+            count += 1
+        self.tlb_hits += hits
+        self.stores += count
 
     def load_u8(self, address: int) -> int:
         return self.load(address, 1)[0]
@@ -105,7 +239,21 @@ class AddressSpace:
 
     def raw_load(self, address: int, length: int) -> bytes:
         self._check_bounds(address, length)
-        return bytes(self._memory[address : address + length])
+        return bytes(self._view[address : address + length])
+
+    def raw_view(self, address: int, length: int) -> memoryview:
+        """Zero-copy kernel-path read (read-only view of live memory)."""
+        self._check_bounds(address, length)
+        return self._view[address : address + length].toreadonly()
+
+    def raw_load_many(self, requests: Iterable[tuple[int, int]]) -> list[bytes]:
+        """Batched kernel-path read for metadata sweeps (slab/heap walks)."""
+        view = self._view
+        out: list[bytes] = []
+        for address, length in requests:
+            self._check_bounds(address, length)
+            out.append(bytes(view[address : address + length]))
+        return out
 
     def raw_store(self, address: int, data: bytes) -> None:
         self._check_bounds(address, len(data))
@@ -113,7 +261,64 @@ class AddressSpace:
 
     def raw_fill(self, address: int, length: int, value: int = 0) -> None:
         self._check_bounds(address, length)
-        self._memory[address : address + length] = bytes([value & 0xFF]) * length
+        if length == 0:
+            return
+        # Fill from views of a cached repeated-byte block instead of
+        # materialising a length-sized temporary — GiB-scale scrubs in the
+        # E2 restart simulations allocate nothing.
+        block = _fill_block(value & 0xFF)
+        view = self._view
+        position = address
+        end = address + length
+        while position < end:
+            step = min(_FILL_BLOCK, end - position)
+            view[position : position + step] = block[:step]
+            position += step
+
+    # ------------------------------------------------------------------
+    # Software TLB maintenance
+    # ------------------------------------------------------------------
+
+    def tlb_flush(self) -> None:
+        """Drop every cached verdict (all PKRU views)."""
+        self._tlb = {}
+        self._tlb_by_pkru = {self.pkru.value: self._tlb}
+        self.tlb_flushes += 1
+
+    def _tlb_switch_pkru(self, value: int) -> None:
+        """WRPKRU hook: activate the verdict cache for the new PKRU value.
+
+        Verdicts depend on PKRU, so caches are segregated per PKRU value
+        rather than flushed — domain switches alternate between a handful of
+        PKRU values and keep their warm caches.
+        """
+        cache = self._tlb_by_pkru.get(value)
+        if cache is None:
+            if len(self._tlb_by_pkru) >= 64:
+                # Pathological PKRU churn: fall back to a full flush.
+                self._tlb_by_pkru.clear()
+                self.tlb_flushes += 1
+            cache = {}
+            self._tlb_by_pkru[value] = cache
+        self._tlb = cache
+
+    def _tlb_invalidate_pages(self, first_page: int, last_page: int) -> None:
+        """Page-table hook: shoot down pages in every cached PKRU view."""
+        span = last_page - first_page + 1
+        for cache in self._tlb_by_pkru.values():
+            if span > len(cache):
+                for key in [k for k in cache if first_page <= k >> 1 <= last_page]:
+                    del cache[key]
+            else:
+                for page in range(first_page, last_page + 1):
+                    cache.pop(page * 2, None)
+                    cache.pop(page * 2 + 1, None)
+        self.tlb_flushes += 1
+
+    def _tlb_on_pkey_free(self, pkey: int) -> None:
+        """``pkey_free`` hook: a recycled key may re-appear under a new
+        owner with the same PKRU bits, so no cached verdict is safe."""
+        self.tlb_flush()
 
     # ------------------------------------------------------------------
     # Checks
@@ -129,13 +334,23 @@ class AddressSpace:
         self._check_bounds(address, length)
         if length == 0:
             return
-        if self.check_mode == "off":
+        mode = self.check_mode
+        if mode == "off":
             return
-        if self.check_mode == "first":
-            self._check_page(address, write=write)
-            return
+        if mode == "first":
+            length = 1  # only the first page is checked (D1 ablation)
+        bit = 1 if write else 0
+        tlb = self._tlb
+        enabled = self.tlb_enabled
         for index in pages_spanned(address, length):
+            key = index * 2 + bit
+            if key in tlb:
+                self.tlb_hits += 1
+                continue
             self._check_page(index * PAGE_SIZE, write=write)
+            if enabled:
+                self.tlb_misses += 1
+                tlb[key] = True
 
     def _check_page(self, address: int, *, write: bool) -> None:
         entry = self.page_table.entry_for(address)

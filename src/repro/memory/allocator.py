@@ -90,6 +90,10 @@ class FreeListAllocator:
         self.total_frees = 0
         self._allocated_bytes = 0
         self._peak_allocated = 0
+        # Lazy scrub (reset(scrub=True, lazy=True)): arena bytes are stale
+        # until reallocated; malloc zero-fills each block it hands out.
+        self._scrub_pending = False
+        self.lazy_scrubbed_bytes = 0
         self._init_arena()
 
     # ------------------------------------------------------------------
@@ -115,6 +119,11 @@ class FreeListAllocator:
             self.total_allocs += 1
             self._allocated_bytes += capacity
             self._peak_allocated = max(self._peak_allocated, self._allocated_bytes)
+            if self._scrub_pending:
+                # Scrub-on-reallocate: the deferred discard-time scrub is
+                # paid here, for exactly the bytes being handed back out.
+                self.space.raw_fill(addr + HEADER_SIZE, capacity, 0)
+                self.lazy_scrubbed_bytes += capacity
             return addr + HEADER_SIZE
 
     # first-fit found nothing
@@ -190,17 +199,27 @@ class FreeListAllocator:
         if seen != len(self._blocks):
             raise HeapCorruption(self.base, "block count mismatch")
 
-    def reset(self, *, scrub: bool = False) -> int:
+    def reset(self, *, scrub: bool = False, lazy: bool = False) -> int:
         """Discard every allocation; returns number of pages scrubbed.
 
         With ``scrub=False`` (SDRaD's default) old contents remain as garbage
         behind re-tagged pages; ``scrub=True`` zero-fills the arena (ablation
-        D2 measures the cost difference in E2).
+        D2 measures the cost difference in E2). ``scrub=True, lazy=True``
+        defers the zero-fill to reallocation time: no pages are touched now
+        (the rewind stays flat regardless of arena size) and each later
+        ``malloc`` zero-fills the block it hands out, so a new allocation
+        never observes a previous incarnation's bytes. Unlike an eager
+        scrub, stale bytes do remain in *unallocated* arena space — the E2b
+        ablation keeps the eager mode for exactly that comparison.
         """
         pages = 0
         if scrub:
-            self.space.raw_fill(self.base, self.size, 0)
-            pages = (self.size + 4095) // 4096
+            if lazy:
+                self._scrub_pending = True
+            else:
+                self.space.raw_fill(self.base, self.size, 0)
+                self._scrub_pending = False
+                pages = (self.size + 4095) // 4096
         self._blocks.clear()
         self._allocated_bytes = 0
         self._init_arena()

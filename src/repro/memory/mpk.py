@@ -57,7 +57,7 @@ class PkruRegister:
     and each domain must be explicitly granted its keys on entry.
     """
 
-    __slots__ = ("_value", "writes")
+    __slots__ = ("_value", "writes", "on_write")
 
     #: All AD bits set except for key 0 — deny-by-default.
     DENY_ALL_EXCEPT_DEFAULT = int(
@@ -70,6 +70,10 @@ class PkruRegister:
         )
         #: Count of WRPKRU writes, so experiments can charge their cost.
         self.writes = 0
+        #: Mutation hook called with the new value after every WRPKRU.
+        #: The address space uses it to keep its permission cache (software
+        #: TLB) coherent — cached verdicts depend on the PKRU value.
+        self.on_write = None
 
     @property
     def value(self) -> int:
@@ -79,6 +83,8 @@ class PkruRegister:
         """The WRPKRU instruction."""
         self._value = value & 0xFFFFFFFF
         self.writes += 1
+        if self.on_write is not None:
+            self.on_write(self._value)
 
     def allows_read(self, pkey: int) -> bool:
         _validate_pkey(pkey)
@@ -124,6 +130,10 @@ class PkeyAllocator:
 
     def __init__(self) -> None:
         self._allocated: set[int] = {PKEY_DEFAULT}
+        #: Hook called after a key is freed. Key recycling is an isolation
+        #: hazard — a verdict cached for the old owner must not leak to the
+        #: next — so the address space flushes its permission cache here.
+        self.on_free = None
 
     @property
     def allocated(self) -> frozenset[int]:
@@ -151,6 +161,8 @@ class PkeyAllocator:
         if pkey not in self._allocated:
             raise SdradError(f"pkey_free of unallocated key {pkey}")
         self._allocated.remove(pkey)
+        if self.on_free is not None:
+            self.on_free(pkey)
 
     def is_allocated(self, pkey: int) -> bool:
         _validate_pkey(pkey)

@@ -43,6 +43,14 @@ class PageTable:
         self.space_size = space_size
         self.num_pages = space_size // PAGE_SIZE
         self._entries = [PageEntry() for _ in range(self.num_pages)]
+        #: Hook called with ``(first_page, last_page)`` after any mapping,
+        #: permission, or key change — the simulated MMU's TLB shootdown.
+        self.on_range_update = None
+
+    def _notify_range(self, address: int, length: int) -> None:
+        if self.on_range_update is not None:
+            span = pages_spanned(address, length)
+            self.on_range_update(span.start, span.stop - 1)
 
     # ------------------------------------------------------------------
     # Mapping / protection syscall analogues
@@ -59,48 +67,62 @@ class PageTable:
     ) -> None:
         """``mmap`` analogue: mark pages present with given perms and key."""
         self._check_range(address, length)
-        for index in pages_spanned(address, length):
-            entry = self._entries[index]
-            if entry.present:
-                raise SdradError(
-                    f"page {index} already mapped (double map at {address:#x})"
-                )
-            entry.present = True
-            entry.readable = readable
-            entry.writable = writable
-            entry.pkey = pkey
+        # Shootdown runs even on a partial failure: some pages may already
+        # have been mutated when the error is raised.
+        try:
+            for index in pages_spanned(address, length):
+                entry = self._entries[index]
+                if entry.present:
+                    raise SdradError(
+                        f"page {index} already mapped (double map at {address:#x})"
+                    )
+                entry.present = True
+                entry.readable = readable
+                entry.writable = writable
+                entry.pkey = pkey
+        finally:
+            self._notify_range(address, length)
 
     def unmap_range(self, address: int, length: int) -> None:
         """``munmap`` analogue."""
         self._check_range(address, length)
-        for index in pages_spanned(address, length):
-            entry = self._entries[index]
-            if not entry.present:
-                raise SdradError(f"page {index} not mapped (double unmap)")
-            self._entries[index] = PageEntry()
+        try:
+            for index in pages_spanned(address, length):
+                entry = self._entries[index]
+                if not entry.present:
+                    raise SdradError(f"page {index} not mapped (double unmap)")
+                self._entries[index] = PageEntry()
+        finally:
+            self._notify_range(address, length)
 
     def protect_range(
         self, address: int, length: int, *, readable: bool, writable: bool
     ) -> None:
         """``mprotect`` analogue."""
         self._check_range(address, length)
-        for index in pages_spanned(address, length):
-            entry = self._entries[index]
-            if not entry.present:
-                raise SegmentationFault(index * PAGE_SIZE, access="mprotect")
-            entry.readable = readable
-            entry.writable = writable
+        try:
+            for index in pages_spanned(address, length):
+                entry = self._entries[index]
+                if not entry.present:
+                    raise SegmentationFault(index * PAGE_SIZE, access="mprotect")
+                entry.readable = readable
+                entry.writable = writable
+        finally:
+            self._notify_range(address, length)
 
     def tag_range(self, address: int, length: int, pkey: int) -> None:
         """``pkey_mprotect`` analogue: retag pages with a protection key."""
         if not 0 <= pkey < NUM_PKEYS:
             raise SdradError(f"protection key out of range: {pkey}")
         self._check_range(address, length)
-        for index in pages_spanned(address, length):
-            entry = self._entries[index]
-            if not entry.present:
-                raise SegmentationFault(index * PAGE_SIZE, access="pkey_mprotect")
-            entry.pkey = pkey
+        try:
+            for index in pages_spanned(address, length):
+                entry = self._entries[index]
+                if not entry.present:
+                    raise SegmentationFault(index * PAGE_SIZE, access="pkey_mprotect")
+                entry.pkey = pkey
+        finally:
+            self._notify_range(address, length)
 
     # ------------------------------------------------------------------
     # Lookup

@@ -100,6 +100,9 @@ class CallStack:
         self._sp = self.top
         self._frames: list[StackFrame] = []
         self._rng = rng or random.Random(0x57AC)
+        #: Set by a lazy discard: the stack bytes are stale and are
+        #: zero-filled on the next frame push instead of at rewind time.
+        self.scrub_pending = False
 
     @property
     def depth(self) -> int:
@@ -116,6 +119,10 @@ class CallStack:
         canary_slot = return_slot - WORD
         if canary_slot < self.base:
             raise SdradError(f"stack overflow pushing frame '{name}'")
+        if self.scrub_pending:
+            # Deferred discard-time scrub: paid on first reuse, not rewind.
+            self.space.raw_fill(self.base, self.size, 0)
+            self.scrub_pending = False
         frame = StackFrame(self, name, return_slot, canary_slot)
         # Real stack protectors use a per-process random canary with a NUL
         # byte to stop string overflows; we keep the NUL-byte convention.

@@ -52,12 +52,17 @@ class Domain:
         flags: DomainFlags = DomainFlags.DEFAULT,
         parent_udi: int | None = None,
         stack_rng: random.Random | None = None,
+        lazy_scrub: bool = False,
     ) -> None:
         self.udi = udi
         self.pkey = pkey
         self.space = space
         self.flags = flags
         self.parent_udi = parent_udi
+        #: When true, ``SCRUB_ON_DISCARD`` defers the zero-fill to
+        #: reallocation time (scrub-on-reallocate): discard cost stays flat
+        #: regardless of domain size. The eager mode remains for E2b.
+        self.lazy_scrub = lazy_scrub
         self.state = DomainState.INITIALIZED
         self.heap_base = heap_base
         self.heap_size = heap_size
@@ -107,11 +112,15 @@ class Domain:
         reconstructed from the trusted side on the next entry.
         """
         scrub = bool(self.flags & DomainFlags.SCRUB_ON_DISCARD)
-        pages = self.heap.reset(scrub=scrub)
+        lazy = scrub and self.lazy_scrub
+        pages = self.heap.reset(scrub=scrub, lazy=lazy)
         self.stack.unwind_all()
         if scrub:
-            self.space.raw_fill(self.stack_base, self.stack_size, 0)
-            pages += (self.stack_size + 4095) // 4096
+            if lazy:
+                self.stack.scrub_pending = True
+            else:
+                self.space.raw_fill(self.stack_base, self.stack_size, 0)
+                pages += (self.stack_size + 4095) // 4096
         self.state = DomainState.INITIALIZED
         self.stats.rewinds += 1
         return pages

@@ -80,10 +80,17 @@ class VirtualKeyManager:
         return self.lock_pkey
 
     def release_domain(self, domain: "Domain") -> None:
-        """Domain destroyed: return its physical key to the pool."""
+        """Domain destroyed: return its physical key to the pool.
+
+        This recycles a physical key outside the kernel allocator's view
+        (no ``pkey_free`` fires), so the permission cache must be flushed
+        here explicitly — the next ``ensure_bound`` may hand the same
+        physical key to a different domain.
+        """
         bound = self._bindings.pop(domain.udi, None)
         if bound is not None:
             self._free_pkeys.append(bound)
+            self.runtime.space.tlb_flush()
 
     # ------------------------------------------------------------------
     # The bind path (called on every domain entry)
@@ -138,7 +145,11 @@ class VirtualKeyManager:
         )
 
     def _retag_domain(self, domain: "Domain", pkey: int) -> None:
-        """Retag every page of the domain's regions (``pkey_mprotect``)."""
+        """Retag every page of the domain's regions (``pkey_mprotect``).
+
+        ``tag_range`` fires the page-table update hook, so cached access
+        verdicts for the retagged pages are shot down automatically.
+        """
         table = self.runtime.space.page_table
         table.tag_range(domain.heap_base, domain.heap_size, pkey)
         table.tag_range(domain.stack_base, domain.stack_size, pkey)

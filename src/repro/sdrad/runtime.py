@@ -117,6 +117,18 @@ class DomainHandle:
     def load(self, addr: int, nbytes: int) -> bytes:
         return self._runtime.space.load(addr, nbytes)
 
+    def store_many(self, items) -> None:
+        """Batched checked writes — one call for many ``(addr, data)``."""
+        self._runtime.space.store_many(items)
+
+    def load_many(self, requests) -> list[bytes]:
+        """Batched checked reads — one call for many ``(addr, nbytes)``."""
+        return self._runtime.space.load_many(requests)
+
+    def load_view(self, addr: int, nbytes: int) -> memoryview:
+        """Checked zero-copy read (see :meth:`AddressSpace.load_view`)."""
+        return self._runtime.space.load_view(addr, nbytes)
+
     # --- stack ----------------------------------------------------------
 
     def push_frame(self, name: str):
@@ -151,7 +163,16 @@ class SdradRuntime:
         root_heap_size: int = 1024 * 1024,
         key_virtualization: bool = False,
         guard_pages: bool = False,
+        scrub_mode: str = "lazy",
     ) -> None:
+        if scrub_mode not in ("eager", "lazy"):
+            raise SdradError(f"unknown scrub mode {scrub_mode!r}")
+        # How SCRUB_ON_DISCARD domains pay for scrubbing: "lazy" (default)
+        # defers the zero-fill to reallocation so rewind cost stays flat
+        # regardless of domain size; "eager" scrubs at discard time (the
+        # E2b ablation, and the mode to pick when stale bytes must not
+        # survive the rewind even in unallocated space).
+        self.scrub_mode = scrub_mode
         self.space = space if space is not None else AddressSpace()
         self.clock = clock if clock is not None else VirtualClock()
         self.cost = cost
@@ -196,6 +217,7 @@ class SdradRuntime:
             flags=DomainFlags.DEFAULT,
             parent_udi=None,
             stack_rng=self.rng.stream("stack/root"),
+            lazy_scrub=self.scrub_mode == "lazy",
         )
         self._domains[ROOT_UDI] = root
         return root
@@ -260,6 +282,7 @@ class SdradRuntime:
             flags=flags,
             parent_udi=parent_udi,
             stack_rng=self.rng.stream(f"stack/{udi}"),
+            lazy_scrub=self.scrub_mode == "lazy",
         )
         self._domains[udi] = domain
         self.tracer.record(self.clock.now, "domain.init", udi=udi, pkey=pkey)

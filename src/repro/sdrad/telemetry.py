@@ -46,13 +46,20 @@ def snapshot(runtime: SdradRuntime) -> dict[str, Any]:
             }
         )
 
+    space = runtime.space
+    tlb_lookups = space.tlb_hits + space.tlb_misses
     memory = {
-        "space_bytes": runtime.space.size,
-        "mapped_bytes": runtime.space.page_table.mapped_bytes(),
-        "checked_loads": runtime.space.loads,
-        "checked_stores": runtime.space.stores,
-        "hardware_faults": runtime.space.faults,
-        "wrpkru_writes": runtime.space.pkru.writes,
+        "space_bytes": space.size,
+        "mapped_bytes": space.page_table.mapped_bytes(),
+        "checked_loads": space.loads,
+        "checked_stores": space.stores,
+        "hardware_faults": space.faults,
+        "wrpkru_writes": space.pkru.writes,
+        "tlb_enabled": space.tlb_enabled,
+        "tlb_hits": space.tlb_hits,
+        "tlb_misses": space.tlb_misses,
+        "tlb_flushes": space.tlb_flushes,
+        "tlb_hit_rate": space.tlb_hits / tlb_lookups if tlb_lookups else 0.0,
     }
 
     out: dict[str, Any] = {

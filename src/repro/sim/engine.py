@@ -35,7 +35,9 @@ class Process:
     The generator's ``yield`` values control scheduling; its return value is
     captured in :attr:`result` when it finishes. Exceptions escaping the
     generator are stored in :attr:`error` and re-raised by :meth:`Engine.run`
-    unless the process was spawned with ``daemon=True``.
+    unless the process was spawned with ``daemon=True`` — including errors
+    from invalid yields (negative delays, unsupported values). A process
+    joining one that failed has the error thrown into it at the join point.
     """
 
     _ids = itertools.count()
@@ -131,10 +133,23 @@ class Engine:
             self._running = False
         return self.clock.now
 
-    def _step(self, process: Process, send_value: object) -> None:
-        """Advance one process coroutine by one yield."""
+    def _step(
+        self,
+        process: Process,
+        send_value: object,
+        throw: Optional[BaseException] = None,
+    ) -> None:
+        """Advance one process coroutine by one yield.
+
+        With ``throw`` set, the exception is thrown into the generator at
+        its suspension point instead of sending a value — how a joined
+        process's failure reaches its waiters.
+        """
         try:
-            yielded = process.generator.send(send_value)
+            if throw is not None:
+                yielded = process.generator.throw(throw)
+            else:
+                yielded = process.generator.send(send_value)
         except StopIteration as stop:
             self._finish(process, result=stop.value)
             return
@@ -149,29 +164,45 @@ class Engine:
         if isinstance(yielded, Process):
             target = yielded
             if target.finished:
-                self.schedule(0.0, lambda: self._step(process, target.result))
+                if target.error is not None:
+                    self.schedule(
+                        0.0,
+                        lambda: self._step(process, None, throw=target.error),
+                    )
+                else:
+                    self.schedule(0.0, lambda: self._step(process, target.result))
             else:
                 target._waiters.append(process)
             return
         if isinstance(yielded, (int, float)):
             delay = float(yielded)
             if delay < 0:
-                self._finish(
+                self._bad_yield(
                     process,
-                    error=SimulationError(
+                    SimulationError(
                         f"process {process.name!r} yielded negative delay {delay}"
                     ),
                 )
-                raise process.error  # type: ignore[misc]
+                return
             self.schedule(delay, lambda: self._step(process, None))
             return
-        self._finish(
+        self._bad_yield(
             process,
-            error=SimulationError(
+            SimulationError(
                 f"process {process.name!r} yielded unsupported value {yielded!r}"
             ),
         )
-        raise process.error  # type: ignore[misc]
+
+    def _bad_yield(self, process: Process, error: SimulationError) -> None:
+        """Kill a process over an invalid yield, honouring daemon status.
+
+        Mirrors :meth:`_step`: a daemon's error is captured on the process
+        without crashing the event loop; a non-daemon error propagates out
+        of :meth:`run`.
+        """
+        self._finish(process, error=error)
+        if not process.daemon:
+            raise error
 
     def _finish(
         self,
@@ -184,5 +215,14 @@ class Engine:
         process.error = error
         self._live_processes -= 1
         for waiter in process._waiters:
-            self.schedule(0.0, lambda w=waiter: self._step(w, process.result))
+            if error is not None:
+                # A join on a failed process must not look like success:
+                # the error is thrown into the waiter at its yield, where
+                # it can be caught (try/except around the join) or, if
+                # uncaught, fails the waiter in turn.
+                self.schedule(
+                    0.0, lambda w=waiter: self._step(w, None, throw=error)
+                )
+            else:
+                self.schedule(0.0, lambda w=waiter: self._step(w, result))
         process._waiters.clear()

@@ -158,3 +158,25 @@ class TestCounters:
         store.set(b"n", b"1", flags=9)
         store.incr(b"n", 1)
         assert store.get(b"n") == (b"2", 9)
+
+
+class TestBatchedGet:
+    def test_get_many_matches_individual_gets(self, store: KVStore):
+        for i in range(8):
+            store.set(b"k%d" % i, b"v%d" % i, flags=i)
+        keys = [b"k%d" % i for i in range(8)] + [b"missing"]
+        result = store.get_many(keys)
+        assert set(result) == {b"k%d" % i for i in range(8)}
+        for i in range(8):
+            assert result[b"k%d" % i] == store.get(b"k%d" % i)
+
+    def test_get_many_updates_stats(self, store: KVStore):
+        store.set(b"a", b"1")
+        hits = store.stats.hits
+        misses = store.stats.misses
+        store.get_many([b"a", b"nope"])
+        assert store.stats.hits == hits + 1
+        assert store.stats.misses == misses + 1
+
+    def test_get_many_empty(self, store: KVStore):
+        assert store.get_many([]) == {}

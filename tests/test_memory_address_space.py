@@ -165,3 +165,57 @@ class TestCheckModes:
     def test_unknown_mode_rejected(self):
         with pytest.raises(SdradError):
             AddressSpace(size=PAGE_SIZE, check_mode="bogus")  # type: ignore[arg-type]
+
+
+class TestBatchedAndZeroCopyAccess:
+    def test_load_many_matches_individual_loads(self, space: AddressSpace):
+        space.store(0, b"aaaa")
+        space.store(100, b"bbbb")
+        space.store(PAGE_SIZE + 4, b"cccc")
+        requests = [(0, 4), (100, 4), (PAGE_SIZE + 4, 4)]
+        assert space.load_many(requests) == [b"aaaa", b"bbbb", b"cccc"]
+
+    def test_load_many_counts_each_access(self, space: AddressSpace):
+        space.store(0, b"x" * 8)
+        before = space.loads
+        space.load_many([(0, 4), (4, 4)])
+        assert space.loads == before + 2
+
+    def test_load_many_faults_like_load(self, space: AddressSpace):
+        with pytest.raises(SegmentationFault):
+            space.load_many([(0, 4), (10 * PAGE_SIZE, 4)])
+
+    def test_store_many_roundtrip(self, space: AddressSpace):
+        space.store_many([(0, b"one"), (50, b"two")])
+        assert space.load(0, 3) == b"one"
+        assert space.load(50, 3) == b"two"
+        assert space.stores == 2
+
+    def test_store_many_faults_on_readonly_page(self, space: AddressSpace):
+        space.page_table.protect_range(0, PAGE_SIZE, readable=True, writable=False)
+        with pytest.raises(PermissionFault):
+            space.store_many([(0, b"x")])
+
+    def test_load_view_is_zero_copy_and_readonly(self, space: AddressSpace):
+        space.store(0, b"live")
+        view = space.load_view(0, 4)
+        assert bytes(view) == b"live"
+        space.store(0, b"LIVE")
+        assert bytes(view) == b"LIVE"  # aliases live memory
+        with pytest.raises(TypeError):
+            view[0] = 0  # type: ignore[index]
+
+    def test_load_view_checked(self, space: AddressSpace):
+        with pytest.raises(SegmentationFault):
+            space.load_view(10 * PAGE_SIZE, 4)
+
+    def test_raw_view_and_raw_load_many(self, space: AddressSpace):
+        space.raw_store(8, b"meta")
+        assert bytes(space.raw_view(8, 4)) == b"meta"
+        assert space.raw_load_many([(8, 4), (8, 2)]) == [b"meta", b"me"]
+
+    def test_raw_fill_nonzero_value_and_large_region(self, space: AddressSpace):
+        space.raw_fill(0, 3 * PAGE_SIZE, 0xAB)
+        assert space.raw_load(0, 3 * PAGE_SIZE) == b"\xab" * (3 * PAGE_SIZE)
+        space.raw_fill(16, 8, 7)
+        assert space.raw_load(16, 8) == bytes([7]) * 8

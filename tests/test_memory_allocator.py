@@ -173,6 +173,17 @@ class TestReset:
         assert pages == ARENA // PAGE_SIZE
         assert space.raw_load(addr, 16) == b"\x00" * 16
 
+    def test_lazy_reset_scrubs_on_reallocate(self, heap, space):
+        addr = heap.malloc(16)
+        space.store(addr, b"SECRETSECRETSECR")
+        pages = heap.reset(scrub=True, lazy=True)
+        assert pages == 0  # nothing touched at discard time
+        assert b"SECRET" in space.raw_load(addr, 16)  # stale until reuse
+        again = heap.malloc(16)
+        capacity = heap.payload_capacity(again)
+        assert space.raw_load(again, capacity) == b"\x00" * capacity
+        assert heap.lazy_scrubbed_bytes >= capacity
+
     def test_reset_recovers_from_corruption(self, heap, space):
         addr = heap.malloc(16)
         capacity = heap.payload_capacity(addr)

@@ -6,6 +6,7 @@ import pytest
 
 from repro.errors import DomainStateError
 from repro.sdrad.constants import DomainFlags, DomainState
+from repro.sdrad.runtime import SdradRuntime
 
 
 class TestLifecycleStates:
@@ -51,13 +52,52 @@ class TestDiscard:
     def test_discard_without_scrub_returns_zero_pages(self, domain):
         assert domain.discard() == 0
 
-    def test_discard_with_scrub_flag_scrubs(self, runtime):
+    def test_discard_with_scrub_flag_scrubs(self):
+        runtime = SdradRuntime(scrub_mode="eager")
         domain = runtime.domain_init(
             flags=DomainFlags.RETURN_TO_PARENT | DomainFlags.SCRUB_ON_DISCARD
         )
         pages = domain.discard()
         expected = (domain.heap_size + domain.stack_size) // 4096
         assert pages == expected
+
+    def test_lazy_scrub_discard_touches_no_pages(self, runtime):
+        # scrub_mode defaults to "lazy": discard cost is flat regardless of
+        # domain size — zero pages touched at rewind time.
+        domain = runtime.domain_init(
+            flags=DomainFlags.RETURN_TO_PARENT | DomainFlags.SCRUB_ON_DISCARD
+        )
+        assert runtime.scrub_mode == "lazy"
+        assert domain.discard() == 0
+
+    def test_lazy_scrub_zeroes_reallocated_block(self, runtime):
+        domain = runtime.domain_init(
+            flags=DomainFlags.RETURN_TO_PARENT | DomainFlags.SCRUB_ON_DISCARD
+        )
+        addr = domain.heap.malloc(64)
+        runtime.space.raw_store(addr, b"S3CR3T" * 10)
+        domain.discard()
+        # The stale bytes survive the discard itself (that's the point) ...
+        assert b"S3CR3T" in bytes(
+            runtime.space.raw_load(domain.heap_base, domain.heap_size)
+        )
+        # ... but a fresh allocation never observes them.
+        again = domain.heap.malloc(64)
+        capacity = domain.heap.payload_capacity(again)
+        assert runtime.space.raw_load(again, capacity) == b"\x00" * capacity
+
+    def test_lazy_scrub_zeroes_stack_on_reuse(self, runtime):
+        domain = runtime.domain_init(
+            flags=DomainFlags.RETURN_TO_PARENT | DomainFlags.SCRUB_ON_DISCARD
+        )
+        frame = domain.stack.push_frame("taint")
+        buf = frame.alloca(64)
+        runtime.space.raw_store(buf, b"S3CR3T" * 10)
+        domain.discard()
+        assert domain.stack.scrub_pending
+        domain.stack.push_frame("fresh")
+        stack_bytes = runtime.space.raw_load(domain.stack_base, domain.stack_size)
+        assert b"S3CR3T" not in stack_bytes
 
 
 class TestProperties:

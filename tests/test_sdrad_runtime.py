@@ -218,7 +218,8 @@ class TestRewind:
         assert domain.stats.rewinds == 1
         assert domain.stats.fault_kinds == {"pkey-violation": 1}
 
-    def test_scrub_flag_scrubs_pages(self, runtime):
+    def test_scrub_flag_scrubs_pages(self):
+        runtime = SdradRuntime(scrub_mode="eager")
         domain = runtime.domain_init(
             flags=DomainFlags.RETURN_TO_PARENT | DomainFlags.SCRUB_ON_DISCARD
         )
@@ -231,6 +232,28 @@ class TestRewind:
         runtime.execute(domain.udi, leave_secret_then_fault)
         heap_bytes = runtime.space.raw_load(domain.heap_base, domain.heap_size)
         assert b"S3CR3T" not in heap_bytes
+
+    def test_lazy_scrub_never_leaks_into_new_allocations(self, runtime):
+        # Default scrub_mode="lazy": the rewind leaves stale bytes behind,
+        # but the next entry's allocations are zero-filled on hand-out.
+        domain = runtime.domain_init(
+            flags=DomainFlags.RETURN_TO_PARENT | DomainFlags.SCRUB_ON_DISCARD
+        )
+
+        def leave_secret_then_fault(handle):
+            addr = handle.malloc(64)
+            handle.store(addr, b"S3CR3T" * 10)
+            handle.store(0, b"x")
+
+        runtime.execute(domain.udi, leave_secret_then_fault)
+
+        def read_fresh_block(handle):
+            addr = handle.malloc(64)
+            return handle.load(addr, handle.capacity(addr))
+
+        result = runtime.execute(domain.udi, read_fresh_block)
+        assert result.ok
+        assert bytes(result.value).strip(b"\x00") == b""
 
     def test_no_scrub_leaves_garbage(self, runtime, domain):
         def leave_secret_then_fault(handle):

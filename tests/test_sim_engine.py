@@ -186,6 +186,92 @@ class TestProcesses:
         with pytest.raises(SimulationError):
             engine.run()
 
+    def test_daemon_negative_yield_contained(self):
+        # A daemon's bad yield is captured like any other daemon error —
+        # it must not crash the event loop.
+        engine = Engine()
+        log = []
+
+        def bad():
+            yield -1.0
+
+        def good():
+            yield 2.0
+            log.append("ok")
+
+        process = engine.spawn(bad(), daemon=True)
+        engine.spawn(good())
+        engine.run()
+        assert log == ["ok"]
+        assert isinstance(process.error, SimulationError)
+        assert process.finished
+
+    def test_daemon_unsupported_yield_contained(self):
+        engine = Engine()
+
+        def bad():
+            yield object()
+
+        process = engine.spawn(bad(), daemon=True)
+        engine.run()
+        assert isinstance(process.error, SimulationError)
+
+    def test_join_errored_process_raises_in_waiter(self):
+        # A join on a failed process must not look like a None result: the
+        # error is thrown into the waiter at the join point.
+        engine = Engine()
+        log = []
+
+        def bad():
+            yield 1.0
+            raise RuntimeError("boom")
+
+        def parent():
+            child = engine.spawn(bad(), daemon=True)
+            try:
+                yield child
+            except RuntimeError as exc:
+                log.append(("caught", str(exc), engine.now))
+
+        engine.spawn(parent())
+        engine.run()
+        assert log == [("caught", "boom", 1.0)]
+
+    def test_join_already_errored_process_raises_in_waiter(self):
+        engine = Engine()
+        log = []
+
+        def bad():
+            yield 0.5
+            raise RuntimeError("late join")
+
+        child = engine.spawn(bad(), daemon=True)
+
+        def parent():
+            yield 1.0  # child has already failed by now
+            try:
+                yield child
+            except RuntimeError:
+                log.append("caught")
+
+        engine.spawn(parent())
+        engine.run()
+        assert log == ["caught"]
+
+    def test_uncaught_join_error_fails_waiter_too(self):
+        engine = Engine()
+
+        def bad():
+            yield 1.0
+            raise RuntimeError("boom")
+
+        def parent():
+            yield engine.spawn(bad(), daemon=True)
+
+        engine.spawn(parent())
+        with pytest.raises(RuntimeError, match="boom"):
+            engine.run()
+
     def test_spawn_with_delay(self):
         engine = Engine()
         log = []
