@@ -1,6 +1,6 @@
 # Convenience targets for the SDRaD reproduction.
 
-.PHONY: install test bench bench-fast tables examples all
+.PHONY: install test bench bench-fast profile tables examples all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -11,12 +11,17 @@ test:
 bench:
 	pytest benchmarks/ --benchmark-only
 
-# Wall-clock harness for the simulation itself (TLB fast path, lazy scrub,
-# kvstore end-to-end). Writes BENCH_PR1.json and fails on >20% regression
-# against the previous BENCH_*.json.
+# Wall-clock harness for the simulation itself (TLB fast path, re-entry
+# cache, request batching, kvstore/memcached end-to-end). Writes
+# BENCH_PR2.json and fails on >20% regression against the previous
+# BENCH_*.json (ordered by schema, then PR number).
 bench-fast:
-	PYTHONPATH=src python scripts/bench.py --out BENCH_PR1.json
+	PYTHONPATH=src python scripts/bench.py --out BENCH_PR2.json
 	python scripts/check_bench_regression.py
+
+# cProfile the hot request paths; prints the top-20 cumulative hotspots.
+profile:
+	PYTHONPATH=src python scripts/profile.py
 
 tables:
 	pytest benchmarks/ -s --benchmark-disable

@@ -14,15 +14,22 @@ and are unchanged by any of this). Four benches:
                        axis);
 * ``kvstore_e2e``    — the Memcached retrofit end-to-end: per-connection
                        isolation, set/get mix through the unsafe parser,
-                       TLB on vs. off.
+                       TLB on vs. off;
+* ``memcached_e2e``  — the PR 2 pipeline: the same mix per-connection,
+                       per-request, batched (16-request pipelines through
+                       ``handle_batch``), and with the domain re-entry
+                       fast path disabled (the PR 1 baseline behaviour);
+* ``domain_reentry`` — enter/exit a persistent domain with the entry-
+                       ticket cache on vs. off, isolating the re-entry
+                       fast path from protocol work.
 
 Writes machine-readable results (ops/sec plus on/off speedups) to a JSON
-file — ``BENCH_PR1.json`` by default — which ``check_bench_regression.py``
+file — ``BENCH_PR2.json`` by default — which ``check_bench_regression.py``
 compares across PRs.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench.py [--out BENCH_PR1.json] [--quick]
+    PYTHONPATH=src python scripts/bench.py [--out BENCH_PR2.json] [--quick]
 """
 
 from __future__ import annotations
@@ -192,14 +199,109 @@ def bench_kvstore_e2e(min_time: float) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Bench 5: memcached end-to-end, batching + re-entry fast path (PR 2)
+# ----------------------------------------------------------------------
+
+def bench_memcached_e2e(min_time: float) -> dict:
+    """The request-pipeline tentpole: per-connection vs. per-request vs.
+    batched, plus per-connection with the re-entry cache off (which
+    reproduces the PR 1 execution path and is the speedup baseline)."""
+
+    def requests() -> list[bytes]:
+        reqs = []
+        for i in range(16):
+            value = b"v" * 64
+            reqs.append(b"set key%d 0 0 %d\r\n%s\r\n" % (i, len(value), value))
+            reqs.append(b"get key%d\r\n" % i)
+        return reqs
+
+    def run(isolation: IsolationMode, *, batched: bool = False,
+            reentry: bool = True) -> dict:
+        runtime = SdradRuntime(reentry_cache=reentry)
+        server = MemcachedServer(runtime, isolation=isolation)
+        server.connect("bench-client")
+        reqs = requests()
+
+        if batched:
+            batch_size = 16
+            batches = [
+                reqs[i : i + batch_size]
+                for i in range(0, len(reqs), batch_size)
+            ]
+
+            def loop(n: int) -> None:
+                handle_batch = server.handle_batch
+                for i in range(n // batch_size):
+                    handle_batch("bench-client", batches[i % len(batches)])
+
+            return _measure(loop, min_time=min_time, batch=batch_size * 2)
+
+        def loop(n: int) -> None:
+            handle = server.handle
+            for i in range(n):
+                handle("bench-client", reqs[i % len(reqs)])
+
+        return _measure(loop, min_time=min_time, batch=32)
+
+    per_connection = run(IsolationMode.PER_CONNECTION)
+    per_request = run(IsolationMode.PER_REQUEST)
+    batched = run(IsolationMode.PER_CONNECTION, batched=True)
+    fastpath_off = run(IsolationMode.PER_CONNECTION, reentry=False)
+    return {
+        "per_connection": per_connection,
+        "per_request": per_request,
+        "batched": batched,
+        "fastpath_off": fastpath_off,
+        "batched_speedup": round(
+            batched["ops_per_sec"] / per_connection["ops_per_sec"], 2
+        ),
+        "speedup_vs_fastpath_off": round(
+            batched["ops_per_sec"] / fastpath_off["ops_per_sec"], 2
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
+# Bench 6: domain re-entry fast path in isolation
+# ----------------------------------------------------------------------
+
+def bench_domain_reentry(min_time: float) -> dict:
+    """Same loop as ``domain_switch``, but explicitly contrasting the
+    entry-ticket cache on (PR 2) vs. off (the PR 1 enter/exit path)."""
+
+    def run(reentry: bool) -> dict:
+        runtime = SdradRuntime(reentry_cache=reentry)
+        domain = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+
+        def body(handle):
+            return None
+
+        def loop(n: int) -> None:
+            execute = runtime.execute
+            udi = domain.udi
+            for _ in range(n):
+                execute(udi, body)
+
+        return _measure(loop, min_time=min_time, batch=64)
+
+    on = run(True)
+    off = run(False)
+    return {
+        "reentry_on": on,
+        "reentry_off": off,
+        "speedup": round(on["ops_per_sec"] / off["ops_per_sec"], 2),
+    }
+
+
+# ----------------------------------------------------------------------
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default="BENCH_PR1.json",
-        help="output JSON path (default: BENCH_PR1.json)",
+        default="BENCH_PR2.json",
+        help="output JSON path (default: BENCH_PR2.json)",
     )
     parser.add_argument(
         "--quick",
@@ -210,7 +312,7 @@ def main() -> int:
     min_time = 0.05 if args.quick else 0.25
 
     results = {
-        "schema": 1,
+        "schema": 2,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "benches": {},
@@ -220,6 +322,8 @@ def main() -> int:
         ("domain_switch", bench_domain_switch),
         ("fault_rewind", bench_fault_rewind),
         ("kvstore_e2e", bench_kvstore_e2e),
+        ("memcached_e2e", bench_memcached_e2e),
+        ("domain_reentry", bench_domain_reentry),
     ):
         print(f"[bench] {name} ...", flush=True)
         results["benches"][name] = fn(min_time)
@@ -244,6 +348,20 @@ def main() -> int:
         f"  kvstore_e2e   : {b['kvstore_e2e']['tlb_on']['ops_per_sec']:>12,.0f} req/s"
         f"  (tlb off {b['kvstore_e2e']['tlb_off']['ops_per_sec']:,.0f},"
         f" speedup {b['kvstore_e2e']['speedup']}x)"
+    )
+    m = b["memcached_e2e"]
+    print(
+        f"  memcached_e2e : {m['batched']['ops_per_sec']:>12,.0f} req/s batched"
+        f"  (per-conn {m['per_connection']['ops_per_sec']:,.0f},"
+        f" per-req {m['per_request']['ops_per_sec']:,.0f},"
+        f" fastpath off {m['fastpath_off']['ops_per_sec']:,.0f},"
+        f" batched speedup {m['speedup_vs_fastpath_off']}x)"
+    )
+    r = b["domain_reentry"]
+    print(
+        f"  domain_reentry: {r['reentry_on']['ops_per_sec']:>12,.0f} ops/s"
+        f"  (cache off {r['reentry_off']['ops_per_sec']:,.0f},"
+        f" speedup {r['speedup']}x)"
     )
     return 0
 

@@ -1,13 +1,16 @@
 #!/usr/bin/env python
 """Fail if the current bench results regressed vs. the previous PR's.
 
-Compares the tracked throughput metrics in the newest ``BENCH_*.json``
-against the previous one (lexicographic order — the files are named
-``BENCH_PR<N>.json``, zero history is fine). A metric that dropped by more
-than the threshold (default 20%) fails the check; improvements and new
-metrics pass. Wall-clock numbers are noisy, hence the generous threshold —
-this is a guard against accidentally reverting the fast path, not a
-micro-benchmark gate.
+Orders the ``BENCH_*.json`` files by their declared ``schema`` (and, for
+ties, by the PR number embedded in the filename — NOT by lexicographic
+filename sort, which would put ``BENCH_PR10`` before ``BENCH_PR2``), then
+compares the newest file against the one before it. Only metrics present
+in BOTH files are compared: a metric added by the newer schema is reported
+as new, a metric the newer harness no longer emits is reported as retired,
+and neither fails the check. A shared metric that dropped by more than the
+threshold (default 20%) fails. Wall-clock numbers are noisy, hence the
+generous threshold — this is a guard against accidentally reverting a fast
+path, not a micro-benchmark gate.
 
 Usage::
 
@@ -18,6 +21,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 from pathlib import Path
 
@@ -27,6 +31,10 @@ TRACKED = [
     ("domain_switch", ("ops_per_sec",)),
     ("fault_rewind", ("lazy", "ops_per_sec")),
     ("kvstore_e2e", ("tlb_on", "ops_per_sec")),
+    ("memcached_e2e", ("per_connection", "ops_per_sec")),
+    ("memcached_e2e", ("batched", "ops_per_sec")),
+    ("memcached_e2e", ("fastpath_off", "ops_per_sec")),
+    ("domain_reentry", ("reentry_on", "ops_per_sec")),
 ]
 
 
@@ -37,6 +45,21 @@ def _dig(data: dict, path: tuple) -> float | None:
             return None
         node = node[key]
     return float(node) if isinstance(node, (int, float)) else None
+
+
+def _order_key(entry: tuple[Path, dict]) -> tuple[int, int, str]:
+    """Sort key: schema first (commit order), then embedded PR number.
+
+    ``BENCH_PR10.json`` must sort after ``BENCH_PR2.json`` even though it
+    sorts before it lexicographically, and a file whose schema says it is
+    newer wins regardless of its name.
+    """
+    path, data = entry
+    schema = data.get("schema")
+    schema = schema if isinstance(schema, int) else 0
+    match = re.search(r"(\d+)", path.stem)
+    number = int(match.group(1)) if match else 0
+    return (schema, number, path.name)
 
 
 def main() -> int:
@@ -50,30 +73,42 @@ def main() -> int:
     )
     args = parser.parse_args()
 
-    files = sorted(Path(args.dir).glob("BENCH_*.json"))
-    if not files:
-        print("no BENCH_*.json files found — nothing to check")
+    entries = []
+    for path in Path(args.dir).glob("BENCH_*.json"):
+        try:
+            data = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"{path.name}: unreadable ({exc}) — skipping")
+            continue
+        if isinstance(data, dict) and isinstance(data.get("benches"), dict):
+            entries.append((path, data))
+        else:
+            print(f"{path.name}: no 'benches' section — skipping")
+    if not entries:
+        print("no usable BENCH_*.json files found — nothing to check")
         return 1
-    current = files[-1]
-    cur = json.loads(current.read_text())["benches"]
-    if len(files) == 1:
-        print(f"{current.name}: first benchmark file, no baseline to compare")
+    entries.sort(key=_order_key)
+    current_path, current_data = entries[-1]
+    if len(entries) == 1:
+        print(f"{current_path.name}: first benchmark file, no baseline to compare")
         return 0
-    previous = files[-2]
-    prev = json.loads(previous.read_text())["benches"]
+    previous_path, previous_data = entries[-2]
+    cur = current_data["benches"]
+    prev = previous_data["benches"]
 
-    print(f"comparing {current.name} against {previous.name}")
+    print(f"comparing {current_path.name} against {previous_path.name}")
     failed = False
     for bench, path in TRACKED:
         label = ".".join((bench,) + path[:-1]) or bench
         new = _dig(cur.get(bench, {}), path)
         old = _dig(prev.get(bench, {}), path)
-        if new is None:
-            print(f"  {label:28s} MISSING in {current.name}")
-            failed = True
-            continue
+        if new is None and old is None:
+            continue  # tracked but emitted by neither file
         if old is None:
             print(f"  {label:28s} {new:>14,.0f} ops/s  (new metric)")
+            continue
+        if new is None:
+            print(f"  {label:28s} retired (was {old:,.0f} ops/s)")
             continue
         change = (new - old) / old
         status = "ok"

@@ -115,7 +115,9 @@ def parse_request_in_domain(
             # actual bytes on the wire.
             body_buf = handle.malloc(max(declared, 1))
             handle.store(body_buf, body)
-            body = handle.load(body_buf, min(declared, len(body)))
+            # Zero-copy read-back: same checked path and counters as
+            # ``load``, one copy instead of two.
+            body = bytes(handle.load_view(body_buf, min(declared, len(body))))
             handle.free(body_buf)
 
         return HttpRequest(
@@ -127,6 +129,18 @@ def parse_request_in_domain(
         )
     finally:
         handle.pop_frame(frame)
+
+
+def parse_pipeline_in_domain(
+    handle: DomainHandle, raws: list[bytes]
+) -> list[Optional[HttpRequest]]:
+    """Parse an HTTP/1.1 pipeline inside one domain entry.
+
+    Per-request frames, buffers and bugs are identical to
+    :func:`parse_request_in_domain`; only the domain enter/exit is shared.
+    A fault on any pipelined request aborts (and rewinds) the whole parse.
+    """
+    return [parse_request_in_domain(handle, raw) for raw in raws]
 
 
 class Router:

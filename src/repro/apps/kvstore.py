@@ -19,6 +19,7 @@ An LRU list provides Memcached's eviction policy when the slab arena fills.
 
 from __future__ import annotations
 
+import struct
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Optional
@@ -29,6 +30,8 @@ from ..sdrad.runtime import SdradRuntime
 
 ITEM_HEADER = 8
 MAX_KEY_LEN = 250  # memcached protocol limit
+
+_ITEM_STRUCT = struct.Struct("<HHI")  # key length, flags, value length
 
 
 @dataclass
@@ -87,11 +90,7 @@ class KVStore:
             self._free_item(key)
         needed = ITEM_HEADER + len(key) + len(value)
         addr = self._alloc_with_eviction(needed)
-        header = (
-            len(key).to_bytes(2, "little")
-            + (flags & 0xFFFF).to_bytes(2, "little")
-            + len(value).to_bytes(4, "little")
-        )
+        header = _ITEM_STRUCT.pack(len(key), flags & 0xFFFF, len(value))
         self.runtime.space.raw_store(addr, header + key + value)
         self._index[key] = addr
         self._index.move_to_end(key)
@@ -134,21 +133,16 @@ class KVStore:
         if not hits:
             return {}
         space = self.runtime.space
-        headers = space.raw_load_many(
-            (addr, ITEM_HEADER) for _, addr in hits
-        )
+        headers = [
+            _ITEM_STRUCT.unpack(raw)
+            for raw in space.raw_load_many((addr, ITEM_HEADER) for _, addr in hits)
+        ]
         bodies = space.raw_load_many(
-            (
-                addr + ITEM_HEADER,
-                int.from_bytes(raw[0:2], "little")
-                + int.from_bytes(raw[4:8], "little"),
-            )
-            for (_, addr), raw in zip(hits, headers)
+            (addr + ITEM_HEADER, klen + vlen)
+            for (_, addr), (klen, _, vlen) in zip(hits, headers)
         )
         out: dict[bytes, tuple[bytes, int]] = {}
-        for (key, _), raw, body in zip(hits, headers, bodies):
-            klen = int.from_bytes(raw[0:2], "little")
-            flags = int.from_bytes(raw[2:4], "little")
+        for (key, _), (klen, flags, _), body in zip(hits, headers, bodies):
             if body[:klen] != key:
                 raise SdradError("index/item key mismatch — store corrupted")
             out[key] = (body[klen:], flags)
@@ -260,9 +254,7 @@ class KVStore:
         # One zero-copy header peek plus one fused key+value read, instead
         # of three copying loads — the hot path of every hit.
         header = space.raw_view(addr, ITEM_HEADER)
-        klen = int.from_bytes(header[0:2], "little")
-        flags = int.from_bytes(header[2:4], "little")
-        vlen = int.from_bytes(header[4:8], "little")
+        klen, flags, vlen = _ITEM_STRUCT.unpack(header)
         body = space.raw_load(addr + ITEM_HEADER, klen + vlen)
         if body[:klen] != key:
             raise SdradError("index/item key mismatch — store corrupted")

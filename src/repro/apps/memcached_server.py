@@ -40,7 +40,7 @@ from typing import Optional
 
 from ..errors import SdradError
 from ..sdrad.constants import ROOT_UDI, DomainFlags
-from ..sdrad.policy import ProcessCrashed, RewindPolicy
+from ..sdrad.policy import ProcessCrashed
 from ..sdrad.runtime import DomainHandle, SdradRuntime
 from ..sdrad.watchdog import FaultWatchdog
 from .kvstore import KVStore, MAX_KEY_LEN
@@ -75,6 +75,8 @@ class _ParsedOp:
     key: bytes = b""
     flags: int = 0
     value: bytes = b""
+    #: Multi-key ``get k1 k2 ...`` — empty for every other command.
+    keys: tuple = ()
 
 
 class MemcachedServer:
@@ -153,7 +155,7 @@ class MemcachedServer:
 
         udi, ephemeral = self._domain_for_request(client_id)
         try:
-            result = self.runtime.execute(udi, _parse_in_domain, raw, policy=RewindPolicy())
+            result = self.runtime.execute(udi, _parse_in_domain, raw)
         finally:
             if ephemeral:
                 self.runtime.domain_destroy(udi)
@@ -166,6 +168,39 @@ class MemcachedServer:
                 self.metrics.quarantines += 1
             return b"SERVER_ERROR domain fault (request discarded)\r\n"
         return self._apply(result.value)
+
+    def handle_batch(self, client_id: str, raws: list[bytes]) -> list[bytes]:
+        """Process a pipeline of requests in one domain entry.
+
+        Per-connection isolation parses the whole pipeline inside a single
+        enter/exit of the connection's domain — the switch cost is amortised
+        over ``len(raws)`` requests — and then applies the parsed commands
+        trusted-side in order. Nothing is applied until the entire batch has
+        parsed, so a fault on any request rewinds a batch that has had no
+        effect yet; the server then falls back to per-request handling, in
+        which only the offending request answers ``SERVER_ERROR`` and every
+        other request is parsed and applied exactly once.
+
+        Isolation modes without a persistent domain (``PER_REQUEST``,
+        ``NONE``) have nothing to amortise; the pipeline degenerates to the
+        per-request loop, as does a quarantined client.
+        """
+        if client_id not in self._connections:
+            raise SdradError(f"client {client_id!r} is not connected")
+        if not raws:
+            return []
+        if self.isolation is not IsolationMode.PER_CONNECTION or (
+            self.watchdog is not None and self.watchdog.is_quarantined(client_id)
+        ):
+            return [self.handle(client_id, raw) for raw in raws]
+        udi = self._connections[client_id]
+        result = self.runtime.execute(udi, _parse_batch_in_domain, raws)
+        if not result.ok:
+            # The rewind discarded the whole (unapplied) batch; re-handle
+            # each request in its own entry so only the offender errors.
+            return [self.handle(client_id, raw) for raw in raws]
+        self.metrics.requests += len(raws)
+        return [self._apply(parsed) for parsed in result.value]
 
     # ------------------------------------------------------------------
     # Internals
@@ -217,21 +252,34 @@ class MemcachedServer:
                 return b"NOT_FOUND\r\n"
             return b"%d\r\n" % new_value
         if parsed.op == "get":
-            hit = None
+            keys = parsed.keys or (parsed.key,)
             try:
-                hit = self.store.get(parsed.key)
+                if len(keys) == 1:
+                    hit = self.store.get(keys[0])
+                    hits = {} if hit is None else {keys[0]: hit}
+                else:
+                    # Multi-key get: one batched store lookup for the
+                    # whole request (memcached's ``get k1 k2 ...``).
+                    hits = self.store.get_many(list(keys))
             except SdradError:
                 self.metrics.client_errors += 1
                 return b"CLIENT_ERROR bad key\r\n"
             self.metrics.ok += 1
-            if hit is None:
+            if not hits:
                 return b"END\r\n"
-            value, flags = hit
-            return (
-                b"VALUE %s %d %d\r\n" % (parsed.key, flags, len(value))
-                + value
-                + b"\r\nEND\r\n"
-            )
+            chunks = []
+            for key in keys:
+                item = hits.get(key)
+                if item is None:
+                    continue
+                value, flags = item
+                chunks.append(
+                    b"VALUE %s %d %d\r\n" % (key, flags, len(value))
+                    + value
+                    + b"\r\n"
+                )
+            chunks.append(b"END\r\n")
+            return b"".join(chunks)
         if parsed.op == "delete":
             try:
                 found = self.store.delete(parsed.key)
@@ -290,7 +338,10 @@ def _parse_in_domain(handle: DomainHandle, raw: bytes) -> Optional[_ParsedOp]:
             # the *actual* payload.
             value_buf = handle.malloc(max(declared, 1))
             handle.store(value_buf, data)
-            value = handle.load(value_buf, min(declared, len(data)))
+            # Zero-copy read-back: the view runs the same checked-access
+            # path as ``load`` (same TLB verdicts, same counters) but the
+            # only copy is the one materialising the trusted-side value.
+            value = bytes(handle.load_view(value_buf, min(declared, len(data))))
             handle.free(value_buf)
             if len(key) > MAX_KEY_LEN:
                 return None  # reached only if the overflow was survivable
@@ -312,7 +363,24 @@ def _parse_in_domain(handle: DomainHandle, raw: bytes) -> Optional[_ParsedOp]:
             return _ParsedOp(
                 op=command.decode("ascii"), key=bytes(key), flags=delta
             )
-        if command in (b"get", b"delete"):
+        if command == b"get":
+            if len(parts) < 2:
+                return None
+            keys = parts[1:]
+            # Each key of a multi-key get is "strcpy'd" into the same fixed
+            # stack buffer in turn — BUG 1 fires for any over-long key in
+            # the pipeline, exactly as for a single-key get.
+            key_buf = frame.alloca(KEY_STACK_BUFFER)
+            for key in keys:
+                frame.write_buffer(key_buf, key + b"\x00")
+            if any(len(key) > MAX_KEY_LEN for key in keys):
+                return None
+            if len(keys) == 1:
+                return _ParsedOp(op="get", key=bytes(keys[0]))
+            return _ParsedOp(
+                op="get", key=bytes(keys[0]), keys=tuple(bytes(k) for k in keys)
+            )
+        if command == b"delete":
             if len(parts) != 2:
                 return None
             key = parts[1]
@@ -320,9 +388,22 @@ def _parse_in_domain(handle: DomainHandle, raw: bytes) -> Optional[_ParsedOp]:
             frame.write_buffer(key_buf, key + b"\x00")
             if len(key) > MAX_KEY_LEN:
                 return None
-            return _ParsedOp(op=command.decode("ascii"), key=bytes(key))
+            return _ParsedOp(op="delete", key=bytes(key))
         if command == b"stats":
             return _ParsedOp(op="stats")
         return None
     finally:
         handle.pop_frame(frame)
+
+
+def _parse_batch_in_domain(
+    handle: DomainHandle, raws: list[bytes]
+) -> list[Optional[_ParsedOp]]:
+    """Parse a whole request pipeline inside one domain entry.
+
+    Each request still gets its own stack frame and allocations, so the
+    attack surface per request is unchanged — only the domain enter/exit
+    is amortised. A fault on any request aborts (and rewinds) the whole
+    batch parse; the server falls back to per-request handling.
+    """
+    return [_parse_in_domain(handle, raw) for raw in raws]

@@ -14,10 +14,16 @@ from typing import Optional
 
 from ..errors import SdradError
 from ..sdrad.constants import DomainFlags
-from ..sdrad.policy import ProcessCrashed, RewindPolicy
+from ..sdrad.policy import ProcessCrashed
 from ..sdrad.runtime import SdradRuntime
 from ..sdrad.watchdog import FaultWatchdog
-from .http import HttpResponse, Router, default_router, parse_request_in_domain
+from .http import (
+    HttpResponse,
+    Router,
+    default_router,
+    parse_pipeline_in_domain,
+    parse_request_in_domain,
+)
 from .memcached_server import IsolationMode
 
 
@@ -103,9 +109,7 @@ class NginxServer:
 
         udi, ephemeral = self._domain_for_request(client_id)
         try:
-            result = self.runtime.execute(
-                udi, parse_request_in_domain, raw, policy=RewindPolicy()
-            )
+            result = self.runtime.execute(udi, parse_request_in_domain, raw)
         finally:
             if ephemeral:
                 self.runtime.domain_destroy(udi)
@@ -121,6 +125,32 @@ class NginxServer:
                 body=b"request discarded\n",
             ).encode()
         return self._respond(result.value)
+
+    def handle_batch(self, client_id: str, raws: list[bytes]) -> list[bytes]:
+        """Process an HTTP/1.1 pipeline in one domain entry.
+
+        Mirrors :meth:`MemcachedServer.handle_batch`: the whole pipeline is
+        parsed inside a single enter/exit of the connection's domain and
+        routed trusted-side afterwards. A fault while parsing rewinds the
+        (side-effect-free) batch and the server falls back to per-request
+        handling, so only the offending request answers 500.
+        """
+        if client_id not in self._connections:
+            raise SdradError(f"client {client_id!r} is not connected")
+        if not raws:
+            return []
+        if self.isolation is not IsolationMode.PER_CONNECTION or (
+            self.watchdog is not None and self.watchdog.is_quarantined(client_id)
+        ):
+            return [self.handle(client_id, raw) for raw in raws]
+        udi = self._connections[client_id]
+        self.runtime.charge(len(raws) * self.runtime.cost.nginx_request)
+        result = self.runtime.execute(udi, parse_pipeline_in_domain, raws)
+        if not result.ok:
+            # Nothing was routed before the fault; re-handle individually.
+            return [self.handle(client_id, raw) for raw in raws]
+        self.metrics.requests += len(raws)
+        return [self._respond(request) for request in result.value]
 
     # ------------------------------------------------------------------
 

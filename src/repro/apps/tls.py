@@ -127,12 +127,21 @@ def mask_record_in_domain(
     """
     buf = handle.malloc(max(len(data), 1))
     handle.store(buf, data)
-    staged = handle.load(buf, len(data)) if data else b""
-    masked = bytes(b ^ secret[i % len(secret)] for i, b in enumerate(staged))
+    staged = bytes(handle.load_view(buf, len(data))) if data else b""
+    if staged:
+        # Wide XOR over the whole record instead of a per-byte loop; the
+        # keystream repeats the secret to cover the record, as before.
+        keystream = secret * (len(staged) // len(secret) + 1)
+        masked = (
+            int.from_bytes(staged, "little")
+            ^ int.from_bytes(keystream[: len(staged)], "little")
+        ).to_bytes(len(staged), "little")
+    else:
+        masked = b""
     handle.store(buf, masked or b"\x00")
-    out = handle.load(buf, len(masked)) if masked else b""
+    out = bytes(handle.load_view(buf, len(masked))) if masked else b""
     handle.free(buf)
-    return bytes(out)
+    return out
 
 
 def process_heartbeat_in_domain(handle: DomainHandle, hb_payload: bytes) -> bytes:
@@ -157,7 +166,9 @@ def process_heartbeat_in_domain(handle: DomainHandle, hb_payload: bytes) -> byte
     # memcpy(buffer, request.payload, actual_length) ...
     buf = handle.malloc(max(len(actual), 1))
     handle.store(buf, actual)
-    # ... then memcpy(response, buffer, DECLARED length). The bug:
-    echoed = handle.load(buf, echo_len)
+    # ... then memcpy(response, buffer, DECLARED length). The bug: the view
+    # covers ``declared`` bytes from the buffer's start, checked (and
+    # containable) exactly like the copying load it replaces.
+    echoed = bytes(handle.load_view(buf, echo_len))
     handle.free(buf)
-    return struct.pack(">BH", HeartbeatType.RESPONSE, declared) + bytes(echoed)
+    return struct.pack(">BH", HeartbeatType.RESPONSE, declared) + echoed

@@ -32,6 +32,8 @@ tests. Application payload accesses stay on the checked path.
 
 from __future__ import annotations
 
+import struct
+from bisect import bisect_left, insort
 from dataclasses import dataclass
 
 from ..errors import AllocationFailure, HeapCorruption, InvalidFree, SdradError
@@ -44,6 +46,9 @@ ALIGNMENT = 16
 ALLOC_MAGIC = 0x5DAD_A110
 FREE_MAGIC = 0x5DAD_F4EE
 GUARD_PATTERN = 0xDEAD_BEEF_CAFE_F00D
+
+_HEADER_STRUCT = struct.Struct("<IIII")
+_GUARD_BYTES = GUARD_PATTERN.to_bytes(8, "little") * 2
 
 
 def _align(value: int) -> int:
@@ -86,6 +91,9 @@ class FreeListAllocator:
         # Python-side mirror of block layout for O(1) lookups; simulated
         # memory remains the source of truth for integrity checks.
         self._blocks: dict[int, tuple[int, bool]] = {}  # addr -> (capacity, in_use)
+        # Block addresses kept sorted (bisect-maintained) so first-fit and
+        # coalescing avoid re-sorting the block map on every call.
+        self._addrs: list[int] = []
         self.total_allocs = 0
         self.total_frees = 0
         self._allocated_bytes = 0
@@ -105,8 +113,9 @@ class FreeListAllocator:
         if nbytes <= 0:
             raise SdradError(f"allocation size must be positive, got {nbytes}")
         capacity = _align(nbytes)
-        for addr in sorted(self._blocks):
-            block_capacity, in_use = self._blocks[addr]
+        blocks = self._blocks
+        for addr in self._addrs:
+            block_capacity, in_use = blocks[addr]
             if in_use or block_capacity < capacity:
                 continue
             # When the remainder is too small to split off, the whole block
@@ -148,7 +157,7 @@ class FreeListAllocator:
         if capacity != mirror_capacity or not in_use:
             raise HeapCorruption(addr, "header capacity disagrees with allocator state")
         guard = self.space.raw_load(addr + HEADER_SIZE + capacity, GUARD_SIZE)
-        if guard != GUARD_PATTERN.to_bytes(8, "little") * 2:
+        if guard != _GUARD_BYTES:
             raise HeapCorruption(
                 addr + HEADER_SIZE + capacity,
                 f"guard bytes overwritten ({guard.hex()}) — buffer overflow",
@@ -185,7 +194,7 @@ class FreeListAllocator:
                 guard = self.space.raw_load(
                     addr + HEADER_SIZE + capacity, GUARD_SIZE
                 )
-                if guard != GUARD_PATTERN.to_bytes(8, "little") * 2:
+                if guard != _GUARD_BYTES:
                     raise HeapCorruption(
                         addr + HEADER_SIZE + capacity, "walk found smashed guard"
                     )
@@ -237,6 +246,7 @@ class FreeListAllocator:
         """Restore bookkeeping exported by :meth:`export_state`."""
         blocks, allocated = state
         self._blocks = dict(blocks)
+        self._addrs = sorted(self._blocks)
         self._allocated_bytes = allocated
 
     def stats(self) -> HeapStats:
@@ -264,6 +274,7 @@ class FreeListAllocator:
         self._write_header(self.base, FREE_MAGIC, capacity, 0)
         self._write_guard(self.base, capacity)
         self._blocks[self.base] = (capacity, False)
+        self._addrs = [self.base]
 
     def _split_block(self, addr: int, block_capacity: int, wanted: int) -> int:
         """Split a free block if the remainder can hold another block.
@@ -280,26 +291,28 @@ class FreeListAllocator:
         self._write_header(new_addr, FREE_MAGIC, new_capacity, 0)
         self._write_guard(new_addr, new_capacity)
         self._blocks[new_addr] = (new_capacity, False)
+        insort(self._addrs, new_addr)
         self._blocks[addr] = (wanted, False)
         return wanted
 
     def _coalesce(self, addr: int) -> None:
         """Merge the freed block with free neighbours (boundary-tag merge)."""
-        ordered = sorted(self._blocks)
-        index = ordered.index(addr)
+        addrs = self._addrs
+        index = bisect_left(addrs, addr)
         # merge forward first so the backward merge sees the combined block
         capacity = self._blocks[addr][0]
-        if index + 1 < len(ordered):
-            nxt = ordered[index + 1]
+        if index + 1 < len(addrs):
+            nxt = addrs[index + 1]
             nxt_capacity, nxt_in_use = self._blocks[nxt]
             if not nxt_in_use and nxt == addr + HEADER_SIZE + capacity + GUARD_SIZE:
                 capacity += HEADER_SIZE + nxt_capacity + GUARD_SIZE
                 del self._blocks[nxt]
+                del addrs[index + 1]
                 self._blocks[addr] = (capacity, False)
                 self._write_header(addr, FREE_MAGIC, capacity, 0)
                 self._write_guard(addr, capacity)
         if index > 0:
-            prev = ordered[index - 1]
+            prev = addrs[index - 1]
             prev_capacity, prev_in_use = self._blocks.get(prev, (0, True))
             if (
                 not prev_in_use
@@ -307,30 +320,19 @@ class FreeListAllocator:
             ):
                 merged = prev_capacity + HEADER_SIZE + capacity + GUARD_SIZE
                 del self._blocks[addr]
+                del addrs[index]
                 self._blocks[prev] = (merged, False)
                 self._write_header(prev, FREE_MAGIC, merged, 0)
                 self._write_guard(prev, merged)
 
     def _write_header(self, addr: int, magic: int, capacity: int, requested: int) -> None:
         checksum = (magic ^ capacity ^ requested) & 0xFFFFFFFF
-        header = (
-            magic.to_bytes(4, "little")
-            + capacity.to_bytes(4, "little")
-            + requested.to_bytes(4, "little")
-            + checksum.to_bytes(4, "little")
+        self.space.raw_store(
+            addr, _HEADER_STRUCT.pack(magic, capacity, requested, checksum)
         )
-        self.space.raw_store(addr, header)
 
     def _write_guard(self, addr: int, capacity: int) -> None:
-        self.space.raw_store(
-            addr + HEADER_SIZE + capacity, GUARD_PATTERN.to_bytes(8, "little") * 2
-        )
+        self.space.raw_store(addr + HEADER_SIZE + capacity, _GUARD_BYTES)
 
     def _read_header(self, addr: int) -> tuple[int, int, int, int]:
-        raw = self.space.raw_load(addr, HEADER_SIZE)
-        return (
-            int.from_bytes(raw[0:4], "little"),
-            int.from_bytes(raw[4:8], "little"),
-            int.from_bytes(raw[8:12], "little"),
-            int.from_bytes(raw[12:16], "little"),
-        )
+        return _HEADER_STRUCT.unpack(self.space.raw_load(addr, HEADER_SIZE))

@@ -86,6 +86,26 @@ class PkruRegister:
         if self.on_write is not None:
             self.on_write(self._value)
 
+    def write_prepared(self, value: int, modelled_writes: int = 1) -> None:
+        """Apply a pre-derived PKRU value in a single step.
+
+        The runtime's re-entry fast path derives a domain's final PKRU once
+        (through ``modelled_writes`` WRPKRUs) and replays the result on later
+        entries. The replay must be indistinguishable from the derivation to
+        everything observable — the ``writes`` counter feeds telemetry and
+        cost accounting — so the counter advances by the full modelled
+        instruction count while the register (and the cache-coherency hook)
+        sees only the final value.
+        """
+        if modelled_writes < 1:
+            raise SdradError(
+                f"write_prepared models {modelled_writes} WRPKRUs; need >= 1"
+            )
+        self._value = value & 0xFFFFFFFF
+        self.writes += modelled_writes
+        if self.on_write is not None:
+            self.on_write(self._value)
+
     def allows_read(self, pkey: int) -> bool:
         _validate_pkey(pkey)
         return not self._value & (AD_BIT << (2 * pkey))

@@ -57,7 +57,7 @@ class Domain:
         self.udi = udi
         self.pkey = pkey
         self.space = space
-        self.flags = flags
+        self.flags = flags  # property setter caches the per-flag booleans
         self.parent_udi = parent_udi
         #: When true, ``SCRUB_ON_DISCARD`` defers the zero-fill to
         #: reallocation time (scrub-on-reallocate): discard cost stays flat
@@ -74,6 +74,28 @@ class Domain:
         )
         self.stack = CallStack(space, stack_base, stack_size, rng=self._stack_rng)
         self.stats = DomainStats()
+
+    # ------------------------------------------------------------------
+    # Flags (policy bits), with derived booleans cached
+    # ------------------------------------------------------------------
+
+    @property
+    def flags(self) -> DomainFlags:
+        return self._flags
+
+    @flags.setter
+    def flags(self, value: DomainFlags) -> None:
+        # Flag tests sit on the entry/exit hot path; IntFlag's ``&`` is two
+        # orders of magnitude slower than an attribute load, so the checks
+        # below read these cached booleans. Anything that changes flags after
+        # construction must go through this setter (the runtime's
+        # ``set_domain_flags`` does, and also invalidates entry tickets).
+        self._flags = value
+        bits = int(value)
+        self.nonisolated_heap = bool(bits & DomainFlags.NONISOLATED_HEAP)
+        self.check_heap_on_exit = bool(bits & DomainFlags.CHECK_HEAP_ON_EXIT)
+        self.scrub_on_discard = bool(bits & DomainFlags.SCRUB_ON_DISCARD)
+        self.return_to_parent = bool(bits & DomainFlags.RETURN_TO_PARENT)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -111,7 +133,7 @@ class Domain:
         sufficient (and orders of magnitude cheaper) because domain state is
         reconstructed from the trusted side on the next entry.
         """
-        scrub = bool(self.flags & DomainFlags.SCRUB_ON_DISCARD)
+        scrub = self.scrub_on_discard
         lazy = scrub and self.lazy_scrub
         pages = self.heap.reset(scrub=scrub, lazy=lazy)
         self.stack.unwind_all()
@@ -131,11 +153,11 @@ class Domain:
 
     @property
     def is_isolated_heap(self) -> bool:
-        return not self.flags & DomainFlags.NONISOLATED_HEAP
+        return not self.nonisolated_heap
 
     @property
     def rewinds_on_fault(self) -> bool:
-        return bool(self.flags & DomainFlags.RETURN_TO_PARENT)
+        return self.return_to_parent
 
     def footprint_bytes(self) -> int:
         """Total simulated memory owned by this domain."""

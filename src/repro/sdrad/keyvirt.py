@@ -148,8 +148,13 @@ class VirtualKeyManager:
         """Retag every page of the domain's regions (``pkey_mprotect``).
 
         ``tag_range`` fires the page-table update hook, so cached access
-        verdicts for the retagged pages are shot down automatically.
+        verdicts for the retagged pages are shot down automatically. The
+        runtime's entry tickets are keyed on the domain, not on pages, so
+        they need an explicit shootdown: a ticket prepared while this domain
+        held its old key would grant that key — which may now tag someone
+        else's pages — on the next re-entry.
         """
+        self.runtime.invalidate_entry_tickets(domain=domain)
         table = self.runtime.space.page_table
         table.tag_range(domain.heap_base, domain.heap_size, pkey)
         table.tag_range(domain.stack_base, domain.stack_size, pkey)

@@ -150,6 +150,31 @@ class _Region:
     size: int
 
 
+#: ``RewindPolicy`` is stateless, so every ``execute(policy=None)`` call can
+#: share one instance instead of allocating a fresh policy per request.
+_DEFAULT_REWIND_POLICY = RewindPolicy()
+
+
+@dataclass
+class _EntryTicket:
+    """Prepared state for re-entering a domain from the same caller.
+
+    The slow entry path derives the domain PKRU through several WRPKRUs and
+    builds a fresh handle; in the per-connection steady state (root enters
+    the same connection domain thousands of times) every derivation yields
+    the same result. A ticket caches that result per ``(caller PKRU, udi)``
+    pair and is invalidated on exactly the events that could change it:
+    pkey retag (key virtualisation rebind/evict), ``pkey_free`` (key
+    recycling), domain destroy, and domain policy-flag changes.
+    """
+
+    pkru: int  # final PKRU value the slow path would derive
+    modelled_writes: int  # WRPKRUs the slow path would issue to get there
+    handle: DomainHandle  # reusable handle (stateless between entries)
+    domain: Domain  # the domain object the ticket was prepared for
+    check_heap: bool  # CHECK_HEAP_ON_EXIT at preparation time
+
+
 class SdradRuntime:
     """Owner of the address space, protection keys and all domains."""
 
@@ -164,6 +189,7 @@ class SdradRuntime:
         key_virtualization: bool = False,
         guard_pages: bool = False,
         scrub_mode: str = "lazy",
+        reentry_cache: bool = True,
     ) -> None:
         if scrub_mode not in ("eager", "lazy"):
             raise SdradError(f"unknown scrub mode {scrub_mode!r}")
@@ -190,6 +216,28 @@ class SdradRuntime:
         # shares its protection key and would otherwise absorb it).
         self.guard_pages = guard_pages
         self._free_regions: list[_Region] = []
+        # Domain re-entry fast path: prepared entry tickets keyed by
+        # (caller PKRU, udi). ``reentry_cache=False`` restores the always-
+        # derive behaviour bit for bit (the bench baseline).
+        self.reentry_enabled = reentry_cache
+        self._entry_tickets: dict[tuple[int, int], _EntryTicket] = {}
+        self.reentry_hits = 0
+        self.reentry_misses = 0
+        self.reentry_invalidations = 0
+        # Key recycling invalidates like a TLB shootdown: a ticket prepared
+        # for the old owner of a key must not grant it to the next. Chain on
+        # the allocator's free hook (the address space's TLB flush is already
+        # installed there).
+        _chained_on_free = self.space.pkeys.on_free
+
+        def _ticket_on_pkey_free(pkey: int) -> None:
+            if _chained_on_free is not None:
+                _chained_on_free(pkey)
+            if self._entry_tickets:
+                self._entry_tickets.clear()
+                self.reentry_invalidations += 1
+
+        self.space.pkeys.on_free = _ticket_on_pkey_free
         self._root = self._create_root_domain(root_heap_size)
         # Optional libmpk-style key virtualisation (lifts the 15-domain
         # limit at the cost of rebind retagging; see repro.sdrad.keyvirt).
@@ -297,6 +345,11 @@ class SdradRuntime:
             raise DomainStateError(f"domain {udi} is currently entered")
         self._unmap_region(domain.heap_base, domain.heap_size)
         self._unmap_region(domain.stack_base, domain.stack_size)
+        # A destroyed udi may be recreated (tests and the facade do), and
+        # under key virtualisation the physical key returns to the manager's
+        # pool without a ``pkey_free`` ever firing — so the destroy itself
+        # must drop any prepared entries for this udi.
+        self.invalidate_entry_tickets(udi)
         if self.keys is not None:
             self.keys.release_domain(domain)
         else:
@@ -305,6 +358,54 @@ class SdradRuntime:
         del self._domains[udi]
         self.charge(3 * self.cost.pkey_syscall)
         self.tracer.record(self.clock.now, "domain.destroy", udi=udi)
+
+    # ------------------------------------------------------------------
+    # Re-entry ticket invalidation (the fast path's shootdown hooks)
+    # ------------------------------------------------------------------
+
+    def invalidate_entry_tickets(
+        self, udi: Optional[int] = None, *, domain: Optional[Domain] = None
+    ) -> None:
+        """Drop prepared entry tickets.
+
+        ``domain=`` drops tickets prepared for that exact domain object
+        (used by retag and policy changes, which mutate the object);
+        ``udi=`` drops every ticket for that user-domain index (used by
+        destroy, where a successor domain may reuse the index); with
+        neither, everything goes (key recycling).
+        """
+        tickets = self._entry_tickets
+        if not tickets:
+            return
+        if domain is not None:
+            stale = [k for k, t in tickets.items() if t.domain is domain]
+        elif udi is not None:
+            stale = [k for k in tickets if k[1] == udi]
+        else:
+            stale = list(tickets)
+        for key in stale:
+            del tickets[key]
+        if stale:
+            self.reentry_invalidations += 1
+
+    def set_domain_flags(self, udi: int, flags: DomainFlags) -> None:
+        """Change a domain's containment-policy flags (``sdrad_configure``).
+
+        Policy flags decide what an entry must set up and what an exit must
+        verify (heap sharing, exit-time heap sweep, scrub mode), so prepared
+        entry tickets for the domain are stale the moment they change —
+        invalidating them here is the policy-change analogue of a TLB
+        shootdown. Flag mutations must come through this method (or assign
+        ``Domain.flags``, which recomputes the cached policy booleans but
+        cannot see this runtime's ticket cache).
+        """
+        domain = self.domain(udi)
+        if self.contexts.contains_udi(udi):
+            raise DomainStateError(
+                f"cannot change flags of domain {udi} while it is entered"
+            )
+        domain.flags = flags
+        self.invalidate_entry_tickets(domain=domain)
 
     # ------------------------------------------------------------------
     # The core: execute-in-domain with rewind on fault
@@ -336,7 +437,7 @@ class SdradRuntime:
         if self.contexts.contains_udi(udi):
             raise DomainStateError(f"domain {udi} re-entered while active")
         if policy is None:
-            policy = RewindPolicy()
+            policy = _DEFAULT_REWIND_POLICY
 
         granted_domains: list[Domain] = []
         if read_grants:
@@ -352,27 +453,60 @@ class SdradRuntime:
                 self.keys.ensure_bound(granted)
             parent = self._domains.get(domain.parent_udi or ROOT_UDI)
             if (
-                domain.flags & DomainFlags.NONISOLATED_HEAP
+                domain.nonisolated_heap
                 and parent is not None
                 and parent.udi != ROOT_UDI
             ):
                 self.keys.ensure_bound(parent)
         self.charge(self.cost.domain_enter)
-        saved_pkru = self.space.pkru.snapshot()
+        pkru = self.space.pkru
+        saved_pkru = pkru.snapshot()
         context = self.contexts.push(udi, saved_pkru, self.clock.now)
-        self._apply_domain_pkru(domain)
-        for granted in granted_domains:
-            self.space.pkru.grant(granted.pkey, read=True, write=False)
+        # Re-entry fast path: from the same caller PKRU, entering the same
+        # domain always derives the same final PKRU and an equivalent
+        # handle, so replay the prepared ticket instead of re-deriving.
+        # Entries with read grants or a shared parent heap depend on *other*
+        # domains' keys too and stay on the slow path.
+        if (
+            self.reentry_enabled
+            and not granted_domains
+            and not domain.nonisolated_heap
+        ):
+            ticket = self._entry_tickets.get((saved_pkru, udi))
+            if ticket is None:
+                writes_before = pkru.writes
+                self._apply_domain_pkru(domain)
+                ticket = _EntryTicket(
+                    pkru=pkru.value,
+                    modelled_writes=pkru.writes - writes_before,
+                    handle=DomainHandle(self, domain),
+                    domain=domain,
+                    check_heap=domain.check_heap_on_exit,
+                )
+                if len(self._entry_tickets) >= 4096:
+                    self._entry_tickets.clear()
+                self._entry_tickets[(saved_pkru, udi)] = ticket
+                self.reentry_misses += 1
+            else:
+                pkru.write_prepared(ticket.pkru, ticket.modelled_writes)
+                self.reentry_hits += 1
+            handle = ticket.handle
+            check_heap = ticket.check_heap
+        else:
+            self._apply_domain_pkru(domain)
+            for granted in granted_domains:
+                pkru.grant(granted.pkey, read=True, write=False)
+            handle = DomainHandle(self, domain)
+            check_heap = domain.check_heap_on_exit
         self.tracer.record(self.clock.now, "domain.enter", udi=udi)
 
         attempt = 0
         recovery_time = 0.0
-        handle = DomainHandle(self, domain)
         while True:
             domain.mark_active()
             try:
                 value = fn(handle, *args)
-                if domain.flags & DomainFlags.CHECK_HEAP_ON_EXIT:
+                if check_heap:
                     domain.heap.check()
             except BaseException as exc:  # noqa: BLE001 - boundary must see all
                 if not is_recoverable(exc):
@@ -507,7 +641,7 @@ class SdradRuntime:
         # AD bit pattern expressed via DENY_ALL_EXCEPT_DEFAULT, so revoke.)
         pkru.revoke(PKEY_DEFAULT)
         pkru.grant(domain.pkey, read=True, write=True)
-        if domain.flags & DomainFlags.NONISOLATED_HEAP and domain.parent_udi is not None:
+        if domain.nonisolated_heap and domain.parent_udi is not None:
             parent = self._domains.get(domain.parent_udi)
             if parent is not None:
                 pkru.grant(parent.pkey, read=True, write=True)

@@ -60,6 +60,10 @@ def snapshot(runtime: SdradRuntime) -> dict[str, Any]:
         "tlb_misses": space.tlb_misses,
         "tlb_flushes": space.tlb_flushes,
         "tlb_hit_rate": space.tlb_hits / tlb_lookups if tlb_lookups else 0.0,
+        "reentry_cache_enabled": runtime.reentry_enabled,
+        "reentry_hits": runtime.reentry_hits,
+        "reentry_misses": runtime.reentry_misses,
+        "reentry_invalidations": runtime.reentry_invalidations,
     }
 
     out: dict[str, Any] = {

@@ -39,7 +39,8 @@ class Tracer:
         self._subscribers: list[Callable[[TraceEvent], None]] = []
 
     def record(self, timestamp: float, kind: str, **details: object) -> TraceEvent:
-        event = TraceEvent(timestamp=timestamp, kind=kind, details=dict(details))
+        # ``details`` is already a fresh dict built for this call — no copy.
+        event = TraceEvent(timestamp=timestamp, kind=kind, details=details)
         if self._capacity is None or len(self._events) < self._capacity:
             self._events.append(event)
         for subscriber in self._subscribers:
