@@ -1,6 +1,6 @@
 # Convenience targets for the SDRaD reproduction.
 
-.PHONY: install test bench bench-fast profile tables examples all
+.PHONY: install test bench bench-fast profile tables examples lint lint-domains all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -28,5 +28,23 @@ tables:
 
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; python $$f; done
+
+# sdradlint: static verification of the SDRaD compartment invariants
+# (R1 enter/exit pairing, R2 domain-heap escape, R3 rewind-unsafe side
+# effects, R4 unguarded WRPKRU gadgets). Exit 1 on any new finding.
+lint-domains:
+	python scripts/lint_domains.py
+
+# General hygiene (ruff + mypy, configured in pyproject.toml). Both are
+# optional: the targets skip with a notice when the tool is not in the
+# container, so `make lint` never fails on a missing dependency — only
+# on actual diagnostics. sdradlint always runs.
+lint: lint-domains
+	@command -v ruff >/dev/null 2>&1 \
+		&& ruff check src/repro scripts tests \
+		|| echo "lint: ruff not installed, skipping"
+	@command -v mypy >/dev/null 2>&1 \
+		&& mypy src/repro \
+		|| echo "lint: mypy not installed, skipping"
 
 all: install test bench

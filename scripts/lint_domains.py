@@ -1,0 +1,25 @@
+#!/usr/bin/env python
+"""CI entry point for sdradlint, the SDRaD compartment linter.
+
+Thin wrapper so the gate works from any checkout layout without an
+installed package: it pins ``src/`` onto ``sys.path`` relative to this
+file and chdirs to the repo root so reported paths (and the default
+baseline location) are repo-relative. All CLI flags are forwarded to
+``repro.analysis.__main__``::
+
+    python scripts/lint_domains.py [paths] [--json] [--rules R1,R4] ...
+
+Exit codes: 0 clean, 1 new findings, 2 parse/usage errors.
+"""
+
+import os
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+sys.path.insert(0, os.path.join(REPO_ROOT, "src"))
+
+from repro.analysis.__main__ import main  # noqa: E402
+
+if __name__ == "__main__":
+    os.chdir(REPO_ROOT)
+    raise SystemExit(main())

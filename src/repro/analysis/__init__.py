@@ -1,0 +1,61 @@
+"""sdradlint: static verification of SDRaD compartment invariants.
+
+The runtime only notices a broken invariant at fault time — a leaked domain
+pointer, an unpopped stack frame, a side effect a rewind cannot undo. ERIM
+(Vahldiek-Oberwagner et al., USENIX Security '19) showed that PKU-safety
+properties can instead be enforced *statically* by scanning for unsafe
+WRPKRU occurrences, and rule-based verification frameworks like Klever
+demonstrate that API-contract checking scales to whole codebases. This
+package brings both ideas to the reproduction: an ``ast``-based analyzer
+that checks four domain-safety rules over the repo's own sources before a
+single simulated request runs.
+
+Rules
+-----
+
+R1  **enter/exit pairing** — every ``push_frame`` (and ``contexts.push``)
+    must be matched by its pop on *all* control-flow paths, the structural
+    analogue of "every ``sdrad_enter`` has a ``sdrad_exit``".
+R2  **domain-heap escape** — no value aliasing a domain's heap (raw
+    ``malloc``/``alloca`` addresses, ``load_view`` views) may escape a
+    domain body to module globals, object attributes or the return value
+    without being materialised (``bytes(...)``) or marshalled through the
+    ``ffi.marshal``/``ffi.serialization`` API.
+R3  **rewind-unsafe side effects** — a rewindable domain body must not
+    touch files, sockets, processes or module globals: a rewind discards
+    the domain's memory but cannot undo an external write.
+R4  **WRPKRU gadgets** — ERIM-style scan of the simulated instruction/API
+    stream: every PKRU-write site must sit inside the entry-gate sequence
+    (a function that brackets the write with ``contexts.push``/``pop``, or
+    one only reachable from such a gate), including the entry-ticket
+    replay path of the re-entry cache.
+
+Usage::
+
+    python -m repro.analysis [paths] [--json] [--baseline FILE]
+    # or: make lint-domains
+
+Per-rule suppressions use ``# sdradlint: ignore[R2]`` on the offending
+line (or the ``def`` line to cover a whole function), and a baseline file
+keeps pre-existing findings from blocking CI.
+"""
+
+from .findings import Finding, Severity
+from .runner import LintResult, lint_paths, lint_source
+
+__all__ = [
+    "Finding",
+    "Severity",
+    "LintResult",
+    "lint_paths",
+    "lint_source",
+    "RULES",
+]
+
+#: Rule id -> short description (the analyzer's public contract).
+RULES = {
+    "R1": "unpaired domain enter/exit (push_frame/pop_frame, contexts.push/pop)",
+    "R2": "domain-heap value escapes the domain body unmarshalled",
+    "R3": "rewind-unsafe side effect inside a rewindable domain body",
+    "R4": "PKRU write outside the entry-gate sequence (WRPKRU gadget)",
+}

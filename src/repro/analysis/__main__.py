@@ -1,0 +1,121 @@
+"""CLI: ``python -m repro.analysis [paths] [--json] [--baseline FILE]``.
+
+Exit codes: 0 — clean (or everything baselined/suppressed); 1 — new
+findings; 2 — usage or parse errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+from . import RULES, baseline as baseline_mod
+from .runner import lint_paths
+
+
+def _default_paths() -> list:
+    """Prefer ./src/repro (repo-root invocation); fall back to the
+    installed package directory."""
+    candidate = os.path.join("src", "repro")
+    if os.path.isdir(candidate):
+        return [candidate]
+    return [os.path.dirname(os.path.abspath(__file__ + "/.."))]
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="sdradlint: static verification of SDRaD compartment "
+        "invariants (R1 pairing, R2 heap escape, R3 rewind-unsafe effects, "
+        "R4 WRPKRU gadgets).",
+    )
+    parser.add_argument(
+        "paths", nargs="*", help="files or directories (default: src/repro)"
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable JSON findings"
+    )
+    parser.add_argument(
+        "--rules",
+        help="comma-separated subset of rules to run (e.g. R1,R4)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=baseline_mod.DEFAULT_BASELINE,
+        help=f"baseline file (default: {baseline_mod.DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="ignore the baseline file (report everything)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="accept all current findings into the baseline and exit 0",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="describe the rules and exit"
+    )
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        for rule, description in RULES.items():
+            print(f"{rule}  {description}")
+        return 0
+
+    rules = None
+    if args.rules:
+        rules = {part.strip().upper() for part in args.rules.split(",")}
+        unknown = rules - set(RULES)
+        if unknown:
+            print(f"unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
+            return 2
+
+    result = lint_paths(args.paths or _default_paths(), rules)
+    for path, message in result.errors:
+        print(f"{path}: {message}", file=sys.stderr)
+
+    findings = result.sorted_findings()
+
+    if args.write_baseline:
+        baseline_mod.save(args.baseline, findings)
+        print(
+            f"sdradlint: baselined {len(findings)} finding(s) "
+            f"into {args.baseline}"
+        )
+        return 0
+
+    entries = {} if args.no_baseline else baseline_mod.load(args.baseline)
+    new, baselined = baseline_mod.split(findings, entries)
+
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "files": result.files,
+                    "findings": [f.to_dict() for f in new],
+                    "baselined": [f.to_dict() for f in baselined],
+                    "suppressed": len(result.suppressed),
+                },
+                indent=2,
+            )
+        )
+    else:
+        for finding in new:
+            print(finding.render())
+        summary = (
+            f"sdradlint: {result.files} file(s), {len(new)} finding(s)"
+            f", {len(baselined)} baselined, {len(result.suppressed)} suppressed"
+        )
+        print(summary)
+
+    if result.errors:
+        return 2
+    return 1 if new else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

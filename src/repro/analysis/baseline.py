@@ -1,0 +1,66 @@
+"""Baseline handling: pre-existing findings that must not block CI.
+
+The baseline is a JSON file mapping finding fingerprints (line-number
+independent, see :class:`~repro.analysis.findings.Finding.fingerprint`)
+to a human-readable record of what was baselined. ``--write-baseline``
+regenerates it; a lint run then fails only on findings *not* in the
+baseline, so a PR adding sdradlint to an existing tree does not have to
+fix (or litigate) every historical idiom at once.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Iterable
+
+from .findings import Finding
+
+#: Default baseline location, relative to the repository root.
+DEFAULT_BASELINE = "sdradlint.baseline.json"
+
+
+def load(path: str) -> dict:
+    """Fingerprint -> record; empty when the file does not exist."""
+    if not os.path.exists(path):
+        return {}
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    entries = data.get("findings", data) if isinstance(data, dict) else {}
+    return dict(entries)
+
+
+def save(path: str, findings: Iterable[Finding]) -> dict:
+    """Write a fresh baseline covering ``findings``; returns the entries."""
+    entries = {
+        finding.fingerprint: {
+            "rule": finding.rule,
+            "path": finding.path,
+            "function": finding.qualname,
+            "message": finding.message,
+        }
+        for finding in findings
+    }
+    payload = {
+        "comment": (
+            "sdradlint baseline: pre-existing findings accepted when the "
+            "analyzer was introduced. Regenerate with "
+            "'python -m repro.analysis --write-baseline'."
+        ),
+        "findings": entries,
+    }
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    return entries
+
+
+def split(
+    findings: list, baseline_entries: dict
+) -> tuple[list, list]:
+    """(new, baselined) partition of ``findings``."""
+    new: list[Finding] = []
+    old: list[Finding] = []
+    for finding in findings:
+        (old if finding.fingerprint in baseline_entries else new).append(finding)
+    return new, old

@@ -1,0 +1,169 @@
+"""R3 — no rewind-unsafe side effects inside a rewindable domain body.
+
+Rewind-and-discard's contract is that a faulting domain leaves *no trace*:
+its heap and stack are discarded and the trusted side re-derives state on
+the next entry. That only holds if the domain body's effects are confined
+to domain memory and the virtual clock. A file write, a socket send, a
+spawned process or a mutated module global survives the rewind — the
+half-completed effect is exactly the inconsistency the paper's recovery
+model excludes.
+
+The checker walks each domain body (per the registry in
+:mod:`repro.analysis.model`) and reports:
+
+* calls to effectful builtins (``open``, ``print``, ``input``, ``exec``,
+  ``eval``, ``breakpoint``, ``__import__``);
+* calls into effectful modules (``os`` — except the pure ``os.path`` —
+  ``sys``, ``socket``, ``subprocess``, ``shutil``, ``logging``, …);
+* telemetry writes outside the sanctioned API: the tracer and telemetry
+  surfaces belong to the *trusted* side of the boundary
+  (``handle.charge`` is the one sanctioned way to account work);
+* rebinding or augmenting a module global (``global x; x = ...``);
+* mutating attributes of caller-owned objects (any parameter other than
+  the domain handle) — trusted state the rewind cannot restore.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .findings import Finding
+from .model import (
+    FunctionInfo,
+    ModuleModel,
+    call_func_name,
+    call_receiver_path,
+    dotted_name,
+)
+
+EFFECTFUL_BUILTINS = {
+    "open", "print", "input", "exec", "eval", "breakpoint", "__import__",
+}
+
+#: Module roots whose calls are side effects a rewind cannot undo.
+EFFECTFUL_MODULES = {
+    "os", "sys", "socket", "subprocess", "shutil", "pathlib", "logging",
+    "tempfile", "sqlite3", "threading", "multiprocessing", "requests",
+    "urllib", "http", "smtplib", "ftplib", "signal", "atexit",
+}
+
+#: ``os.path`` is pure string manipulation; don't flag it.
+PURE_PREFIXES = ("os.path",)
+
+#: Receiver path segments that mark the telemetry/trace surface.
+TELEMETRY_SEGMENTS = {"tracer", "telemetry"}
+
+#: The handle's own accounting call is the sanctioned telemetry channel.
+SANCTIONED_CALLS = {"charge"}
+
+
+class _EffectChecker(ast.NodeVisitor):
+    def __init__(self, model: ModuleModel, info: FunctionInfo) -> None:
+        self.model = model
+        self.info = info
+        self.globals_declared: set[str] = set()
+        self.findings: list[Finding] = []
+        args = info.node.args
+        params = args.posonlyargs + args.args
+        self.handle_param = params[0].arg if params else None
+        self.param_names = {a.arg for a in params + args.kwonlyargs}
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append(
+            Finding(
+                rule="R3",
+                path=self.model.path,
+                line=node.lineno,
+                col=node.col_offset,
+                qualname=self.info.qualname,
+                message=f"{message} inside a rewindable domain body — "
+                f"a rewind cannot undo it",
+            )
+        )
+
+    # ------------------------------------------------------------------
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = call_func_name(node)
+        func = node.func
+        if isinstance(func, ast.Name) and func.id in EFFECTFUL_BUILTINS:
+            self._flag(node, f"call to builtin {func.id}()")
+        elif isinstance(func, ast.Attribute):
+            path = dotted_name(func)
+            recv = call_receiver_path(node)
+            if path is not None:
+                root = path.split(".")[0]
+                if root in EFFECTFUL_MODULES and not path.startswith(
+                    PURE_PREFIXES
+                ):
+                    self._flag(node, f"call to {path}()")
+            if (
+                recv is not None
+                and name not in SANCTIONED_CALLS
+                and any(
+                    seg in TELEMETRY_SEGMENTS for seg in recv.split(".")
+                )
+            ):
+                self._flag(
+                    node,
+                    f"telemetry write {recv}.{name}() outside the "
+                    f"sanctioned API (use handle.charge)",
+                )
+        self.generic_visit(node)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.globals_declared.update(node.names)
+
+    def _check_store(self, target: ast.AST, node: ast.stmt) -> None:
+        if isinstance(target, ast.Name):
+            if target.id in self.globals_declared:
+                self._flag(node, f"assignment to module global {target.id!r}")
+        elif isinstance(target, ast.Attribute):
+            base = dotted_name(target.value)
+            if base is None:
+                return
+            root = base.split(".")[0]
+            if root in self.param_names and root != self.handle_param:
+                self._flag(
+                    node,
+                    f"mutation of caller-owned object "
+                    f"{base}.{target.attr}",
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._check_store(elt, node)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        for target in node.targets:
+            self._check_store(target, node)
+        self.generic_visit(node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        self._check_store(node.target, node)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested scopes are analyzed on their own
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+def check(model: ModuleModel) -> list:
+    """Run R3 over every domain body of ``model``."""
+    findings: list[Finding] = []
+    for info in model.functions:
+        if not info.is_domain_body:
+            continue
+        checker = _EffectChecker(model, info)
+        # Collect ``global`` declarations first: they may follow a use
+        # lexically but scope the whole function.
+        for sub in ast.walk(info.node):
+            if isinstance(sub, ast.Global):
+                checker.globals_declared.update(sub.names)
+        for stmt in info.node.body:
+            checker.visit(stmt)
+        findings.extend(checker.findings)
+    return findings

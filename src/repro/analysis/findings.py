@@ -1,0 +1,65 @@
+"""Finding records: what a rule reports and how CI consumes it.
+
+A finding pins a rule violation to a file, line and enclosing function.
+The *fingerprint* identifies a finding across unrelated edits — it hashes
+the rule, the file, the enclosing function's qualified name and the
+message core, but **not** the line number, so reformatting a module does
+not churn the baseline.
+"""
+
+from __future__ import annotations
+
+import enum
+import hashlib
+from dataclasses import dataclass, field
+from typing import Any
+
+
+class Severity(enum.Enum):
+    """How bad is a violation of this rule?"""
+
+    #: Invariant violation the runtime would only catch at fault time.
+    ERROR = "error"
+    #: Suspicious idiom that deserves a justified suppression.
+    WARNING = "warning"
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one site."""
+
+    rule: str  # "R1".."R4"
+    path: str  # repo-relative path of the offending file
+    line: int  # 1-based line of the offending site
+    col: int  # 0-based column
+    qualname: str  # enclosing function ("<module>" at top level)
+    message: str  # human-readable description
+    severity: Severity = Severity.ERROR
+    extra: dict[str, Any] = field(default_factory=dict, compare=False)
+
+    @property
+    def fingerprint(self) -> str:
+        """Stable identity for baselining (line-number independent)."""
+        payload = "\x1f".join((self.rule, self.path, self.qualname, self.message))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+    def to_dict(self) -> dict[str, Any]:
+        """JSON-friendly form (the machine-readable CI output)."""
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "function": self.qualname,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    def render(self) -> str:
+        """One-line ``path:line:col: rule message`` diagnostic."""
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.rule} [{self.severity.value}] {self.message} "
+            f"(in {self.qualname})"
+        )

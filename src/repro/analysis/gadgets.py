@@ -1,0 +1,144 @@
+"""R4 — ERIM-style WRPKRU-gadget scan over the simulated API stream.
+
+ERIM's binary inspection rejects any executable WRPKRU occurrence that is
+not immediately followed by the sanctioned permission check; everything
+else is a gadget an attacker could jump to and grant itself access. The
+simulation's WRPKRU is the :class:`~repro.memory.mpk.PkruRegister` write
+surface — ``write``/``write_prepared``/``grant``/``revoke`` — so the
+analogous scan walks every call site whose receiver resolves to a PKRU
+register and demands it sit inside the *entry-gate sequence*:
+
+* the enclosing function brackets the write with the context stack — a
+  ``contexts.push(...)`` or ``contexts.pop(...)`` call appears lexically
+  **before** the write (the ``sigsetjmp`` analogue precedes the PKRU
+  derivation on entry, and the context pop precedes the restore on exit);
+  this also covers the re-entry cache's ticket-replay
+  ``write_prepared`` (PR2), which replays only after the context push; or
+* the enclosing function is only reachable from such a gate — computed as
+  the same-module call closure of gate functions (e.g.
+  ``SdradRuntime._apply_domain_pkru``, called from ``execute`` between
+  push and pop); or
+* the write is a micro-op of :class:`PkruRegister` itself (the register
+  *is* the instruction; its callers are what need gating); or
+* the function carries an explicit ``# sdradlint: gate`` annotation on
+  its ``def`` line — the audited-by-hand escape hatch.
+
+Anything else is reported: an unguarded PKRU write is the simulated
+equivalent of a stray WRPKRU gadget.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from .findings import Finding
+from .model import ModuleModel, call_func_name, call_receiver_path
+
+#: The PKRU register's write surface (simulated WRPKRU spellings).
+PKRU_WRITE_CALLS = {"write", "write_prepared", "grant", "revoke"}
+
+#: Classes whose own methods are the register micro-ops, not call sites.
+REGISTER_CLASSES = {"PkruRegister"}
+
+
+def _is_pkru_receiver(path: Optional[str]) -> bool:
+    """Does a dotted receiver path resolve to a PKRU register?"""
+    if path is None:
+        return False
+    return any(seg == "pkru" or seg.endswith("_pkru") for seg in path.split("."))
+
+
+def _is_gate_call(call: ast.Call) -> bool:
+    """A context-stack push/pop — the entry-gate bracket."""
+    if call_func_name(call) not in ("push", "pop"):
+        return False
+    recv = call_receiver_path(call)
+    return recv is not None and recv.split(".")[-1] == "contexts"
+
+
+def _called_names(node: ast.AST) -> set:
+    """Bare names of functions/methods called inside ``node``."""
+    names = set()
+    for call in ast.walk(node):
+        if isinstance(call, ast.Call):
+            name = call_func_name(call)
+            if name is not None:
+                names.add(name)
+    return names
+
+
+def check(model: ModuleModel) -> list:
+    """Run R4 over ``model``."""
+    # Pass 1: direct gates (functions containing a contexts.push/pop) and
+    # their first gate-call line, plus explicitly annotated gates.
+    gate_first_line: dict[str, int] = {}
+    annotated: set = set()
+    for info in model.functions:
+        node = info.node
+        def_lines = range(node.lineno, node.body[0].lineno + 1)
+        if any(line in model.gate_lines for line in def_lines):
+            annotated.add(node.name)
+        for call in model.iter_calls(node):
+            if _is_gate_call(call):
+                line = gate_first_line.get(node.name)
+                if line is None or call.lineno < line:
+                    gate_first_line[node.name] = call.lineno
+
+    # Pass 2: closure — functions called (by bare name) from a gate or a
+    # closure member are themselves guarded in full.
+    guarded_fully: set = set(annotated)
+    frontier = set(gate_first_line) | annotated
+    seen = set(frontier)
+    by_name = {info.node.name: info for info in model.functions}
+    while frontier:
+        next_frontier = set()
+        for name in frontier:
+            info = by_name.get(name)
+            if info is None:
+                continue
+            for callee in _called_names(info.node):
+                if callee in by_name and callee not in seen:
+                    seen.add(callee)
+                    guarded_fully.add(callee)
+                    next_frontier.add(callee)
+        frontier = next_frontier
+
+    # Pass 3: the scan itself.
+    findings: list[Finding] = []
+    for info in model.functions:
+        node = info.node
+        if info.class_name in REGISTER_CLASSES:
+            continue
+        for call in model.iter_calls(node):
+            name = call_func_name(call)
+            if name not in PKRU_WRITE_CALLS:
+                continue
+            if not _is_pkru_receiver(call_receiver_path(call)):
+                continue
+            if node.name in guarded_fully:
+                continue
+            gate_line = gate_first_line.get(node.name)
+            if gate_line is not None and gate_line <= call.lineno:
+                continue
+            where = (
+                "before the entry gate (contexts.push) in the same function"
+                if gate_line is not None
+                else "outside any entry-gate sequence"
+            )
+            findings.append(
+                Finding(
+                    rule="R4",
+                    path=model.path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    qualname=info.qualname,
+                    message=(
+                        f"PKRU write {name}() {where} — an unguarded "
+                        f"WRPKRU gadget (ERIM); move it behind the "
+                        f"context push/pop bracket or annotate the "
+                        f"audited gate with '# sdradlint: gate'"
+                    ),
+                )
+            )
+    return findings

@@ -1,0 +1,349 @@
+"""R1 — structural enter/exit pairing on all control-flow paths.
+
+The runtime's bracket idioms are ``frame = handle.push_frame(...)`` /
+``handle.pop_frame(frame)`` and ``context = contexts.push(...)`` /
+``contexts.pop(context)``. A push whose pop is skipped on *any* path —
+an early ``return``, an exception swallowed by a bare ``except``, a
+fall-through branch — leaks an activation record past the bracket and
+skips its canary check, which is exactly the class of bug the C library
+can only catch at fault time.
+
+The checker runs a small abstract interpreter over each function body.
+The abstract state is the set of open bracket tokens (the names pushed
+frames were bound to); executing a statement list yields the possible
+states at each kind of exit (fall-through, ``return``, ``raise``,
+``break``, ``continue``). ``try``/``finally`` is modelled faithfully —
+an exception is assumed possible at every statement boundary of a
+``try`` body, and ``finally`` blocks run on every channel — so the
+repo's push-then-``try``/``finally``-pop idiom verifies, while a pop
+only on the happy path does not.
+
+One level of interprocedural resolution keeps the runtime's own split
+honest: a same-module function whose body contains the pop ("a closer",
+e.g. ``SdradRuntime._leave``) counts as a pop site for any token passed
+to it as an argument.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .findings import Finding
+from .model import ModuleModel, call_func_name, call_receiver_path
+
+#: Method names that open a bracket. ``push`` only counts when called on a
+#: receiver path ending in ``contexts`` (the ContextStack idiom).
+PUSH_NAMES = {"push_frame", "push"}
+POP_NAMES = {"pop_frame", "pop"}
+
+State = frozenset  # of open token names
+States = frozenset  # of State
+
+
+@dataclass
+class Outcomes:
+    """Possible abstract states at each exit channel of a statement list."""
+
+    fall: set = field(default_factory=set)
+    ret: set = field(default_factory=set)
+    raise_: set = field(default_factory=set)
+    brk: set = field(default_factory=set)
+    cont: set = field(default_factory=set)
+
+    def merge(self, other: "Outcomes") -> None:
+        self.fall |= other.fall
+        self.ret |= other.ret
+        self.raise_ |= other.raise_
+        self.brk |= other.brk
+        self.cont |= other.cont
+
+
+def _is_bracket_call(call: ast.Call) -> bool:
+    name = call_func_name(call)
+    if name == "push_frame":
+        return True
+    if name == "push":
+        recv = call_receiver_path(call)
+        return recv is not None and recv.split(".")[-1] == "contexts"
+    return False
+
+
+def _is_pop_call(call: ast.Call) -> bool:
+    name = call_func_name(call)
+    if name == "pop_frame":
+        return True
+    if name == "pop":
+        recv = call_receiver_path(call)
+        return recv is not None and recv.split(".")[-1] == "contexts"
+    return False
+
+
+def _collect_closers(model: ModuleModel) -> set:
+    """Names of same-module functions whose body contains a pop call."""
+    closers = set()
+    for info in model.functions:
+        for call in model.iter_calls(info.node):
+            if _is_pop_call(call):
+                closers.add(info.node.name)
+                break
+    return closers
+
+
+class _PairChecker:
+    def __init__(self, model: ModuleModel, qualname: str, closers: set) -> None:
+        self.model = model
+        self.qualname = qualname
+        self.closers = closers
+        self.push_lines: dict[str, tuple[int, int, str]] = {}
+        self.reported: set = set()
+        self.findings: list[Finding] = []
+        self._synth_names: dict[int, str] = {}
+
+    # -- helpers --------------------------------------------------------
+
+    def _track_push(self, call: ast.Call, target: Optional[str]) -> str:
+        kind = call_func_name(call) or "push"
+        if target is None:
+            # Anonymous pushes keep one token per call site, even when a
+            # loop body is interpreted more than once.
+            target = self._synth_names.setdefault(
+                id(call), f"<anonymous#{len(self._synth_names) + 1}>"
+            )
+        self.push_lines[target] = (call.lineno, call.col_offset, kind)
+        return target
+
+    def _closed_tokens(self, stmt: ast.stmt, state: State) -> set:
+        """Tokens closed by pop calls / closer calls inside ``stmt``."""
+        closed = set()
+        for call in ast.walk(stmt):
+            if not isinstance(call, ast.Call):
+                continue
+            if _is_pop_call(call):
+                if call.args and isinstance(call.args[0], ast.Name):
+                    closed.add(call.args[0].id)
+                else:
+                    # pop of something we cannot name: close everything
+                    # rather than report false positives.
+                    closed |= set(state)
+            else:
+                name = call_func_name(call)
+                if name in self.closers:
+                    for arg in call.args:
+                        if isinstance(arg, ast.Name) and arg.id in state:
+                            closed.add(arg.id)
+        return closed
+
+    def _pushes_in(self, stmt: ast.stmt) -> list:
+        """(call, bound-name-or-None) for each bracket push in ``stmt``."""
+        pushes = []
+        bound: Optional[str] = None
+        if isinstance(stmt, ast.Assign) and isinstance(stmt.value, ast.Call):
+            if _is_bracket_call(stmt.value) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    bound = target.id
+        for call in ast.walk(stmt):
+            if isinstance(call, ast.Call) and _is_bracket_call(call):
+                is_bound = (
+                    bound is not None
+                    and isinstance(stmt, ast.Assign)
+                    and call is stmt.value
+                )
+                pushes.append((call, bound if is_bound else None))
+        return pushes
+
+    def _apply_simple(self, stmt: ast.stmt, states: set) -> set:
+        """Transfer function for a non-control-flow statement."""
+        tokens = [
+            self._track_push(call, target)
+            for call, target in self._pushes_in(stmt)
+        ]
+        out = set()
+        for state in states:
+            new = set(state)
+            new.update(tokens)
+            new -= self._closed_tokens(stmt, frozenset(new))
+            out.add(frozenset(new))
+        return out
+
+    def _apply_exprs(self, exprs: list, states: set) -> set:
+        """Transfer function for header expressions only (loop test/iter,
+        with-items) — the statement's *body* is interpreted separately."""
+        calls = [
+            call
+            for expr in exprs
+            if expr is not None
+            for call in ast.walk(expr)
+            if isinstance(call, ast.Call)
+        ]
+        tokens = [
+            self._track_push(call, None)
+            for call in calls
+            if _is_bracket_call(call)
+        ]
+        out = set()
+        for state in states:
+            new = set(state)
+            new.update(tokens)
+            out.add(frozenset(new))
+        return out
+
+    # -- the interpreter -------------------------------------------------
+
+    def run(self, body: list, states: set) -> Outcomes:
+        out = Outcomes()
+        current = set(states)
+        for stmt in body:
+            if not current:
+                break
+            current = self._step(stmt, current, out)
+        out.fall |= current
+        return out
+
+    def _step(self, stmt: ast.stmt, states: set, out: Outcomes) -> set:
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            return states  # nested scopes are analyzed separately
+        if isinstance(stmt, ast.Return):
+            # A push in the returned expression transfers the bracket
+            # obligation to the caller (the delegating-facade idiom, e.g.
+            # ``DomainHandle.push_frame``): apply pops only.
+            out.ret |= {
+                frozenset(
+                    set(state) - self._closed_tokens(stmt, frozenset(state))
+                )
+                for state in states
+            }
+            return set()
+        if isinstance(stmt, ast.Raise):
+            out.raise_ |= self._apply_simple(stmt, states)
+            return set()
+        if isinstance(stmt, ast.Break):
+            out.brk |= states
+            return set()
+        if isinstance(stmt, ast.Continue):
+            out.cont |= states
+            return set()
+        if isinstance(stmt, ast.If):
+            sub = self.run(stmt.body, states)
+            sub.merge(self.run(stmt.orelse, states))
+            out.merge(Outcomes(ret=sub.ret, raise_=sub.raise_, brk=sub.brk, cont=sub.cont))
+            return sub.fall
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            return self._loop(stmt, states, out)
+        if isinstance(stmt, ast.Try):
+            return self._try(stmt, states, out)
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            entry = self._apply_exprs(
+                [item.context_expr for item in stmt.items], states
+            )
+            sub = self.run(stmt.body, entry)
+            out.merge(Outcomes(ret=sub.ret, raise_=sub.raise_, brk=sub.brk, cont=sub.cont))
+            return sub.fall
+        return self._apply_simple(stmt, states)
+
+    def _loop(self, stmt, states: set, out: Outcomes) -> set:
+        header = (
+            [stmt.test] if isinstance(stmt, ast.While) else [stmt.iter]
+        )
+        head = self._apply_exprs(header, states)
+        once = self.run(stmt.body, head)
+        again = self.run(stmt.body, once.fall | once.cont)
+        out.merge(Outcomes(ret=once.ret | again.ret, raise_=once.raise_ | again.raise_))
+        infinite = (
+            isinstance(stmt, ast.While)
+            and isinstance(stmt.test, ast.Constant)
+            and bool(stmt.test.value)
+        )
+        exits = once.brk | again.brk
+        if not infinite:
+            exits |= head | once.fall | again.fall | once.cont | again.cont
+        orelse = self.run(getattr(stmt, "orelse", []) or [], exits or head)
+        out.merge(Outcomes(ret=orelse.ret, raise_=orelse.raise_))
+        return orelse.fall if (exits or not infinite) else set()
+
+    def _try(self, stmt: ast.Try, states: set, out: Outcomes) -> set:
+        # An exception may fire at any statement boundary of the body.
+        may_raise: set = set(states)
+        current = set(states)
+        body_out = Outcomes()
+        for sub in stmt.body:
+            if not current:
+                break
+            may_raise |= current
+            current = self._step(sub, current, body_out)
+        body_out.fall |= current
+
+        handler_out = Outcomes()
+        handler_in = may_raise | body_out.raise_
+        if stmt.handlers:
+            for handler in stmt.handlers:
+                handler_out.merge(self.run(handler.body, handler_in))
+            unhandled: set = set(handler_out.raise_)
+        else:
+            unhandled = set(handler_in)
+
+        orelse_out = self.run(stmt.orelse, body_out.fall)
+
+        def through_finally(channel: set) -> set:
+            if not stmt.finalbody or not channel:
+                return channel
+            fin = self.run(stmt.finalbody, channel)
+            # return/raise inside finally replace the channel; fold their
+            # states into the same channel conservatively.
+            return fin.fall | fin.ret | fin.raise_
+
+        out.merge(
+            Outcomes(
+                ret=through_finally(body_out.ret | handler_out.ret | orelse_out.ret),
+                raise_=through_finally(unhandled | orelse_out.raise_),
+                brk=through_finally(body_out.brk | handler_out.brk | orelse_out.brk),
+                cont=through_finally(body_out.cont | handler_out.cont | orelse_out.cont),
+            )
+        )
+        return through_finally(handler_out.fall | orelse_out.fall)
+
+    # -- reporting -------------------------------------------------------
+
+    def report(self, outcomes: Outcomes) -> None:
+        leaky: dict[str, str] = {}
+        for channel, label in (
+            (outcomes.fall, "falls off the end"),
+            (outcomes.ret, "returns"),
+            (outcomes.raise_, "raises"),
+        ):
+            for state in channel:
+                for token in state:
+                    leaky.setdefault(token, label)
+        for token, label in leaky.items():
+            if token not in self.push_lines or token in self.reported:
+                continue
+            self.reported.add(token)
+            line, col, kind = self.push_lines[token]
+            pop = "pop_frame" if kind == "push_frame" else "pop"
+            self.findings.append(
+                Finding(
+                    rule="R1",
+                    path=self.model.path,
+                    line=line,
+                    col=col,
+                    qualname=self.qualname,
+                    message=(
+                        f"{kind}({token!r}) is not matched by {pop} on a path "
+                        f"that {label}; bracket it with try/finally"
+                    ),
+                )
+            )
+
+
+def check(model: ModuleModel) -> list:
+    """Run R1 over every function of ``model``."""
+    closers = _collect_closers(model)
+    findings: list[Finding] = []
+    for info in model.functions:
+        checker = _PairChecker(model, info.qualname, closers)
+        outcomes = checker.run(info.node.body, {frozenset()})
+        checker.report(outcomes)
+        findings.extend(checker.findings)
+    return findings

@@ -1,0 +1,96 @@
+"""Orchestration: discover files, run the rules, apply suppressions.
+
+``lint_source`` is the unit the self-tests drive directly (one source
+string in, findings out); ``lint_paths`` is what the CLI and CI use.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, Optional
+
+from . import effects, gadgets, pairing, taint
+from .model import ModuleModel
+
+#: rule id -> checker entry point. Order fixes report ordering.
+CHECKERS: dict[str, Callable[[ModuleModel], list]] = {
+    "R1": pairing.check,
+    "R2": taint.check,
+    "R3": effects.check,
+    "R4": gadgets.check,
+}
+
+
+@dataclass
+class LintResult:
+    """Everything one lint run produced."""
+
+    findings: list = field(default_factory=list)
+    suppressed: list = field(default_factory=list)
+    errors: list = field(default_factory=list)  # (path, message) parse failures
+    files: int = 0
+
+    def sorted_findings(self) -> list:
+        return sorted(
+            self.findings, key=lambda f: (f.path, f.line, f.col, f.rule)
+        )
+
+
+def lint_source(
+    path: str, source: str, rules: Optional[Iterable[str]] = None
+) -> LintResult:
+    """Lint one in-memory source file."""
+    result = LintResult(files=1)
+    try:
+        model = ModuleModel.parse(path, source)
+    except SyntaxError as exc:
+        result.errors.append((path, f"syntax error: {exc}"))
+        return result
+    selected = set(rules) if rules is not None else set(CHECKERS)
+    for rule, checker in CHECKERS.items():
+        if rule not in selected:
+            continue
+        for finding in checker(model):
+            if model.is_suppressed(finding.rule, finding.line):
+                result.suppressed.append(finding)
+            else:
+                result.findings.append(finding)
+    return result
+
+
+def discover(paths: Iterable[str]) -> list:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(
+                    d for d in dirs if d not in ("__pycache__", ".git")
+                )
+                for name in sorted(files):
+                    if name.endswith(".py"):
+                        out.append(os.path.join(root, name))
+        elif path.endswith(".py"):
+            out.append(path)
+    return out
+
+
+def lint_paths(
+    paths: Iterable[str], rules: Optional[Iterable[str]] = None
+) -> LintResult:
+    """Lint every ``.py`` file under ``paths``."""
+    result = LintResult()
+    for filename in discover(paths):
+        try:
+            with open(filename, "r", encoding="utf-8") as fh:
+                source = fh.read()
+        except OSError as exc:
+            result.errors.append((filename, str(exc)))
+            continue
+        sub = lint_source(os.path.relpath(filename), source, rules)
+        result.findings.extend(sub.findings)
+        result.suppressed.extend(sub.suppressed)
+        result.errors.extend(sub.errors)
+        result.files += 1
+    return result

@@ -1,0 +1,239 @@
+"""R2 — domain-heap values must not escape a domain body unmarshalled.
+
+Inside a domain body, ``handle.malloc``/``frame.alloca`` return raw
+addresses into the domain's heap/stack and ``handle.load_view`` returns a
+zero-copy view aliasing domain memory. All three are meaningless — or
+dangerous — outside the domain: the rewind discards the backing pages, a
+successor domain may reuse them, and another domain must never receive a
+live alias into this one's heap. The sanctioned ways across the boundary
+are materialisation (``bytes(...)`` and the copying readers ``load``/
+``read_buffer``/``copy_out``) and the ``ffi.marshal``/``ffi.serialization``
+API, whose signatures seed the sanitizer set below.
+
+The pass is intraprocedural taint propagation over each *domain body*
+(functions the registry in :mod:`repro.analysis.model` identified):
+sources taint names, unknown calls propagate taint from arguments (a
+tainted constructor argument taints the constructed object), sanitizers
+stop it, and three sink classes report an escape — returning/yielding a
+tainted value, binding one to a module global, and storing one into an
+attribute or a caller-owned container.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from .findings import Finding
+from .model import FunctionInfo, ModuleModel, call_func_name
+
+#: Calls whose result aliases domain memory (the taint sources).
+SOURCE_CALLS = {
+    "load_view": "zero-copy view of domain memory",
+    "malloc": "raw domain-heap address",
+    "alloca": "raw domain-stack address",
+    "sdrad_malloc": "raw domain-heap address",
+}
+
+#: Calls whose result is a trusted-side (or at least materialised) copy —
+#: seeded from the ffi.marshal / ffi.serialization / DomainHandle reader
+#: signatures. Taint does not flow through these.
+SANITIZER_CALLS = {
+    # materialisation builtins
+    "bytes", "bytearray", "str", "int", "float", "bool", "len", "repr",
+    "hash", "ord", "hex", "sum", "min", "max",
+    # copying readers on the handle / stack frame
+    "load", "load_many", "read_buffer",
+    # the sanctioned cross-boundary carriers (ffi.marshal + runtime)
+    "copy_out", "copy_into", "marshal_result", "marshal_args",
+    "unmarshal_result",
+    # serializer surface (ffi.serialization.Serializer)
+    "encode", "decode", "pack", "unpack", "unpack_from",
+}
+
+#: Calls that consume an address (the alias is dead afterwards).
+CONSUMER_CALLS = {"free", "sdrad_free", "pop_frame"}
+
+
+class _TaintChecker(ast.NodeVisitor):
+    def __init__(self, model: ModuleModel, info: FunctionInfo) -> None:
+        self.model = model
+        self.info = info
+        #: tainted name -> description of its source
+        self.tainted: dict[str, str] = {}
+        self.globals_declared: set[str] = set()
+        self.local_names: set[str] = set()
+        self.findings: list[Finding] = []
+        args = info.node.args
+        self.param_names = {
+            a.arg
+            for a in (
+                args.posonlyargs + args.args + args.kwonlyargs
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            )
+        }
+
+    # ------------------------------------------------------------------
+    # Expression-level taint
+    # ------------------------------------------------------------------
+
+    def taint_of(self, node: Optional[ast.AST]) -> Optional[str]:
+        """Description of the taint carried by ``node``, or ``None``."""
+        if node is None:
+            return None
+        if isinstance(node, ast.Name):
+            return self.tainted.get(node.id)
+        if isinstance(node, ast.Call):
+            name = call_func_name(node)
+            if name in SOURCE_CALLS:
+                return SOURCE_CALLS[name]
+            if name in SANITIZER_CALLS or name in CONSUMER_CALLS:
+                return None
+            # Unknown call: a tainted argument taints the result (e.g.
+            # a record constructed around a live view).
+            for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                sub = self.taint_of(arg)
+                if sub is not None:
+                    return sub
+            return None
+        if isinstance(node, (ast.BinOp,)):
+            return self.taint_of(node.left) or self.taint_of(node.right)
+        if isinstance(node, ast.BoolOp):
+            for value in node.values:
+                sub = self.taint_of(value)
+                if sub is not None:
+                    return sub
+            return None
+        if isinstance(node, ast.UnaryOp):
+            return self.taint_of(node.operand)
+        if isinstance(node, ast.IfExp):
+            return self.taint_of(node.body) or self.taint_of(node.orelse)
+        if isinstance(node, ast.Subscript):
+            return self.taint_of(node.value)  # a slice of a view is a view
+        if isinstance(node, ast.Attribute):
+            return self.taint_of(node.value)
+        if isinstance(node, ast.Starred):
+            return self.taint_of(node.value)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            for elt in node.elts:
+                sub = self.taint_of(elt)
+                if sub is not None:
+                    return sub
+            return None
+        if isinstance(node, ast.Dict):
+            for value in node.values:
+                sub = self.taint_of(value)
+                if sub is not None:
+                    return sub
+            return None
+        if isinstance(node, ast.NamedExpr):
+            return self.taint_of(node.value)
+        if isinstance(node, ast.Compare):
+            return None  # booleans are values, not aliases
+        return None
+
+    # ------------------------------------------------------------------
+    # Statements
+    # ------------------------------------------------------------------
+
+    def _escape(self, node: ast.AST, what: str, how: str) -> None:
+        self.findings.append(
+            Finding(
+                rule="R2",
+                path=self.model.path,
+                line=node.lineno,
+                col=node.col_offset,
+                qualname=self.info.qualname,
+                message=(
+                    f"{what} {how} without passing through "
+                    f"ffi.marshal/serialization (materialise with bytes() "
+                    f"or marshal it)"
+                ),
+            )
+        )
+
+    def _bind(self, target: ast.AST, taint: Optional[str], site: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            name = target.id
+            self.local_names.add(name)
+            if taint is None:
+                self.tainted.pop(name, None)
+                return
+            if name in self.globals_declared:
+                self._escape(site, taint, "is bound to a module global")
+                return
+            self.tainted[name] = taint
+        elif isinstance(target, ast.Attribute):
+            if taint is not None:
+                self._escape(site, taint, "is stored into an object attribute")
+        elif isinstance(target, ast.Subscript):
+            base = target.value
+            if taint is None:
+                return
+            if isinstance(base, ast.Name) and base.id in self.local_names:
+                self.tainted[base.id] = taint  # local container now carries it
+            else:
+                self._escape(
+                    site, taint, "is stored into a caller-owned container"
+                )
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, taint, site)
+
+    def visit_Global(self, node: ast.Global) -> None:
+        self.globals_declared.update(node.names)
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        taint = self.taint_of(node.value)
+        for target in node.targets:
+            self._bind(target, taint, node)
+        self.generic_visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._bind(node.target, self.taint_of(node.value), node)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        taint = self.taint_of(node.value) or self.taint_of(node.target)
+        self._bind(node.target, taint, node)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        taint = self.taint_of(node.value)
+        if taint is not None:
+            self._escape(node, taint, "is returned from the domain body")
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        taint = self.taint_of(node.value)
+        if taint is not None:
+            self._escape(node, taint, "is yielded from the domain body")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = call_func_name(node)
+        if name in CONSUMER_CALLS:
+            for arg in node.args:
+                if isinstance(arg, ast.Name):
+                    self.tainted.pop(arg.id, None)
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested scopes are analyzed on their own
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+def check(model: ModuleModel) -> list:
+    """Run R2 over every domain body of ``model``."""
+    findings: list[Finding] = []
+    for info in model.functions:
+        if not info.is_domain_body:
+            continue
+        checker = _TaintChecker(model, info)
+        for stmt in info.node.body:
+            checker.visit(stmt)
+        findings.extend(checker.findings)
+    return findings

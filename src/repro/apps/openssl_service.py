@@ -22,7 +22,7 @@ from typing import Optional
 from ..errors import SdradError
 from ..sdrad.constants import DomainFlags
 from ..sdrad.policy import ProcessCrashed, RewindPolicy
-from ..sdrad.runtime import DomainHandle, SdradRuntime
+from ..sdrad.runtime import SdradRuntime
 from .memcached_server import IsolationMode
 from .tls import (
     ContentType,

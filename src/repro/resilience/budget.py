@@ -15,7 +15,7 @@ about memory faults as a budget item at all.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from ..sim.clock import YEARS
 from .availability import downtime_budget

@@ -23,7 +23,7 @@ All latencies are charged to the shared virtual clock through the
 from __future__ import annotations
 
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..errors import (
@@ -49,7 +49,6 @@ from .context import ContextStack
 from .detect import FaultReport, classify, is_recoverable
 from .domain import Domain
 from .policy import (
-    PolicyDecision,
     ProcessCrashed,
     RecoveryPolicy,
     RewindPolicy,

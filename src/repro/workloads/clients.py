@@ -10,8 +10,6 @@ exploit payloads against the deliberate parser bugs
 from __future__ import annotations
 
 import random
-from typing import Optional
-
 from .zipf import KeyValueWorkload
 
 

@@ -1,0 +1,52 @@
+"""R1 near-misses: correctly paired brackets that must NOT be reported.
+
+Mirrors the repo's real idioms (memcached/http parsers, the runtime's
+enter/_leave split, the DomainHandle facade). Parsed, never imported.
+"""
+
+
+def memcached_idiom(handle: DomainHandle, raw):  # noqa: F821
+    frame = handle.push_frame("process_command")
+    try:
+        if not raw:
+            return None
+        return raw
+    finally:
+        handle.pop_frame(frame)
+
+
+def straight_line(handle: DomainHandle):  # noqa: F821
+    frame = handle.push_frame("s")
+    frame.alloca(16)
+    handle.pop_frame(frame)
+
+
+def nested_frames(handle: DomainHandle, lines):  # noqa: F821
+    frame = handle.push_frame("outer")
+    try:
+        for line in lines:
+            inner = handle.push_frame("inner")
+            try:
+                inner.alloca(len(line))
+            finally:
+                handle.pop_frame(inner)
+    finally:
+        handle.pop_frame(frame)
+
+
+class FacadeRuntime:
+    """The runtime's enter/_leave split and the delegating facade."""
+
+    def enter(self, udi):
+        context = self.contexts.push(udi, 0, 0.0)
+        try:
+            self.work()
+        finally:
+            self._leave(context)
+
+    def _leave(self, context):
+        self.contexts.pop(context)
+
+    def push_frame(self, name):
+        # Ownership transfer: the caller receives the bracket obligation.
+        return self._stack.push_frame(name)

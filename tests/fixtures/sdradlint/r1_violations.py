@@ -1,0 +1,36 @@
+"""Planted R1 violations: brackets that leak on some control-flow path.
+
+This module is an sdradlint test fixture. It is parsed, never imported —
+the undefined names are deliberate.
+"""
+
+
+def missing_pop(handle: DomainHandle, raw):  # noqa: F821
+    frame = handle.push_frame("f")  # expect[R1]
+    frame.alloca(64)
+
+
+def pop_on_happy_path_only(handle: DomainHandle, raw):  # noqa: F821
+    frame = handle.push_frame("g")  # expect[R1]
+    try:
+        frame.alloca(64)
+        handle.pop_frame(frame)
+    except Exception:
+        pass  # the exceptional path leaks the frame
+
+
+def early_return_skips_pop(handle: DomainHandle, raw):  # noqa: F821
+    frame = handle.push_frame("h")  # expect[R1]
+    if not raw:
+        return None
+    handle.pop_frame(frame)
+    return raw
+
+
+def discarded_frame(handle: DomainHandle):  # noqa: F821
+    handle.push_frame("i")  # expect[R1]
+
+
+def context_never_popped(runtime, udi):
+    context = runtime.contexts.push(udi, 0, 0.0)  # expect[R1]
+    runtime.do_work(context)

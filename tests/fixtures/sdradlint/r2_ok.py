@@ -1,0 +1,45 @@
+"""R2 near-misses mirroring ``apps/memcached_server.py`` idioms.
+
+The deliberate E4 parser vulnerabilities — the strcpy-style key copy and
+the declared-length heap allocation — must stay observable: sdradlint
+checks *boundary* hygiene, not in-domain memory safety, so none of this
+may be reported. Parsed, never imported.
+"""
+
+
+def parse_like_memcached(handle: DomainHandle, raw):  # noqa: F821
+    declared = int(raw[:8])
+    frame = handle.push_frame("process_command")
+    try:
+        # BUG 1 idiom (kept observable): strcpy into a fixed stack buffer.
+        key_buf = frame.alloca(256)
+        frame.write_buffer(key_buf, raw + b"\x00")
+        # BUG 2 idiom (kept observable): allocation sized by the declared
+        # length, filled with the actual payload.
+        value_buf = handle.malloc(max(declared, 1))
+        handle.store(value_buf, raw)
+        # Materialisation is the sanctioned way out of the domain.
+        value = bytes(handle.load_view(value_buf, min(declared, len(raw))))
+        handle.free(value_buf)
+        return ParsedOp(value=value)  # noqa: F821
+    finally:
+        handle.pop_frame(frame)
+
+
+def copying_reader_is_clean(handle: DomainHandle, raw):  # noqa: F821
+    buf = handle.malloc(len(raw))
+    handle.store(buf, raw)
+    pixels = handle.load(buf, len(raw))  # copying read: already trusted
+    handle.free(buf)
+    return {"pixels": bytes(pixels), "size": len(raw)}
+
+
+def marshalled_result_is_clean(handle: DomainHandle, value):  # noqa: F821
+    return marshal_result(runtime, udi, serializer, value, None)  # noqa: F821
+
+
+def local_container_is_clean(handle: DomainHandle, raw):  # noqa: F821
+    staging = {}
+    view = handle.load_view(0, 16)
+    staging["view"] = view  # local dict: stays inside the domain body
+    return bytes(staging["view"])

@@ -1,0 +1,44 @@
+"""Planted R2 violations: domain-heap values escaping unmarshalled.
+
+Every function is a domain body (DomainHandle first parameter). Parsed,
+never imported.
+"""
+
+GLOBAL_STASH = None
+
+
+def leak_view_by_return(handle: DomainHandle, raw):  # noqa: F821
+    buf = handle.malloc(len(raw))
+    handle.store(buf, raw)
+    view = handle.load_view(buf, len(raw))
+    return view  # expect[R2]
+
+
+def leak_view_to_global(handle: DomainHandle, raw):  # noqa: F821
+    global GLOBAL_STASH
+    buf = handle.malloc(64)
+    GLOBAL_STASH = handle.load_view(buf, 64)  # expect[R2,R3]
+
+
+def leak_address_to_attribute(handle: DomainHandle, server):  # noqa: F821
+    addr = handle.malloc(128)
+    server.scratch_addr = addr  # expect[R2,R3]
+
+
+def leak_view_to_caller_container(handle: DomainHandle, out):  # noqa: F821
+    out["view"] = handle.load_view(0, 16)  # expect[R2]
+
+
+def leak_view_inside_record(handle: DomainHandle, raw):  # noqa: F821
+    buf = handle.malloc(len(raw))
+    view = handle.load_view(buf, len(raw))
+    return ParsedOp(value=view)  # expect[R2]  # noqa: F821
+
+
+def leak_stack_address(handle: DomainHandle, raw):  # noqa: F821
+    frame = handle.push_frame("p")
+    try:
+        key_buf = frame.alloca(256)
+        return key_buf  # expect[R2]
+    finally:
+        handle.pop_frame(frame)

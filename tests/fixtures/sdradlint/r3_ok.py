@@ -1,0 +1,23 @@
+"""R3 near-misses: effects confined to domain memory and the clock.
+
+Parsed, never imported.
+"""
+
+
+def quiet_parser(handle: DomainHandle, raw):  # noqa: F821
+    handle.charge(1e-6)  # the sanctioned accounting channel
+    rel = os.path.join("a", "b")  # noqa: F821 — pure string helper
+    total = 0
+    for byte in raw:
+        total += byte
+    buf = handle.malloc(max(total % 64, 1))
+    handle.store(buf, raw[: total % 64])
+    handle.free(buf)
+    return rel, total
+
+
+def local_state_only(handle: DomainHandle, raw):  # noqa: F821
+    seen = {}
+    seen["raw"] = len(raw)  # local mutation: discarded with the frame
+    header = struct.unpack(">H", raw[:2])  # noqa: F821 — pure
+    return header, seen

@@ -1,0 +1,33 @@
+"""Planted R3 violations: side effects a rewind cannot undo.
+
+Every function is a domain body (DomainHandle first parameter). Parsed,
+never imported.
+"""
+
+REQUEST_COUNTER = 0
+
+
+def writes_a_file(handle: DomainHandle, raw):  # noqa: F821
+    log = open("/tmp/parse.log", "w")  # expect[R3]
+    log.write(str(raw))
+
+
+def spawns_a_process(handle: DomainHandle, raw):  # noqa: F821
+    subprocess.run(["touch", "/tmp/x"])  # expect[R3]  # noqa: F821
+
+
+def prints_to_stdout(handle: DomainHandle, raw):  # noqa: F821
+    print("parsed", raw)  # expect[R3]
+
+
+def bumps_module_global(handle: DomainHandle, raw):  # noqa: F821
+    global REQUEST_COUNTER
+    REQUEST_COUNTER += 1  # expect[R3]
+
+
+def sneaks_telemetry(handle: DomainHandle, tracer):  # noqa: F821
+    tracer.record(0.0, "domain.sneak")  # expect[R3]
+
+
+def mutates_caller_object(handle: DomainHandle, server, raw):  # noqa: F821
+    server.requests = server.requests + 1  # expect[R3]

@@ -1,0 +1,33 @@
+"""R4 near-misses: PKRU writes properly inside the entry-gate sequence.
+
+Mirrors the runtime's execute/_apply_domain_pkru split, the PR2
+entry-ticket replay, the register's own micro-ops, and the annotated-gate
+escape hatch. Parsed, never imported.
+"""
+
+
+class GatedRuntime:
+    def execute(self, domain):
+        saved = self.space.pkru.snapshot()
+        context = self.contexts.push(domain.udi, saved, 0.0)
+        self.space.pkru.write(self.space.pkru.DENY_ALL_EXCEPT_DEFAULT)
+        self.derive_domain_pkru(domain)
+        # The re-entry ticket replay (PR2): still behind the push.
+        self.space.pkru.write_prepared(saved, 2)
+        self.contexts.pop(context)
+        self.space.pkru.write(saved)
+
+    def derive_domain_pkru(self, domain):
+        # Only reachable from the gate above: guarded by closure.
+        self.space.pkru.revoke(0)
+        self.space.pkru.grant(domain.pkey, read=True, write=True)
+
+
+class PkruRegister:
+    def grant_inside_register(self, pkey):
+        # The register's own micro-op IS the instruction, not a call site.
+        self._pkru.write(1 << pkey)
+
+
+def audited_restore(space, saved):  # sdradlint: gate
+    space.pkru.write(saved)

@@ -1,0 +1,21 @@
+"""Planted R4 violations: WRPKRU gadgets outside the entry gate.
+
+Parsed, never imported.
+"""
+
+
+def sneak_grant(runtime, pkey):
+    runtime.space.pkru.grant(pkey, read=True, write=True)  # expect[R4]
+
+
+def sneak_raw_write(space):
+    space.pkru.write(0)  # expect[R4]
+
+
+class LeakyRuntime:
+    def premature_write(self, domain):
+        # The write precedes the sigsetjmp analogue: a fault between the
+        # two would restore nothing.
+        self.space.pkru.write(0)  # expect[R4]
+        context = self.contexts.push(domain.udi, 0, 0.0)
+        self.contexts.pop(context)

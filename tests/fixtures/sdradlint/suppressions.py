@@ -1,0 +1,14 @@
+"""Suppression fixtures: real violations hushed with ignore comments.
+
+Parsed, never imported. The lint must report nothing here, but count two
+suppressed findings.
+"""
+
+
+def hushed_line(handle: DomainHandle, raw):  # noqa: F821
+    print("debug", raw)  # sdradlint: ignore[R3]
+
+
+def hushed_whole_function(handle: DomainHandle, raw):  # sdradlint: ignore[R1]  # noqa: F821
+    frame = handle.push_frame("x")
+    frame.alloca(4)
