@@ -21,15 +21,20 @@ and are unchanged by any of this). Four benches:
                        fast path disabled (the PR 1 baseline behaviour);
 * ``domain_reentry`` — enter/exit a persistent domain with the entry-
                        ticket cache on vs. off, isolating the re-entry
-                       fast path from protocol work.
+                       fast path from protocol work;
+* ``memcached_obs``  — the PR 5 no-op fast-path check: the memcached
+                       set/get mix with observability disabled (the
+                       default, must track ``memcached_e2e``) vs. a live
+                       ``Observability`` hub at sampling 1.0 and 0.01.
 
 Writes machine-readable results (ops/sec plus on/off speedups) to a JSON
-file — ``BENCH_PR2.json`` by default — which ``check_bench_regression.py``
+file — ``BENCH_PR5.json`` by default — which ``check_bench_regression.py``
 compares across PRs.
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench.py [--out BENCH_PR2.json] [--quick]
+    PYTHONPATH=src python scripts/bench.py [--out BENCH_PR5.json] [--quick]
+        [--only memcached_obs,...] [--repeat 3]
 """
 
 from __future__ import annotations
@@ -50,9 +55,17 @@ from repro.sdrad.constants import DomainFlags
 from repro.sdrad.runtime import SdradRuntime
 
 
+#: Best-of-N repeats per measurement, settable via ``--repeat``. Wall-clock
+#: rates on a shared VM swing by 20%+ between runs; taking the best of a few
+#: independent timed windows (the ``timeit.repeat`` recipe) recovers a stable
+#: estimate of what the code can do when the machine is not being preempted.
+_REPEAT = 1
+
+
 def _measure(fn, *, min_time: float = 0.25, batch: int = 1) -> dict:
     """Run ``fn(n)`` (which performs ``n`` operations) until ``min_time``
-    seconds of wall-clock have accumulated; return ops/sec statistics."""
+    seconds of wall-clock have accumulated; return ops/sec statistics for
+    the best of ``_REPEAT`` such windows."""
     # Warm up and calibrate the batch size so one call takes ~10 ms.
     n = batch
     while True:
@@ -62,23 +75,28 @@ def _measure(fn, *, min_time: float = 0.25, batch: int = 1) -> dict:
         if elapsed >= 0.01:
             break
         n *= 4
-    best = 0.0
-    total_ops = 0
-    total_time = 0.0
-    while total_time < min_time:
-        start = time.perf_counter()
-        fn(n)
-        elapsed = time.perf_counter() - start
-        rate = n / elapsed
-        best = max(best, rate)
-        total_ops += n
-        total_time += elapsed
-    return {
-        "ops_per_sec": round(total_ops / total_time, 1),
-        "best_ops_per_sec": round(best, 1),
-        "ops": total_ops,
-        "seconds": round(total_time, 4),
-    }
+    result = None
+    for _ in range(max(1, _REPEAT)):
+        best = 0.0
+        total_ops = 0
+        total_time = 0.0
+        while total_time < min_time:
+            start = time.perf_counter()
+            fn(n)
+            elapsed = time.perf_counter() - start
+            rate = n / elapsed
+            best = max(best, rate)
+            total_ops += n
+            total_time += elapsed
+        window = {
+            "ops_per_sec": round(total_ops / total_time, 1),
+            "best_ops_per_sec": round(best, 1),
+            "ops": total_ops,
+            "seconds": round(total_time, 4),
+        }
+        if result is None or window["ops_per_sec"] > result["ops_per_sec"]:
+            result = window
+    return result
 
 
 # ----------------------------------------------------------------------
@@ -294,37 +312,113 @@ def bench_domain_reentry(min_time: float) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Bench 7: observability overhead (PR 5)
+# ----------------------------------------------------------------------
+
+def bench_memcached_obs(min_time: float) -> dict:
+    """Observability's cost contract: ``obs=None`` (the default) must cost
+    one attribute load per instrumentation site, and a sampled hub must
+    stay affordable. ``obs_off`` is tracked by the regression gate against
+    ``memcached_e2e.per_connection`` history."""
+    from repro.obs import Observability
+
+    def requests() -> list[bytes]:
+        reqs = []
+        for i in range(16):
+            value = b"v" * 64
+            reqs.append(b"set key%d 0 0 %d\r\n%s\r\n" % (i, len(value), value))
+            reqs.append(b"get key%d\r\n" % i)
+        return reqs
+
+    def run(obs) -> dict:
+        runtime = SdradRuntime(obs=obs)
+        server = MemcachedServer(runtime, isolation=IsolationMode.PER_CONNECTION)
+        server.connect("bench-client")
+        reqs = requests()
+
+        def loop(n: int) -> None:
+            handle = server.handle
+            for i in range(n):
+                handle("bench-client", reqs[i % len(reqs)])
+
+        return _measure(loop, min_time=min_time, batch=32)
+
+    off = run(None)
+    # Unbounded span buffers would grow all benchmark long; cap like a
+    # production deployment would and let the buffer drop.
+    on = run(Observability(sampling=1.0, span_capacity=50_000))
+    sampled = run(Observability(sampling=0.01, span_capacity=50_000))
+    return {
+        "obs_off": off,
+        "obs_on": on,
+        "obs_sampled_1pct": sampled,
+        "overhead_full": round(off["ops_per_sec"] / on["ops_per_sec"], 3),
+        "overhead_sampled": round(
+            off["ops_per_sec"] / sampled["ops_per_sec"], 3
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default="BENCH_PR2.json",
-        help="output JSON path (default: BENCH_PR2.json)",
+        default="BENCH_PR5.json",
+        help="output JSON path (default: BENCH_PR5.json)",
     )
     parser.add_argument(
         "--quick",
         action="store_true",
         help="shorter runs (noisier numbers, for smoke-testing the harness)",
     )
+    parser.add_argument(
+        "--only",
+        help="comma-separated bench names to run (default: all)",
+    )
+    parser.add_argument(
+        "--repeat",
+        type=int,
+        default=3,
+        help="best-of-N timed windows per measurement (default: 3)",
+    )
     args = parser.parse_args()
     min_time = 0.05 if args.quick else 0.25
+    global _REPEAT
+    _REPEAT = 1 if args.quick else max(1, args.repeat)
 
-    results = {
-        "schema": 2,
-        "python": platform.python_version(),
-        "platform": platform.platform(),
-        "benches": {},
-    }
-    for name, fn in (
+    all_benches = (
         ("raw_access", bench_raw_access),
         ("domain_switch", bench_domain_switch),
         ("fault_rewind", bench_fault_rewind),
         ("kvstore_e2e", bench_kvstore_e2e),
         ("memcached_e2e", bench_memcached_e2e),
         ("domain_reentry", bench_domain_reentry),
-    ):
+        ("memcached_obs", bench_memcached_obs),
+    )
+    selected = dict(all_benches)
+    if args.only:
+        wanted = [name.strip() for name in args.only.split(",") if name.strip()]
+        unknown = [name for name in wanted if name not in selected]
+        if unknown:
+            parser.error(
+                f"unknown bench(es) {', '.join(unknown)}; "
+                f"choose from {', '.join(selected)}"
+            )
+        selected = {name: selected[name] for name in wanted}
+
+    results = {
+        "schema": 3,
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "repeat": _REPEAT,
+        "benches": {},
+    }
+    for name, fn in all_benches:
+        if name not in selected:
+            continue
         print(f"[bench] {name} ...", flush=True)
         results["benches"][name] = fn(min_time)
 
@@ -333,36 +427,50 @@ def main() -> int:
 
     b = results["benches"]
     print(f"\nresults -> {out}")
-    print(
-        f"  raw_access    : {b['raw_access']['tlb_on']['ops_per_sec']:>12,.0f} ops/s"
-        f"  (tlb off {b['raw_access']['tlb_off']['ops_per_sec']:,.0f},"
-        f" speedup {b['raw_access']['speedup']}x)"
-    )
-    print(f"  domain_switch : {b['domain_switch']['ops_per_sec']:>12,.0f} ops/s")
-    print(
-        f"  fault_rewind  : {b['fault_rewind']['lazy']['ops_per_sec']:>12,.0f} ops/s"
-        f"  (eager {b['fault_rewind']['eager']['ops_per_sec']:,.0f},"
-        f" lazy speedup {b['fault_rewind']['speedup']}x)"
-    )
-    print(
-        f"  kvstore_e2e   : {b['kvstore_e2e']['tlb_on']['ops_per_sec']:>12,.0f} req/s"
-        f"  (tlb off {b['kvstore_e2e']['tlb_off']['ops_per_sec']:,.0f},"
-        f" speedup {b['kvstore_e2e']['speedup']}x)"
-    )
-    m = b["memcached_e2e"]
-    print(
-        f"  memcached_e2e : {m['batched']['ops_per_sec']:>12,.0f} req/s batched"
-        f"  (per-conn {m['per_connection']['ops_per_sec']:,.0f},"
-        f" per-req {m['per_request']['ops_per_sec']:,.0f},"
-        f" fastpath off {m['fastpath_off']['ops_per_sec']:,.0f},"
-        f" batched speedup {m['speedup_vs_fastpath_off']}x)"
-    )
-    r = b["domain_reentry"]
-    print(
-        f"  domain_reentry: {r['reentry_on']['ops_per_sec']:>12,.0f} ops/s"
-        f"  (cache off {r['reentry_off']['ops_per_sec']:,.0f},"
-        f" speedup {r['speedup']}x)"
-    )
+    if "raw_access" in b:
+        print(
+            f"  raw_access    : {b['raw_access']['tlb_on']['ops_per_sec']:>12,.0f} ops/s"
+            f"  (tlb off {b['raw_access']['tlb_off']['ops_per_sec']:,.0f},"
+            f" speedup {b['raw_access']['speedup']}x)"
+        )
+    if "domain_switch" in b:
+        print(f"  domain_switch : {b['domain_switch']['ops_per_sec']:>12,.0f} ops/s")
+    if "fault_rewind" in b:
+        print(
+            f"  fault_rewind  : {b['fault_rewind']['lazy']['ops_per_sec']:>12,.0f} ops/s"
+            f"  (eager {b['fault_rewind']['eager']['ops_per_sec']:,.0f},"
+            f" lazy speedup {b['fault_rewind']['speedup']}x)"
+        )
+    if "kvstore_e2e" in b:
+        print(
+            f"  kvstore_e2e   : {b['kvstore_e2e']['tlb_on']['ops_per_sec']:>12,.0f} req/s"
+            f"  (tlb off {b['kvstore_e2e']['tlb_off']['ops_per_sec']:,.0f},"
+            f" speedup {b['kvstore_e2e']['speedup']}x)"
+        )
+    if "memcached_e2e" in b:
+        m = b["memcached_e2e"]
+        print(
+            f"  memcached_e2e : {m['batched']['ops_per_sec']:>12,.0f} req/s batched"
+            f"  (per-conn {m['per_connection']['ops_per_sec']:,.0f},"
+            f" per-req {m['per_request']['ops_per_sec']:,.0f},"
+            f" fastpath off {m['fastpath_off']['ops_per_sec']:,.0f},"
+            f" batched speedup {m['speedup_vs_fastpath_off']}x)"
+        )
+    if "domain_reentry" in b:
+        r = b["domain_reentry"]
+        print(
+            f"  domain_reentry: {r['reentry_on']['ops_per_sec']:>12,.0f} ops/s"
+            f"  (cache off {r['reentry_off']['ops_per_sec']:,.0f},"
+            f" speedup {r['speedup']}x)"
+        )
+    if "memcached_obs" in b:
+        o = b["memcached_obs"]
+        print(
+            f"  memcached_obs : {o['obs_off']['ops_per_sec']:>12,.0f} req/s obs off"
+            f"  (full tracing {o['obs_on']['ops_per_sec']:,.0f},"
+            f" 1% sampled {o['obs_sampled_1pct']['ops_per_sec']:,.0f},"
+            f" off/on {o['overhead_full']}x)"
+        )
     return 0
 
 

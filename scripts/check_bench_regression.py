@@ -7,14 +7,27 @@ filename sort, which would put ``BENCH_PR10`` before ``BENCH_PR2``), then
 compares the newest file against the one before it. Only metrics present
 in BOTH files are compared: a metric added by the newer schema is reported
 as new, a metric the newer harness no longer emits is reported as retired,
-and neither fails the check. A shared metric that dropped by more than the
-threshold (default 20%) fails. Wall-clock numbers are noisy, hence the
-generous threshold — this is a guard against accidentally reverting a fast
-path, not a micro-benchmark gate.
+and neither fails the check.
+
+The *gate* (what can fail the check) is the set of within-file speedup
+RATIOS — TLB on/off, lazy/eager rewind, batched vs. fast-path-off, re-entry
+cache on/off. Each BENCH file is recorded on whatever VM the PR happened to
+run on, and those VMs differ by 25%+ in absolute wall-clock throughput, so
+comparing raw ops/sec across files mostly measures the hardware lottery. A
+ratio taken between two measurements from the SAME file cancels the machine
+out, and it is exactly what this gate exists to protect: accidentally
+reverting a fast path drags its speedup toward 1.0x no matter how fast the
+VM is. A ratio that dropped by more than the threshold (default 25%) fails.
+The threshold is generous because even ratios drift with the host CPU —
+the same commit measures the end-to-end TLB speedup anywhere from ~1.1x to
+~1.4x depending on the recording VM's microarchitecture — while genuinely
+reverting one of the big fast paths collapses its ratio by 30-70%. Absolute
+ops/sec for the headline metrics are still printed for context, but they
+inform rather than gate.
 
 Usage::
 
-    python scripts/check_bench_regression.py [--dir .] [--threshold 0.20]
+    python scripts/check_bench_regression.py [--dir .] [--threshold 0.25]
 """
 
 from __future__ import annotations
@@ -25,8 +38,20 @@ import re
 import sys
 from pathlib import Path
 
-#: (bench, path-within-bench) pairs whose ops/sec we track across PRs.
-TRACKED = [
+#: (bench, path-within-bench) pairs of within-file speedup ratios. These are
+#: machine-independent, so a drop is a real fast-path regression: they GATE.
+TRACKED_RATIOS = [
+    ("raw_access", ("speedup",)),
+    ("fault_rewind", ("speedup",)),
+    ("kvstore_e2e", ("speedup",)),
+    ("memcached_e2e", ("batched_speedup",)),
+    ("memcached_e2e", ("speedup_vs_fastpath_off",)),
+    ("domain_reentry", ("speedup",)),
+]
+
+#: (bench, path-within-bench) pairs of absolute ops/sec we print for context.
+#: These depend on the VM each file was recorded on: they INFORM, never fail.
+TRACKED_INFO = [
     ("raw_access", ("tlb_on", "ops_per_sec")),
     ("domain_switch", ("ops_per_sec",)),
     ("fault_rewind", ("lazy", "ops_per_sec")),
@@ -35,6 +60,7 @@ TRACKED = [
     ("memcached_e2e", ("batched", "ops_per_sec")),
     ("memcached_e2e", ("fastpath_off", "ops_per_sec")),
     ("domain_reentry", ("reentry_on", "ops_per_sec")),
+    ("memcached_obs", ("obs_off", "ops_per_sec")),
 ]
 
 
@@ -68,8 +94,8 @@ def main() -> int:
     parser.add_argument(
         "--threshold",
         type=float,
-        default=0.20,
-        help="max allowed fractional drop (default 0.20 = 20%%)",
+        default=0.25,
+        help="max allowed fractional drop (default 0.25 = 25%%)",
     )
     args = parser.parse_args()
 
@@ -98,17 +124,18 @@ def main() -> int:
 
     print(f"comparing {current_path.name} against {previous_path.name}")
     failed = False
-    for bench, path in TRACKED:
-        label = ".".join((bench,) + path[:-1]) or bench
+    print("speedup ratios (machine-independent — these gate):")
+    for bench, path in TRACKED_RATIOS:
+        label = ".".join((bench,) + path)
         new = _dig(cur.get(bench, {}), path)
         old = _dig(prev.get(bench, {}), path)
         if new is None and old is None:
             continue  # tracked but emitted by neither file
         if old is None:
-            print(f"  {label:28s} {new:>14,.0f} ops/s  (new metric)")
+            print(f"  {label:36s} {new:>8.2f}x  (new metric)")
             continue
         if new is None:
-            print(f"  {label:28s} retired (was {old:,.0f} ops/s)")
+            print(f"  {label:36s} retired (was {old:.2f}x)")
             continue
         change = (new - old) / old
         status = "ok"
@@ -116,8 +143,26 @@ def main() -> int:
             status = f"REGRESSION (>{args.threshold:.0%} drop)"
             failed = True
         print(
-            f"  {label:28s} {new:>14,.0f} ops/s  vs {old:>14,.0f}"
+            f"  {label:36s} {new:>8.2f}x  vs {old:>6.2f}x"
             f"  ({change:+.1%})  {status}"
+        )
+    print("absolute throughput (depends on the recording VM — informational):")
+    for bench, path in TRACKED_INFO:
+        label = ".".join((bench,) + path[:-1]) or bench
+        new = _dig(cur.get(bench, {}), path)
+        old = _dig(prev.get(bench, {}), path)
+        if new is None and old is None:
+            continue
+        if old is None:
+            print(f"  {label:36s} {new:>14,.0f} ops/s  (new metric)")
+            continue
+        if new is None:
+            print(f"  {label:36s} retired (was {old:,.0f} ops/s)")
+            continue
+        change = (new - old) / old
+        print(
+            f"  {label:36s} {new:>14,.0f} ops/s  vs {old:>14,.0f}"
+            f"  ({change:+.1%})"
         )
     if failed:
         print("bench regression check FAILED")

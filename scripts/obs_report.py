@@ -1,0 +1,49 @@
+#!/usr/bin/env python
+"""Run the observed memcached demo and print the obs report.
+
+Thin wrapper over :mod:`repro.obs.report` (the same code backs
+``python -m repro obs``), kept as a script so CI and operators can run it
+without installing the package.
+
+Usage::
+
+    PYTHONPATH=src python scripts/obs_report.py [--requests 200]
+        [--clients 4] [--sampling 1.0] [--dataset-gib 10]
+        [--trace-out trace.jsonl] [--metrics-out metrics.prom]
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs.report import run_and_report
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=200)
+    parser.add_argument("--clients", type=int, default=4)
+    parser.add_argument("--sampling", type=float, default=1.0)
+    parser.add_argument("--dataset-gib", type=float, default=10.0)
+    parser.add_argument("--trace-out")
+    parser.add_argument("--metrics-out")
+    args = parser.parse_args()
+
+    text, code = run_and_report(
+        requests=args.requests,
+        clients=args.clients,
+        sampling=args.sampling,
+        dataset_gib=args.dataset_gib,
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+    )
+    print(text)
+    return code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -17,7 +17,9 @@ The checker walks each domain body (per the registry in
   ``sys``, ``socket``, ``subprocess``, ``shutil``, ``logging``, …);
 * telemetry writes outside the sanctioned API: the tracer and telemetry
   surfaces belong to the *trusted* side of the boundary
-  (``handle.charge`` is the one sanctioned way to account work);
+  (``handle.charge`` is the one sanctioned way to account work, and the
+  :mod:`repro.obs` span/metric calls are rewind-safe by design — but raw
+  tracer writes or obs internals reached from a domain body still flag);
 * rebinding or augmenting a module global (``global x; x = ...``);
 * mutating attributes of caller-owned objects (any parameter other than
   the domain handle) — trusted state the rewind cannot restore.
@@ -55,6 +57,20 @@ TELEMETRY_SEGMENTS = {"tracer", "telemetry"}
 
 #: The handle's own accounting call is the sanctioned telemetry channel.
 SANCTIONED_CALLS = {"charge"}
+
+#: Receiver path segments that mark the :mod:`repro.obs` surface.
+OBS_SEGMENTS = {"obs", "registry", "metrics", "hub"}
+
+#: Obs calls that are rewind-safe by design: spans are sampled trusted-side
+#: buffers and metric counters are monotone aggregates — neither leaves the
+#: half-completed state a rewind cannot undo. Anything else reached through
+#: an obs receiver (buffer surgery, exporter writes, clock rebinding) is
+#: still a telemetry write and flags.
+OBS_SAFE_CALLS = {
+    "event", "start_span", "end_span", "span", "set_attrs",
+    "counter", "gauge", "histogram", "increment", "observe", "add", "set",
+    "record_request", "record_batch",
+}
 
 
 class _EffectChecker(ast.NodeVisitor):
@@ -97,18 +113,26 @@ class _EffectChecker(ast.NodeVisitor):
                     PURE_PREFIXES
                 ):
                     self._flag(node, f"call to {path}()")
-            if (
-                recv is not None
-                and name not in SANCTIONED_CALLS
-                and any(
-                    seg in TELEMETRY_SEGMENTS for seg in recv.split(".")
-                )
-            ):
-                self._flag(
-                    node,
-                    f"telemetry write {recv}.{name}() outside the "
-                    f"sanctioned API (use handle.charge)",
-                )
+            if recv is not None and name not in SANCTIONED_CALLS:
+                segments = recv.split(".")
+                if any(seg in TELEMETRY_SEGMENTS for seg in segments):
+                    # Raw tracer/telemetry writes always flag — even when
+                    # reached through an obs object (obs.tracer.record()).
+                    self._flag(
+                        node,
+                        f"telemetry write {recv}.{name}() outside the "
+                        f"sanctioned API (use handle.charge)",
+                    )
+                elif (
+                    any(seg in OBS_SEGMENTS for seg in segments)
+                    and name not in OBS_SAFE_CALLS
+                ):
+                    self._flag(
+                        node,
+                        f"telemetry write {recv}.{name}() outside the "
+                        f"sanctioned API (use handle.charge or the "
+                        f"repro.obs span/metric calls)",
+                    )
         self.generic_visit(node)
 
     def visit_Global(self, node: ast.Global) -> None:

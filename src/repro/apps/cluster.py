@@ -22,9 +22,12 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
 
 from ..errors import SdradError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.hub import Observability
 from ..sdrad.policy import ProcessCrashed
 from ..sdrad.runtime import SdradRuntime
 from ..sim.clock import VirtualClock
@@ -53,17 +56,22 @@ class _Worker:
         clock: VirtualClock,
         cost: CostModel,
         isolation: IsolationMode,
+        obs: "Optional[Observability]" = None,
     ) -> None:
         self.index = index
         self.clock = clock
         self.cost = cost
         self.isolation = isolation
+        self.obs = obs
         self.down_until = 0.0
         self.restarts = 0
         self._boot()
 
     def _boot(self) -> None:
-        self.runtime = SdradRuntime(clock=self.clock, cost=self.cost)
+        # All workers share the cluster's one obs hub (as real workers
+        # would share a metrics endpoint); counters therefore aggregate
+        # across workers and survive individual worker restarts.
+        self.runtime = SdradRuntime(clock=self.clock, cost=self.cost, obs=self.obs)
         self.server = NginxServer(self.runtime, isolation=self.isolation)
 
     @property
@@ -88,14 +96,19 @@ class NginxCluster:
         isolation: IsolationMode = IsolationMode.PER_CONNECTION,
         clock: Optional[VirtualClock] = None,
         cost: CostModel = DEFAULT_COST_MODEL,
+        obs: "Optional[Observability]" = None,
     ) -> None:
         if workers < 1:
             raise SdradError(f"cluster needs at least one worker, got {workers}")
         self.clock = clock if clock is not None else VirtualClock()
+        self.obs = obs
+        if obs is not None:
+            obs.bind_clock(self.clock)
         self.cost = cost
         self.isolation = isolation
         self.workers = [
-            _Worker(i, self.clock, cost, isolation) for i in range(workers)
+            _Worker(i, self.clock, cost, isolation, obs=obs)
+            for i in range(workers)
         ]
         self.metrics = ClusterMetrics()
         self._clients: dict[str, int] = {}  # client -> worker index
@@ -128,6 +141,29 @@ class NginxCluster:
 
     def handle(self, client_id: str, raw: bytes) -> bytes:
         """Route one request; emulates the balancer + supervisor behaviour."""
+        obs = self.obs
+        if obs is None:
+            return self._handle(client_id, raw)
+        worker_index = self._clients.get(client_id)
+        span = obs.start_span(
+            "cluster.request", client=client_id, worker=worker_index
+        )
+        try:
+            response = self._handle(client_id, raw)
+        except BaseException:
+            obs.end_span(span, status="error")
+            raise
+        if response.startswith(b"HTTP/1.1 502 "):
+            status = "worker-crash"
+        elif response.startswith(b"HTTP/1.1 503 "):
+            status = "refused"
+        else:
+            status = "ok"
+        obs.registry.counter("cluster_requests_total", status=status).increment()
+        obs.end_span(span, status=status)
+        return response
+
+    def _handle(self, client_id: str, raw: bytes) -> bytes:
         if client_id not in self._clients:
             raise SdradError(f"client {client_id!r} is not connected")
         worker = self.workers[self._clients[client_id]]
@@ -151,8 +187,16 @@ class NginxCluster:
             self.metrics.per_worker_crashes[worker.index] = (
                 self.metrics.per_worker_crashes.get(worker.index, 0) + 1
             )
-            worker.crash_and_schedule_restart()
+            restart = worker.crash_and_schedule_restart()
             self.metrics.worker_restarts += 1
+            if self.obs is not None:
+                self.obs.event(
+                    "worker.restart",
+                    worker=worker.index,
+                    cause="process-crash",
+                    duration=restart,
+                )
+                self.obs.registry.counter("cluster_worker_restarts_total").increment()
             return b"HTTP/1.1 502 Bad Gateway\r\nContent-Length: 0\r\n\r\n"
         self.metrics.served += 1
         return response

@@ -79,6 +79,21 @@ class _ParsedOp:
     keys: tuple = ()
 
 
+def _response_status(response: bytes) -> str:
+    """Span/metric status derived from the wire response.
+
+    ``refused`` — rejected at the front door (quarantine, no domain work);
+    ``fault`` — a domain fault was rewound and the request discarded;
+    ``ok`` — everything else, including protocol-level CLIENT_ERROR/ERROR
+    (those are the *server* working correctly on bad input).
+    """
+    if response.startswith(b"SERVER_ERROR client quarantined"):
+        return "refused"
+    if response.startswith(b"SERVER_ERROR"):
+        return "fault"
+    return "ok"
+
+
 class MemcachedServer:
     """The server: connection registry + isolated parsing + trusted apply."""
 
@@ -134,6 +149,25 @@ class MemcachedServer:
         fault escapes containment — the resilience layer turns that into
         restart downtime.
         """
+        obs = self.runtime.obs
+        if obs is None:
+            return self._handle(client_id, raw)
+        span = obs.start_span("memcached.request", client=client_id)
+        started = self.runtime.clock.now
+        try:
+            response = self._handle(client_id, raw)
+        except BaseException:
+            obs.record_request(
+                "memcached", self.runtime.clock.now - started, status="crash"
+            )
+            obs.end_span(span, status="crash")
+            raise
+        status = _response_status(response)
+        obs.record_request("memcached", self.runtime.clock.now - started, status)
+        obs.end_span(span, status=status)
+        return response
+
+    def _handle(self, client_id: str, raw: bytes) -> bytes:
         if client_id not in self._connections:
             raise SdradError(f"client {client_id!r} is not connected")
         self.metrics.requests += 1
@@ -185,6 +219,30 @@ class MemcachedServer:
         ``NONE``) have nothing to amortise; the pipeline degenerates to the
         per-request loop, as does a quarantined client.
         """
+        obs = self.runtime.obs
+        if obs is None:
+            return self._handle_batch(client_id, raws)
+        span = obs.start_span("memcached.batch", client=client_id, size=len(raws))
+        started = self.runtime.clock.now
+        try:
+            responses = self._handle_batch(client_id, raws)
+        except BaseException:
+            obs.record_batch("memcached", len(raws))
+            obs.end_span(span, status="crash")
+            raise
+        elapsed = self.runtime.clock.now - started
+        obs.record_batch("memcached", len(raws))
+        # Per-request accounting with the batch's amortised latency: the
+        # whole point of pipelining is that each request's share shrinks.
+        share = elapsed / len(responses) if responses else 0.0
+        statuses = [_response_status(response) for response in responses]
+        for status in statuses:
+            obs.record_request("memcached", share, status)
+        batch_status = "ok" if all(s == "ok" for s in statuses) else "partial"
+        obs.end_span(span, status=batch_status)
+        return responses
+
+    def _handle_batch(self, client_id: str, raws: list[bytes]) -> list[bytes]:
         if client_id not in self._connections:
             raise SdradError(f"client {client_id!r} is not connected")
         if not raws:
@@ -192,13 +250,13 @@ class MemcachedServer:
         if self.isolation is not IsolationMode.PER_CONNECTION or (
             self.watchdog is not None and self.watchdog.is_quarantined(client_id)
         ):
-            return [self.handle(client_id, raw) for raw in raws]
+            return [self._handle(client_id, raw) for raw in raws]
         udi = self._connections[client_id]
         result = self.runtime.execute(udi, _parse_batch_in_domain, raws)
         if not result.ok:
             # The rewind discarded the whole (unapplied) batch; re-handle
             # each request in its own entry so only the offender errors.
-            return [self.handle(client_id, raw) for raw in raws]
+            return [self._handle(client_id, raw) for raw in raws]
         self.metrics.requests += len(raws)
         return [self._apply(parsed) for parsed in result.value]
 

@@ -40,6 +40,20 @@ class NginxMetrics:
     per_client_faults: dict[str, int] = field(default_factory=dict)
 
 
+def _response_status(response: bytes) -> str:
+    """Span/metric status from the wire bytes of an encoded response.
+
+    ``refused`` — quarantine 429 (no domain work happened); ``fault`` — a
+    rewound parser fault answered 500; ``ok`` — everything else (4xx for
+    bad input is the server working correctly).
+    """
+    if response.startswith(b"HTTP/1.1 429 "):
+        return "refused"
+    if response.startswith(b"HTTP/1.1 500 "):
+        return "fault"
+    return "ok"
+
+
 class NginxServer:
     """Connection-oriented HTTP server over the SDRaD runtime."""
 
@@ -86,6 +100,25 @@ class NginxServer:
 
     def handle(self, client_id: str, raw: bytes) -> bytes:
         """Process one HTTP request; returns the encoded response."""
+        obs = self.runtime.obs
+        if obs is None:
+            return self._handle(client_id, raw)
+        span = obs.start_span("nginx.request", client=client_id)
+        started = self.runtime.clock.now
+        try:
+            response = self._handle(client_id, raw)
+        except BaseException:
+            obs.record_request(
+                "nginx", self.runtime.clock.now - started, status="crash"
+            )
+            obs.end_span(span, status="crash")
+            raise
+        status = _response_status(response)
+        obs.record_request("nginx", self.runtime.clock.now - started, status)
+        obs.end_span(span, status=status)
+        return response
+
+    def _handle(self, client_id: str, raw: bytes) -> bytes:
         if client_id not in self._connections:
             raise SdradError(f"client {client_id!r} is not connected")
         self.metrics.requests += 1
@@ -135,6 +168,28 @@ class NginxServer:
         (side-effect-free) batch and the server falls back to per-request
         handling, so only the offending request answers 500.
         """
+        obs = self.runtime.obs
+        if obs is None:
+            return self._handle_batch(client_id, raws)
+        span = obs.start_span("nginx.batch", client=client_id, size=len(raws))
+        started = self.runtime.clock.now
+        try:
+            responses = self._handle_batch(client_id, raws)
+        except BaseException:
+            obs.record_batch("nginx", len(raws))
+            obs.end_span(span, status="crash")
+            raise
+        elapsed = self.runtime.clock.now - started
+        obs.record_batch("nginx", len(raws))
+        share = elapsed / len(responses) if responses else 0.0
+        statuses = [_response_status(response) for response in responses]
+        for status in statuses:
+            obs.record_request("nginx", share, status)
+        batch_status = "ok" if all(s == "ok" for s in statuses) else "partial"
+        obs.end_span(span, status=batch_status)
+        return responses
+
+    def _handle_batch(self, client_id: str, raws: list[bytes]) -> list[bytes]:
         if client_id not in self._connections:
             raise SdradError(f"client {client_id!r} is not connected")
         if not raws:
@@ -142,13 +197,13 @@ class NginxServer:
         if self.isolation is not IsolationMode.PER_CONNECTION or (
             self.watchdog is not None and self.watchdog.is_quarantined(client_id)
         ):
-            return [self.handle(client_id, raw) for raw in raws]
+            return [self._handle(client_id, raw) for raw in raws]
         udi = self._connections[client_id]
         self.runtime.charge(len(raws) * self.runtime.cost.nginx_request)
         result = self.runtime.execute(udi, parse_pipeline_in_domain, raws)
         if not result.ok:
             # Nothing was routed before the fault; re-handle individually.
-            return [self.handle(client_id, raw) for raw in raws]
+            return [self._handle(client_id, raw) for raw in raws]
         self.metrics.requests += len(raws)
         return [self._respond(request) for request in result.value]
 

@@ -117,6 +117,29 @@ class TlsServer:
 
     def handle_record(self, client_id: str, raw: bytes) -> bytes:
         """Process one TLS record from the wire; returns the response bytes."""
+        obs = self.runtime.obs
+        if obs is None:
+            return self._handle_record(client_id, raw)
+        span = obs.start_span("tls.record", client=client_id)
+        started = self.runtime.clock.now
+        rewinds_before = self.metrics.rewinds
+        try:
+            response = self._handle_record(client_id, raw)
+        except BaseException:
+            obs.record_request(
+                "tls", self.runtime.clock.now - started, status="crash"
+            )
+            obs.end_span(span, status="crash")
+            raise
+        # The TLS alert wire format does not distinguish "your heartbeat
+        # faulted" from other internal errors, so the fault signal is the
+        # server's own rewind count moving during this record.
+        status = "fault" if self.metrics.rewinds > rewinds_before else "ok"
+        obs.record_request("tls", self.runtime.clock.now - started, status)
+        obs.end_span(span, status=status)
+        return response
+
+    def _handle_record(self, client_id: str, raw: bytes) -> bytes:
         session = self.session(client_id)
         record = decode_record(raw)
         if record is None:

@@ -8,7 +8,9 @@ Gives downstream users the paper's headline analyses without writing code:
 * ``lca``           — E5's energy/carbon table (+ rebound sensitivity);
 * ``crossover``     — E8's SLO crossover map;
 * ``fleet``         — §IV case-study scenarios at fleet scale;
-* ``inject``        — run a fault-injection campaign and report containment.
+* ``inject``        — run a fault-injection campaign and report containment;
+* ``obs``           — observed memcached demo: spans, metrics, live
+  sustainability ledger (joules / gCO2e per request, rewind vs restart).
 """
 
 from __future__ import annotations
@@ -169,6 +171,23 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs(args: argparse.Namespace) -> int:
+    # Imported here, not at module top: the obs report pulls in the app
+    # stack, which no other subcommand needs.
+    from .obs.report import run_and_report
+
+    text, code = run_and_report(
+        requests=args.requests,
+        clients=args.clients,
+        sampling=args.sampling,
+        dataset_gib=args.dataset_gib,
+        trace_out=args.trace_out,
+        metrics_out=args.metrics_out,
+    )
+    print(text)
+    return code
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -217,6 +236,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     inject.add_argument("--count", type=int, default=5)
     inject.set_defaults(func=_cmd_inject)
+
+    obs = sub.add_parser(
+        "obs", help="observed demo workload + sustainability ledger"
+    )
+    obs.add_argument("--requests", type=int, default=200)
+    obs.add_argument("--clients", type=int, default=4)
+    obs.add_argument("--sampling", type=float, default=1.0)
+    obs.add_argument("--dataset-gib", type=float, default=10.0)
+    obs.add_argument("--trace-out", help="write the trace as JSONL here")
+    obs.add_argument(
+        "--metrics-out", help="write a Prometheus text snapshot here"
+    )
+    obs.set_defaults(func=_cmd_obs)
 
     return parser
 

@@ -17,10 +17,13 @@ from __future__ import annotations
 import math
 import random
 from dataclasses import dataclass
-from typing import Iterator, Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 from ..sim.rng import RngFactory
 from .models import FaultKind
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.hub import Observability
 
 
 @dataclass(frozen=True)
@@ -122,6 +125,7 @@ class Campaign:
         kinds: Sequence[FaultKind],
         weights: Sequence[float] | None = None,
         rng_factory: RngFactory | None = None,
+        obs: "Observability | None" = None,
     ) -> None:
         if not kinds:
             raise ValueError("campaign needs at least one fault kind")
@@ -130,6 +134,7 @@ class Campaign:
         self.arrivals = arrivals
         self.kinds = list(kinds)
         self.weights = list(weights) if weights is not None else None
+        self.obs = obs
         factory = rng_factory or RngFactory(0)
         self._kind_rng = factory.stream("campaign/kinds")
 
@@ -145,6 +150,11 @@ class Campaign:
             for t in self.arrivals.times(horizon)
         ]
         plans.sort(key=lambda p: p.timestamp)
+        if self.obs is not None:
+            for planned in plans:
+                self.obs.registry.counter(
+                    "faultinj_planned_total", kind=planned.kind.value
+                ).increment()
         return plans
 
 

@@ -1,0 +1,150 @@
+"""Exporters: JSONL trace dumps and Prometheus-text metric snapshots.
+
+Both formats are byte-stable for a deterministic run — families and
+labels are emitted in sorted order, timestamps come from the virtual
+clock, ids are sequential — which is what lets the golden-file tests
+compare whole exporter outputs instead of spot-checking fields.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from typing import Iterable, Optional, Union
+
+from .metrics import BucketHistogram, Counter, Gauge, ObsRegistry
+from .spans import Span, SpanBuffer
+
+# ----------------------------------------------------------------------
+# JSONL traces
+# ----------------------------------------------------------------------
+
+
+def spans_to_jsonl(spans: "Union[SpanBuffer, Iterable[Span]]") -> str:
+    """One compact JSON object per line, keys sorted, trailing newline."""
+    lines = [
+        json.dumps(span.as_dict(), sort_keys=True, separators=(",", ":"))
+        for span in spans
+    ]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_jsonl(spans: "Union[SpanBuffer, Iterable[Span]]", path: str) -> int:
+    """Dump spans to ``path``; returns the number of spans written."""
+    text = spans_to_jsonl(spans)
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(text)
+    return text.count("\n")
+
+
+def parse_jsonl(text: str) -> "list[Span]":
+    """Inverse of :func:`spans_to_jsonl` (round-trip tested)."""
+    spans = []
+    for line in text.splitlines():
+        line = line.strip()
+        if line:
+            spans.append(Span.from_dict(json.loads(line)))
+    return spans
+
+
+# ----------------------------------------------------------------------
+# Prometheus text format
+# ----------------------------------------------------------------------
+
+
+def _fmt_value(value: float) -> str:
+    """Render a sample value: integers without a trailing .0, +Inf as such."""
+    if isinstance(value, float) and math.isinf(value):
+        return "+Inf" if value > 0 else "-Inf"
+    if float(value) == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def _fmt_labels(items: "tuple[tuple[str, str], ...]", extra: str = "") -> str:
+    parts = [f'{k}="{v}"' for k, v in items]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+def prometheus_text(registry: ObsRegistry) -> str:
+    """Serialise the registry in the Prometheus text exposition format.
+
+    Families are sorted by name, series within a family by label items.
+    Adopted exact-sample histograms are emitted as ``summary`` families
+    (quantiles are exact there, unlike the fixed-bucket histograms).
+    """
+    counters: "dict[str, list[Counter]]" = {}
+    for metric in registry.iter_counters():
+        counters.setdefault(metric.name, []).append(metric)
+    gauges: "dict[str, list[Gauge]]" = {}
+    for metric in registry.iter_gauges():
+        gauges.setdefault(metric.name, []).append(metric)
+    histograms: "dict[str, list[BucketHistogram]]" = {}
+    for metric in registry.iter_histograms():
+        histograms.setdefault(metric.name, []).append(metric)
+
+    lines: "list[str]" = []
+
+    for name in sorted(counters):
+        lines.append(f"# TYPE {name} counter")
+        for metric in sorted(counters[name], key=lambda m: m.labels):
+            lines.append(f"{name}{_fmt_labels(metric.labels)} {_fmt_value(metric.value)}")
+
+    for name in sorted(gauges):
+        lines.append(f"# TYPE {name} gauge")
+        for metric in sorted(gauges[name], key=lambda m: m.labels):
+            lines.append(f"{name}{_fmt_labels(metric.labels)} {_fmt_value(metric.value)}")
+
+    for name in sorted(histograms):
+        lines.append(f"# TYPE {name} histogram")
+        for metric in sorted(histograms[name], key=lambda m: m.labels):
+            for bound, cum in metric.cumulative():
+                le = "+Inf" if math.isinf(bound) else _fmt_value(bound)
+                le_label = 'le="%s"' % le
+                lines.append(
+                    f"{name}_bucket{_fmt_labels(metric.labels, le_label)} {cum}"
+                )
+            lines.append(
+                f"{name}_sum{_fmt_labels(metric.labels)} {_fmt_value(metric.sum)}"
+            )
+            lines.append(f"{name}_count{_fmt_labels(metric.labels)} {metric.count}")
+
+    for hist in registry.iter_adopted():
+        name = hist.name  # type: ignore[attr-defined]
+        lines.append(f"# TYPE {name} summary")
+        count = getattr(hist, "count", 0)
+        if count:
+            for q in (0.5, 0.95, 0.99):
+                value = hist.percentile(q * 100)  # type: ignore[attr-defined]
+                lines.append(f'{name}{{quantile="{q}"}} {_fmt_value(value)}')
+            total = sum(hist.samples)  # type: ignore[attr-defined]
+            lines.append(f"{name}_sum {_fmt_value(total)}")
+        else:
+            lines.append(f"{name}_sum 0")
+        lines.append(f"{name}_count {count}")
+
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def write_prometheus(registry: ObsRegistry, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(prometheus_text(registry))
+
+
+def parse_prometheus_samples(text: str) -> "dict[str, float]":
+    """Minimal parser for round-trip tests: sample line → value.
+
+    Keys are the full series string (name plus rendered labels); comment
+    lines are skipped. Not a general Prometheus parser — just enough to
+    verify our own exporter's output mechanically.
+    """
+    out: "dict[str, float]" = {}
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        series, _, value = line.rpartition(" ")
+        out[series] = math.inf if value == "+Inf" else float(value)
+    return out

@@ -1,0 +1,231 @@
+"""The observability hub: one object wiring spans, metrics and sampling.
+
+An :class:`Observability` instance is handed to :class:`SdradRuntime`
+(``obs=`` keyword) and to the app servers; everything it owns — the span
+buffer, the metric registry, the sampler state — is per-run, so two
+simulations never share observability state by accident.
+
+Fast-path contract
+------------------
+
+The default is ``obs=None`` and every instrumentation site in the hot
+path guards with a single ``if obs is not None`` — the disabled cost is
+one attribute load and a falsy check, verified by the ``memcached_obs``
+bench. When obs is enabled but ``sampling < 1.0``, span construction is
+skipped for unsampled traces (a shared sentinel is pushed instead, no
+allocation), while **metrics are always recorded** — counters must stay
+exact for :func:`repro.sdrad.telemetry.consistency_check` to cross-check
+them against the runtime's own statistics.
+
+Sampling is deterministic: an accumulator gains ``sampling`` per root
+span and fires when it reaches 1.0, so ``sampling=0.25`` keeps exactly
+every 4th trace — reproducible without consuming any RNG stream.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional, Union
+
+from .metrics import ObsRegistry
+from .spans import ObsError, Span, SpanBuffer
+
+
+class _UnsampledSpan:
+    """Shared stack placeholder for spans of an unsampled trace.
+
+    Keeps LIFO bookkeeping intact without allocating per-span objects on
+    the sampled-out path. All methods accept-and-ignore so call sites can
+    treat it like a Span when annotating attributes.
+    """
+
+    __slots__ = ()
+
+    sampled = False
+
+    def set_attrs(self, **attrs: object) -> None:
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return "<unsampled span>"
+
+
+UNSAMPLED = _UnsampledSpan()
+
+SpanLike = Union[Span, _UnsampledSpan]
+
+
+class Observability:
+    """Per-run hub: span buffer + metric registry + deterministic sampler."""
+
+    def __init__(
+        self,
+        registry: Optional[ObsRegistry] = None,
+        sampling: float = 1.0,
+        clock: Optional[object] = None,
+        span_capacity: Optional[int] = 100_000,
+    ) -> None:
+        if not 0.0 <= sampling <= 1.0:
+            raise ObsError(f"sampling must be in [0, 1], got {sampling}")
+        self.registry = registry if registry is not None else ObsRegistry()
+        self.sampling = sampling
+        self.clock = clock
+        self.buffer = SpanBuffer(capacity=span_capacity)
+        self._stack: "list[SpanLike]" = []
+        self._next_span_id = 1
+        self._next_trace_id = 1
+        self._accum = 0.0
+
+    # ------------------------------------------------------------------
+    # Clock
+    # ------------------------------------------------------------------
+
+    def bind_clock(self, clock: object) -> None:
+        """Adopt the runtime's virtual clock unless one was given explicitly."""
+        if self.clock is None:
+            self.clock = clock
+
+    def now(self) -> float:
+        return self.clock.now if self.clock is not None else 0.0
+
+    # ------------------------------------------------------------------
+    # Sampling
+    # ------------------------------------------------------------------
+
+    def _sample_root(self) -> bool:
+        self._accum += self.sampling
+        if self._accum >= 1.0 - 1e-12:
+            self._accum -= 1.0
+            return True
+        return False
+
+    # ------------------------------------------------------------------
+    # Spans
+    # ------------------------------------------------------------------
+
+    def start_span(self, name: str, **attrs: object) -> SpanLike:
+        """Open a span as a child of the innermost open span (if any).
+
+        Returns the span to later pass to :meth:`end_span`. May return the
+        shared unsampled placeholder; callers treat both uniformly.
+        """
+        if self._stack:
+            parent = self._stack[-1]
+            if parent is UNSAMPLED:
+                self._stack.append(UNSAMPLED)
+                return UNSAMPLED
+            span = Span(
+                span_id=self._next_span_id,
+                trace_id=parent.trace_id,  # type: ignore[union-attr]
+                parent_id=parent.span_id,  # type: ignore[union-attr]
+                name=name,
+                start=self.now(),
+                attrs=dict(attrs),
+            )
+        else:
+            if not self._sample_root():
+                self._stack.append(UNSAMPLED)
+                return UNSAMPLED
+            span = Span(
+                span_id=self._next_span_id,
+                trace_id=self._next_trace_id,
+                parent_id=None,
+                name=name,
+                start=self.now(),
+                attrs=dict(attrs),
+            )
+            self._next_trace_id += 1
+        self._next_span_id += 1
+        self._stack.append(span)
+        return span
+
+    def end_span(
+        self, span: SpanLike, status: str = "ok", **attrs: object
+    ) -> None:
+        """Close ``span``; it must be the innermost open span (strict LIFO)."""
+        if not self._stack:
+            raise ObsError("end_span with no open span")
+        top = self._stack.pop()
+        if span is UNSAMPLED:
+            if top is not UNSAMPLED:
+                self._stack.append(top)
+                raise ObsError(
+                    f"mis-nested end_span: expected unsampled placeholder, "
+                    f"innermost open span is {top!r}"
+                )
+            return
+        if top is not span:
+            self._stack.append(top)
+            raise ObsError(
+                f"mis-nested end_span: {span!r} is not the innermost open "
+                f"span ({top!r} is)"
+            )
+        assert isinstance(span, Span)
+        span.end = self.now()
+        span.status = status
+        if attrs:
+            span.attrs.update(attrs)
+        self.buffer.append(span)
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> "Iterator[SpanLike]":
+        """Context-managed span; exceptions close it with status ``error``."""
+        handle = self.start_span(name, **attrs)
+        try:
+            yield handle
+        except BaseException:
+            self.end_span(handle, status="error")
+            raise
+        else:
+            self.end_span(handle)
+
+    def event(self, name: str, **attrs: object) -> Optional[Span]:
+        """Record a point-in-time (zero-duration) span under the open span.
+
+        Used for lifecycle moments that have a cause but no extent of their
+        own at recording time — a fault classification, a rewind (whose
+        simulated duration rides in ``attrs``), a quarantine trip.
+        """
+        if self._stack:
+            parent = self._stack[-1]
+            if parent is UNSAMPLED:
+                return None
+            trace_id = parent.trace_id  # type: ignore[union-attr]
+            parent_id: Optional[int] = parent.span_id  # type: ignore[union-attr]
+        else:
+            if not self._sample_root():
+                return None
+            trace_id = self._next_trace_id
+            self._next_trace_id += 1
+            parent_id = None
+        ts = self.now()
+        span = Span(
+            span_id=self._next_span_id,
+            trace_id=trace_id,
+            parent_id=parent_id,
+            name=name,
+            start=ts,
+            end=ts,
+            status="ok",
+            attrs=dict(attrs),
+        )
+        self._next_span_id += 1
+        self.buffer.append(span)
+        return span
+
+    @property
+    def open_span_count(self) -> int:
+        """Open spans, including unsampled placeholders (must be 0 at rest)."""
+        return len(self._stack)
+
+    # ------------------------------------------------------------------
+    # App-level conveniences (one call site per request keeps apps tidy)
+    # ------------------------------------------------------------------
+
+    def record_request(self, app: str, elapsed: float, status: str = "ok") -> None:
+        self.registry.counter("app_requests_total", app=app, status=status).increment()
+        self.registry.histogram("app_request_latency_seconds", app=app).observe(elapsed)
+
+    def record_batch(self, app: str, size: int) -> None:
+        self.registry.counter("app_batches_total", app=app).increment()
+        self.registry.histogram("app_batch_size", app=app).observe(size)

@@ -1,0 +1,200 @@
+"""Live sustainability ledger: joules and gCO₂e per request, as you run.
+
+The E5 experiments answer "what would a year of this deployment cost the
+grid" offline; the ledger answers the same question *during* a run, by
+folding the frozen cost/power/carbon models over the live metric
+registry. It never invents constants of its own — joules per request
+come from :meth:`EnergyModel.energy_per_request` and carbon from
+:class:`CarbonModel`, so ledger figures are consistent with
+``sustainability/report.py`` tables by construction (tested).
+
+Per recovery strategy (SDRaD rewind vs process restart by default) the
+ledger reports the steady-state per-request footprint of running that
+deployment at the observed request rate, plus what the run's *observed
+faults* would have cost under that strategy — ~3.5 µs of busy time per
+rewind versus minutes of reload per restart.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from ..resilience.strategy import RecoveryStrategyModel, StrategySpec
+from ..sim.cost import DEFAULT_COST_MODEL, GIB, CostModel
+from ..sustainability.carbon import CarbonModel
+from ..sustainability.energy import EnergyModel
+from ..sustainability.power import ServerPowerModel, joules_to_kwh
+from ..sustainability.report import format_seconds, format_table
+from .metrics import ObsRegistry
+
+#: The paper's Memcached working set; used when no dataset size is given.
+DEFAULT_DATASET_BYTES = 10 * GIB
+
+
+@dataclass(frozen=True)
+class LedgerEntry:
+    """Per-strategy sustainability figures for one run."""
+
+    strategy: str
+    replicas: int
+    requests: int
+    faults: int
+    rate_rps: float
+    joules_per_request: float
+    gco2e_per_request: float
+    recovery_seconds: float
+    recovery_joules: float
+    recovery_gco2e: float
+
+    def as_dict(self) -> dict:
+        return {
+            "strategy": self.strategy,
+            "replicas": self.replicas,
+            "requests": self.requests,
+            "faults": self.faults,
+            "rate_rps": self.rate_rps,
+            "joules_per_request": self.joules_per_request,
+            "gco2e_per_request": self.gco2e_per_request,
+            "recovery_seconds": self.recovery_seconds,
+            "recovery_joules": self.recovery_joules,
+            "recovery_gco2e": self.recovery_gco2e,
+        }
+
+
+class SustainabilityLedger:
+    """Folds energy/carbon models over a live :class:`ObsRegistry`."""
+
+    def __init__(
+        self,
+        registry: ObsRegistry,
+        clock: object,
+        cost: CostModel = DEFAULT_COST_MODEL,
+        power: Optional[ServerPowerModel] = None,
+        carbon: Optional[CarbonModel] = None,
+        base_utilization: float = 0.30,
+        dataset_bytes: int = DEFAULT_DATASET_BYTES,
+    ) -> None:
+        self.registry = registry
+        self.clock = clock
+        self.cost = cost
+        self.power = power if power is not None else ServerPowerModel()
+        self.energy = EnergyModel(self.power)
+        self.carbon = carbon if carbon is not None else CarbonModel()
+        self.base_utilization = base_utilization
+        self.dataset_bytes = dataset_bytes
+        self.strategies = RecoveryStrategyModel(cost)
+
+    # ------------------------------------------------------------------
+    # Live readings
+    # ------------------------------------------------------------------
+
+    def requests_served(self) -> int:
+        return self.registry.counter_total("app_requests_total")
+
+    def faults_observed(self) -> int:
+        return self.registry.counter_total("sdrad_rewinds_total")
+
+    def request_rate(self) -> float:
+        """Observed requests per virtual second so far."""
+        elapsed = self.clock.now  # type: ignore[attr-defined]
+        requests = self.requests_served()
+        if elapsed <= 0 or requests == 0:
+            raise ValueError(
+                "ledger needs served requests and elapsed virtual time "
+                f"(requests={requests}, elapsed={elapsed})"
+            )
+        return requests / elapsed
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+
+    def default_strategies(self) -> "list[StrategySpec]":
+        """The rewind-vs-restart pair the paper's argument turns on."""
+        return [
+            self.strategies.sdrad_rewind(),
+            self.strategies.process_restart(self.dataset_bytes),
+        ]
+
+    def entry_for(self, spec: StrategySpec) -> LedgerEntry:
+        requests = self.requests_served()
+        faults = self.faults_observed()
+        rate = self.request_rate()
+
+        joules_per_request = self.energy.energy_per_request(
+            spec, rate, self.base_utilization
+        )
+        operational_g = (
+            self.carbon.operational_kg(joules_to_kwh(joules_per_request)) * 1000.0
+        )
+        # Embodied share: the deployment's replicas amortise their
+        # manufacturing carbon over the server lifetime; one request owns
+        # 1/rate seconds of that amortisation.
+        embodied_g = self.carbon.embodied_kg(spec.replicas, 1.0 / rate) * 1000.0
+
+        # What this run's observed faults would cost under this strategy:
+        # the recovery window keeps the primary busy (reloading state or
+        # scrubbing pages) at its effective serving utilisation.
+        recovery_seconds = faults * spec.downtime_per_fault
+        effective = min(1.0, self.base_utilization * (1.0 + spec.runtime_overhead))
+        recovery_joules = self.power.energy_joules(effective, recovery_seconds)
+        recovery_g = (
+            self.carbon.operational_kg(joules_to_kwh(recovery_joules)) * 1000.0
+        )
+
+        return LedgerEntry(
+            strategy=spec.name,
+            replicas=spec.replicas,
+            requests=requests,
+            faults=faults,
+            rate_rps=rate,
+            joules_per_request=joules_per_request,
+            gco2e_per_request=operational_g + embodied_g,
+            recovery_seconds=recovery_seconds,
+            recovery_joules=recovery_joules,
+            recovery_gco2e=recovery_g,
+        )
+
+    def entries(
+        self, specs: "Optional[Sequence[StrategySpec]]" = None
+    ) -> "list[LedgerEntry]":
+        if specs is None:
+            specs = self.default_strategies()
+        return [self.entry_for(spec) for spec in specs]
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+
+    def format_entries(
+        self, specs: "Optional[Sequence[StrategySpec]]" = None
+    ) -> str:
+        rows = [
+            (
+                e.strategy,
+                e.replicas,
+                e.requests,
+                e.faults,
+                f"{e.rate_rps:.0f}",
+                f"{e.joules_per_request:.4f}",
+                f"{e.gco2e_per_request * 1000.0:.4f}",
+                format_seconds(e.recovery_seconds) if e.recovery_seconds else "0 s",
+                f"{e.recovery_joules:.3f}",
+            )
+            for e in self.entries(specs)
+        ]
+        return format_table(
+            (
+                "strategy",
+                "replicas",
+                "requests",
+                "faults",
+                "req/s",
+                "J/req",
+                "mgCO2e/req",
+                "recovery",
+                "recovery-J",
+            ),
+            rows,
+        )

@@ -1,0 +1,346 @@
+"""Metric primitives and the central registry.
+
+This module is the single home of the repo's metric types. The historic
+``repro.sim.metrics`` import path re-exports :class:`Counter` and
+:class:`Gauge` from here (and keeps its exact-sample ``Histogram``), so
+experiments written against the old API keep working while every value
+lands in one :class:`ObsRegistry`.
+
+Two histogram flavours coexist on purpose:
+
+* ``repro.sim.metrics.Histogram`` stores raw samples and answers exact
+  quantiles — right for offline experiment analysis, wrong for an
+  always-on serving metric (unbounded memory).
+* :class:`BucketHistogram` (here) uses a fixed set of upper bounds, O(1)
+  memory and observe cost — the Prometheus shape, right for the live
+  request-latency / rewind-latency / batch-size metrics.
+
+Exact histograms can still be :meth:`adopted <ObsRegistry.adopt_histogram>`
+into the registry so one snapshot covers both.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Iterable, Optional, Union
+
+from ..errors import SdradError
+
+LabelItems = "tuple[tuple[str, str], ...]"
+
+
+def _label_items(labels: "Optional[dict[str, str]]") -> "tuple[tuple[str, str], ...]":
+    if not labels:
+        return ()
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing named counter (optionally labelled)."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(self, name: str, labels: "Optional[dict[str, str]]" = None) -> None:
+        self.name = name
+        self.labels = _label_items(labels)
+        self._value = 0
+
+    def increment(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self._value += amount
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Counter({self.name!r}, labels={dict(self.labels)}, value={self._value})"
+
+
+class Gauge:
+    """A named value that can move in both directions (e.g. live replicas)."""
+
+    __slots__ = ("name", "labels", "_value")
+
+    def __init__(
+        self,
+        name: str,
+        initial: float = 0.0,
+        labels: "Optional[dict[str, str]]" = None,
+    ) -> None:
+        self.name = name
+        self.labels = _label_items(labels)
+        self._value = float(initial)
+
+    def set(self, value: float) -> None:
+        self._value = float(value)
+
+    def add(self, delta: float) -> None:
+        self._value += delta
+
+    @property
+    def value(self) -> float:
+        return self._value
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Gauge({self.name!r}, labels={dict(self.labels)}, value={self._value})"
+
+
+# Default bucket ladders, in seconds (latency) or requests (batch size).
+# Request latencies in the simulation span ~10 µs (memcached op) to ~1 ms
+# (TLS handshake) plus occasional 100 ms+ restarts; rewinds sit at ~3.5 µs
+# plus scrub cost. The ladders cover those ranges with ~2 buckets/decade.
+REQUEST_LATENCY_BUCKETS: "tuple[float, ...]" = (
+    1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 1e-1, 1.0,
+)
+REWIND_LATENCY_BUCKETS: "tuple[float, ...]" = (
+    1e-6, 2e-6, 5e-6, 1e-5, 2e-5, 5e-5, 1e-4, 1e-3,
+)
+BATCH_SIZE_BUCKETS: "tuple[float, ...]" = (1, 2, 4, 8, 16, 32, 64, 128)
+
+DEFAULT_BUCKETS: "dict[str, tuple[float, ...]]" = {
+    "app_request_latency_seconds": REQUEST_LATENCY_BUCKETS,
+    "sdrad_rewind_latency_seconds": REWIND_LATENCY_BUCKETS,
+    "app_batch_size": BATCH_SIZE_BUCKETS,
+}
+
+
+class BucketHistogram:
+    """Fixed-bucket histogram with Prometheus semantics.
+
+    ``buckets`` are the finite upper bounds; an implicit ``+Inf`` bucket
+    catches everything above the last bound. Memory and observe cost are
+    O(len(buckets)) and O(log len(buckets)) regardless of sample count.
+    """
+
+    __slots__ = ("name", "labels", "buckets", "_bucket_counts", "_sum", "_count")
+
+    def __init__(
+        self,
+        name: str,
+        buckets: "Iterable[float]" = REQUEST_LATENCY_BUCKETS,
+        labels: "Optional[dict[str, str]]" = None,
+    ) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds:
+            raise SdradError(f"histogram {name!r} needs at least one bucket bound")
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise SdradError(
+                f"histogram {name!r} bucket bounds must be strictly increasing"
+            )
+        if any(math.isinf(b) for b in bounds):
+            raise SdradError(
+                f"histogram {name!r}: +Inf bucket is implicit, do not pass it"
+            )
+        self.name = name
+        self.labels = _label_items(labels)
+        self.buckets = bounds
+        # One slot per finite bound plus the +Inf overflow slot.
+        self._bucket_counts = [0] * (len(bounds) + 1)
+        self._sum = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        lo, hi = 0, len(self.buckets)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if value <= self.buckets[mid]:
+                hi = mid
+            else:
+                lo = mid + 1
+        self._bucket_counts[lo] += 1
+        self._sum += value
+        self._count += 1
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    @property
+    def sum(self) -> float:
+        return self._sum
+
+    @property
+    def bucket_counts(self) -> "list[int]":
+        """Per-bucket (non-cumulative) counts; last entry is +Inf overflow."""
+        return list(self._bucket_counts)
+
+    def cumulative(self) -> "list[tuple[float, int]]":
+        """Prometheus-style cumulative (upper_bound, count) pairs incl. +Inf."""
+        out: "list[tuple[float, int]]" = []
+        running = 0
+        for bound, n in zip(self.buckets, self._bucket_counts):
+            running += n
+            out.append((bound, running))
+        out.append((math.inf, running + self._bucket_counts[-1]))
+        return out
+
+    def mean(self) -> float:
+        if not self._count:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        return self._sum / self._count
+
+    def quantile(self, q: float) -> float:
+        """Bucket-resolution quantile: the smallest upper bound covering q.
+
+        Coarser than the exact-sample histogram on purpose — answers from a
+        fixed-bucket histogram are only ever bucket-edge answers.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._count:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        target = q * self._count
+        running = 0
+        for bound, n in zip(self.buckets, self._bucket_counts):
+            running += n
+            if running >= target:
+                return bound
+        return math.inf
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"BucketHistogram({self.name!r}, labels={dict(self.labels)}, "
+            f"count={self._count}, sum={self._sum})"
+        )
+
+
+_MetricKey = "tuple[str, tuple[tuple[str, str], ...]]"
+
+
+class ObsRegistry:
+    """The central metric registry: one namespace for every family.
+
+    Families are keyed by ``(name, sorted label items)``; ``counter()`` /
+    ``gauge()`` / ``histogram()`` are get-or-create and return the same
+    object for the same key, so call sites can hold on to a metric or
+    re-resolve it each time interchangeably.
+    """
+
+    def __init__(self) -> None:
+        self._counters: "dict" = {}
+        self._gauges: "dict" = {}
+        self._histograms: "dict" = {}
+        self._adopted: "dict[str, object]" = {}
+
+    # ------------------------------------------------------------------
+    # Get-or-create accessors
+    # ------------------------------------------------------------------
+
+    def counter(self, name: str, **labels: object) -> Counter:
+        key = (name, _label_items({k: str(v) for k, v in labels.items()}))
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = Counter(name, labels=dict(key[1]))
+            self._counters[key] = metric
+        return metric
+
+    def gauge(self, name: str, **labels: object) -> Gauge:
+        key = (name, _label_items({k: str(v) for k, v in labels.items()}))
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = Gauge(name, labels=dict(key[1]))
+            self._gauges[key] = metric
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        buckets: "Optional[Iterable[float]]" = None,
+        **labels: object,
+    ) -> BucketHistogram:
+        key = (name, _label_items({k: str(v) for k, v in labels.items()}))
+        metric = self._histograms.get(key)
+        if metric is None:
+            if buckets is None:
+                buckets = DEFAULT_BUCKETS.get(name, REQUEST_LATENCY_BUCKETS)
+            metric = BucketHistogram(name, buckets=buckets, labels=dict(key[1]))
+            self._histograms[key] = metric
+        return metric
+
+    def adopt_histogram(self, histogram: object) -> None:
+        """Register a foreign exact-sample histogram for snapshot/export.
+
+        Used by ``repro.sim.metrics.MetricsRegistry`` so the old exact
+        histograms surface through the same exporters (as summaries).
+        """
+        name = getattr(histogram, "name", None)
+        if not isinstance(name, str):
+            raise SdradError("adopted histogram must expose a .name string")
+        self._adopted[name] = histogram
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    def iter_counters(self) -> "list[Counter]":
+        return list(self._counters.values())
+
+    def iter_gauges(self) -> "list[Gauge]":
+        return list(self._gauges.values())
+
+    def iter_histograms(self) -> "list[BucketHistogram]":
+        return list(self._histograms.values())
+
+    def iter_adopted(self) -> "list[object]":
+        return [self._adopted[name] for name in sorted(self._adopted)]
+
+    def counter_total(self, name: str, **labels: object) -> int:
+        """Sum of a counter family across label sets matching ``labels``.
+
+        Only the labels given are constrained; e.g.
+        ``counter_total("app_requests_total", app="memcached")`` sums over
+        every ``status``.
+        """
+        want = {k: str(v) for k, v in labels.items()}
+        total = 0
+        for (fam, items), metric in self._counters.items():
+            if fam != name:
+                continue
+            have = dict(items)
+            if all(have.get(k) == v for k, v in want.items()):
+                total += metric.value
+        return total
+
+    def gauge_value(self, name: str, **labels: object) -> float:
+        key = (name, _label_items({k: str(v) for k, v in labels.items()}))
+        metric = self._gauges.get(key)
+        return metric.value if metric is not None else 0.0
+
+    def snapshot(self) -> "dict[str, object]":
+        """Flatten everything into a JSON-friendly dict, sorted by key.
+
+        Keys are ``kind/name{label="v",...}``; histogram values are
+        ``{"count", "sum", "buckets": {le: cumulative}}``.
+        """
+        out: "dict[str, object]" = {}
+        for (name, items), metric in self._counters.items():
+            out[f"counter/{_render_key(name, items)}"] = metric.value
+        for (name, items), metric in self._gauges.items():
+            out[f"gauge/{_render_key(name, items)}"] = metric.value
+        for (name, items), metric in self._histograms.items():
+            out[f"histogram/{_render_key(name, items)}"] = {
+                "count": metric.count,
+                "sum": metric.sum,
+                "buckets": {
+                    ("+Inf" if math.isinf(le) else repr(le)): n
+                    for le, n in metric.cumulative()
+                },
+            }
+        for name in sorted(self._adopted):
+            hist = self._adopted[name]
+            count = getattr(hist, "count", 0)
+            if count:
+                out[f"summary/{name}"] = hist.summary().as_dict()  # type: ignore[attr-defined]
+            else:
+                out[f"summary/{name}"] = {"count": 0}
+        return dict(sorted(out.items()))
+
+
+def _render_key(name: str, items: "tuple[tuple[str, str], ...]") -> str:
+    if not items:
+        return name
+    labels = ",".join(f'{k}="{v}"' for k, v in items)
+    return f"{name}{{{labels}}}"

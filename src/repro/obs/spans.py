@@ -1,0 +1,191 @@
+"""Tracing spans: lightweight, parent-linked, virtual-time-stamped.
+
+A :class:`Span` covers one operation on the trusted side of the runtime —
+a domain execution, a request through an app server, a batch pipeline —
+with its virtual start/end timestamps, a status, and free-form attributes.
+Spans form trees through ``parent_id`` links maintained by the
+:class:`~repro.obs.hub.Observability` hub's span stack, so one request's
+span contains the domain execution it triggered, which in turn contains
+the fault and rewind events the execution produced.
+
+Design constraints (why this is not OpenTelemetry):
+
+* **virtual time** — timestamps come from the simulation's
+  :class:`~repro.sim.clock.VirtualClock`, never the wall clock, so traces
+  are deterministic and byte-stable (the exporter golden tests depend on
+  this);
+* **sequential ids** — span/trace ids are small integers from a counter,
+  not random 128-bit ids, for the same reason;
+* **single-threaded** — the simulator is single-threaded, so one open-span
+  stack per hub is sufficient for parent linking.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Optional
+
+from ..errors import SdradError
+
+
+class ObsError(SdradError):
+    """Misuse of the observability layer (e.g. mis-nested span ends)."""
+
+
+@dataclass
+class Span:
+    """One finished-or-open span. Mutable until :class:`ended <Span>`."""
+
+    span_id: int
+    trace_id: int
+    parent_id: Optional[int]
+    name: str
+    start: float
+    end: Optional[float] = None
+    status: str = "open"
+    attrs: dict = field(default_factory=dict)
+
+    sampled = True
+
+    @property
+    def duration(self) -> float:
+        """Virtual seconds covered; 0.0 while still open."""
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def set_attrs(self, **attrs: object) -> None:
+        """Annotate mid-flight (uniform with the unsampled placeholder)."""
+        self.attrs.update(attrs)
+
+    @property
+    def is_open(self) -> bool:
+        return self.end is None
+
+    def as_dict(self) -> dict:
+        """JSON-friendly representation (the JSONL exporter's row)."""
+        return {
+            "span_id": self.span_id,
+            "trace_id": self.trace_id,
+            "parent_id": self.parent_id,
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "status": self.status,
+            "attrs": dict(self.attrs),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        return cls(
+            span_id=data["span_id"],
+            trace_id=data["trace_id"],
+            parent_id=data["parent_id"],
+            name=data["name"],
+            start=data["start"],
+            end=data["end"],
+            status=data["status"],
+            attrs=dict(data["attrs"]),
+        )
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        attrs = " ".join(f"{k}={v}" for k, v in sorted(self.attrs.items()))
+        return (
+            f"[{self.start:.9f}..{self.end if self.end is not None else '?'}] "
+            f"{self.name} #{self.span_id}<-{self.parent_id} "
+            f"{self.status} {attrs}".rstrip()
+        )
+
+
+class SpanBuffer:
+    """Per-run buffer of *finished* spans, bounded by ``capacity``.
+
+    When full, further spans are counted in :attr:`dropped` instead of
+    stored — a long benchmark run must not grow memory without bound just
+    because tracing is on.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ObsError(f"span buffer capacity must be >= 1, got {capacity}")
+        self._spans: list[Span] = []
+        self._capacity = capacity
+        self.dropped = 0
+
+    def append(self, span: Span) -> None:
+        if self._capacity is not None and len(self._spans) >= self._capacity:
+            self.dropped += 1
+            return
+        self._spans.append(span)
+
+    @property
+    def spans(self) -> list[Span]:
+        return list(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    def clear(self) -> None:
+        self._spans.clear()
+        self.dropped = 0
+
+    # ------------------------------------------------------------------
+    # Tree queries (tests and reports)
+    # ------------------------------------------------------------------
+
+    def of_name(self, *names: str) -> list[Span]:
+        wanted = set(names)
+        return [s for s in self._spans if s.name in wanted]
+
+    def count(self, name: str) -> int:
+        return sum(1 for s in self._spans if s.name == name)
+
+    def roots(self) -> list[Span]:
+        return [s for s in self._spans if s.parent_id is None]
+
+    def children_of(self, span: Span) -> list[Span]:
+        return [s for s in self._spans if s.parent_id == span.span_id]
+
+    def tree_violations(self) -> list[str]:
+        """Structural invariants of the buffered span forest.
+
+        Returns human-readable problems; an empty list means every span is
+        closed, every parent link resolves to a span in the buffer (or to
+        one that was dropped — flagged only when nothing was dropped), and
+        every child lies within its parent's interval.
+        """
+        problems: list[str] = []
+        by_id = {s.span_id: s for s in self._spans}
+        for span in self._spans:
+            if span.is_open:
+                problems.append(f"span #{span.span_id} {span.name!r} never ended")
+                continue
+            if span.end < span.start:
+                problems.append(
+                    f"span #{span.span_id} {span.name!r} ends before it starts"
+                )
+            if span.parent_id is None:
+                continue
+            parent = by_id.get(span.parent_id)
+            if parent is None:
+                if self.dropped == 0:
+                    problems.append(
+                        f"span #{span.span_id} {span.name!r} has unknown "
+                        f"parent #{span.parent_id}"
+                    )
+                continue
+            if parent.trace_id != span.trace_id:
+                problems.append(
+                    f"span #{span.span_id} is in trace {span.trace_id} but its "
+                    f"parent #{parent.span_id} is in trace {parent.trace_id}"
+                )
+            if span.start < parent.start or (
+                parent.end is not None and span.end is not None
+                and span.end > parent.end
+            ):
+                problems.append(
+                    f"span #{span.span_id} {span.name!r} is not contained in "
+                    f"its parent #{parent.span_id} {parent.name!r}"
+                )
+        return problems

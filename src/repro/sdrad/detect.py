@@ -61,6 +61,19 @@ class FaultReport:
         dom = f" in domain {self.domain_udi}" if self.domain_udi is not None else ""
         return f"[{self.mechanism.value}]{dom}{where}: {self.message}"
 
+    def span_attrs(self) -> dict:
+        """The report as span attributes (``repro.obs`` fault/crash events).
+
+        Only JSON-scalar fields: the enum collapses to its string value and
+        ``None`` entries are dropped, so exporters need no special casing.
+        """
+        attrs: dict = {"mechanism": self.mechanism.value}
+        if self.domain_udi is not None:
+            attrs["udi"] = self.domain_udi
+        if self.address is not None:
+            attrs["address"] = self.address
+        return attrs
+
 
 #: Exceptions that SDRaD treats as recoverable domain faults. Anything else
 #: escaping a domain is a bug in the *application logic* (e.g. KeyError) and

@@ -24,7 +24,10 @@ from __future__ import annotations
 
 import itertools
 from dataclasses import dataclass
-from typing import Callable, Optional
+from typing import TYPE_CHECKING, Callable, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.hub import Observability
 
 from ..errors import (
     AllocationFailure,
@@ -189,6 +192,7 @@ class SdradRuntime:
         guard_pages: bool = False,
         scrub_mode: str = "lazy",
         reentry_cache: bool = True,
+        obs: Optional["Observability"] = None,
     ) -> None:
         if scrub_mode not in ("eager", "lazy"):
             raise SdradError(f"unknown scrub mode {scrub_mode!r}")
@@ -202,6 +206,13 @@ class SdradRuntime:
         self.clock = clock if clock is not None else VirtualClock()
         self.cost = cost
         self.tracer = tracer if tracer is not None else Tracer()
+        # Observability is strictly opt-in: with ``obs=None`` (the
+        # default) every instrumented site below reduces to one attribute
+        # load and a falsy check, keeping E1's overhead numbers intact
+        # (the ``memcached_obs`` bench holds this to account).
+        self.obs = obs
+        if obs is not None:
+            obs.bind_clock(self.clock)
         self.rng = rng if rng is not None else RngFactory(0)
         self.contexts = ContextStack()
         self._domains: dict[int, Domain] = {}
@@ -333,6 +344,8 @@ class SdradRuntime:
         )
         self._domains[udi] = domain
         self.tracer.record(self.clock.now, "domain.init", udi=udi, pkey=pkey)
+        if self.obs is not None:
+            self.obs.registry.counter("sdrad_domains_created_total").increment()
         return domain
 
     def domain_destroy(self, udi: int) -> None:
@@ -357,6 +370,8 @@ class SdradRuntime:
         del self._domains[udi]
         self.charge(3 * self.cost.pkey_syscall)
         self.tracer.record(self.clock.now, "domain.destroy", udi=udi)
+        if self.obs is not None:
+            self.obs.registry.counter("sdrad_domains_destroyed_total").increment()
 
     # ------------------------------------------------------------------
     # Re-entry ticket invalidation (the fast path's shootdown hooks)
@@ -498,6 +513,11 @@ class SdradRuntime:
             handle = DomainHandle(self, domain)
             check_heap = domain.check_heap_on_exit
         self.tracer.record(self.clock.now, "domain.enter", udi=udi)
+        obs = self.obs
+        span = None
+        if obs is not None:
+            span = obs.start_span("domain.execute", udi=udi)
+            obs.registry.counter("sdrad_domain_entries_total").increment()
 
         attempt = 0
         recovery_time = 0.0
@@ -511,6 +531,8 @@ class SdradRuntime:
                 if not is_recoverable(exc):
                     # Logic error: restore trusted state, propagate.
                     self._leave(domain, context, saved_pkru, clean=False)
+                    if obs is not None:
+                        obs.end_span(span, status="error")
                     raise
                 report = classify(exc, domain_udi=udi, timestamp=self.clock.now)
                 domain.mark_faulted()
@@ -522,15 +544,33 @@ class SdradRuntime:
                     mechanism=report.mechanism.value,
                 )
                 attempt += 1
+                if obs is not None:
+                    obs.event(
+                        "domain.fault", attempt=attempt, **report.span_attrs()
+                    )
+                    obs.registry.counter(
+                        "sdrad_domain_faults_total",
+                        mechanism=report.mechanism.value,
+                    ).increment()
                 decision = policy.decide(report, attempt)
                 if decision.abort:
                     self._leave(domain, context, saved_pkru, clean=False)
                     self.tracer.record(self.clock.now, "process.crash", udi=udi)
+                    if obs is not None:
+                        obs.registry.counter(
+                            "sdrad_crashes_total",
+                            mechanism=report.mechanism.value,
+                        ).increment()
+                        obs.end_span(span, status="crash")
                     raise ProcessCrashed(report) from exc
-                recovery_time += self._rewind(domain)
+                recovery_time += self._rewind(
+                    domain, cause=report.mechanism.value
+                )
                 if decision.retry:
                     continue
                 self._leave(domain, context, saved_pkru, clean=False)
+                if obs is not None:
+                    obs.end_span(span, status="fault", retries=attempt - 1)
                 return DomainResult(
                     ok=False,
                     fault=report,
@@ -541,6 +581,8 @@ class SdradRuntime:
             else:
                 domain.mark_exited()
                 self._leave(domain, context, saved_pkru, clean=True)
+                if obs is not None:
+                    obs.end_span(span, status="ok")
                 return DomainResult(
                     ok=True,
                     value=value,
@@ -609,9 +651,14 @@ class SdradRuntime:
                 udi=ROOT_UDI,
                 mechanism=report.mechanism.value,
             )
+            if self.obs is not None:
+                self.obs.event("process.crash", **report.span_attrs())
+                self.obs.registry.counter(
+                    "sdrad_crashes_total", mechanism=report.mechanism.value
+                ).increment()
             raise ProcessCrashed(report) from exc
 
-    def _rewind(self, domain: Domain) -> float:
+    def _rewind(self, domain: Domain, cause: str = "fault") -> float:
         """Discard the domain and charge rewind cost; returns that cost."""
         before = self.clock.now
         pages = domain.discard()
@@ -619,6 +666,21 @@ class SdradRuntime:
         self.tracer.record(
             self.clock.now, "domain.rewind", udi=domain.udi, scrubbed_pages=pages
         )
+        obs = self.obs
+        if obs is not None:
+            elapsed = self.clock.now - before
+            # Every rewind span carries its cause (the detection mechanism
+            # that fired) and its simulated duration — the per-recovery
+            # record the sustainability ledger and E-series audits consume.
+            obs.event(
+                "domain.rewind",
+                udi=domain.udi,
+                cause=cause,
+                duration=elapsed,
+                scrubbed_pages=pages,
+            )
+            obs.registry.counter("sdrad_rewinds_total", cause=cause).increment()
+            obs.registry.histogram("sdrad_rewind_latency_seconds").observe(elapsed)
         return self.clock.now - before
 
     def _leave(

@@ -90,6 +90,14 @@ def snapshot(runtime: SdradRuntime) -> dict[str, Any]:
             "bound_domains": len(runtime.keys.bound_domains),
             "free_physical_keys": runtime.keys.free_physical_keys,
         }
+    if runtime.obs is not None:
+        out["obs"] = {
+            "sampling": runtime.obs.sampling,
+            "spans": len(runtime.obs.buffer),
+            "open_spans": runtime.obs.open_span_count,
+            "dropped_spans": runtime.obs.buffer.dropped,
+            "metrics": runtime.obs.registry.snapshot(),
+        }
     return out
 
 
@@ -132,4 +140,36 @@ def consistency_check(runtime: SdradRuntime) -> list[str]:
     entries = runtime.contexts.depth
     if entries != 0:
         problems.append(f"{entries} execution context(s) left on the stack")
+
+    # Obs cross-checks: the obs metric counters must track the tracer
+    # event-for-event (the tracer, unlike domain stats, survives domain
+    # destroys, so it is the authoritative count for ephemeral domains).
+    # Metrics are exempt from span sampling precisely so this holds at any
+    # sampling rate. Caveat: these compare one runtime against the hub, so
+    # they assume the hub is not shared with other runtimes (a cluster's
+    # shared hub aggregates across workers and must be checked at the
+    # cluster level instead).
+    obs = runtime.obs
+    if obs is not None:
+        pairs = [
+            ("domain.rewind", "sdrad_rewinds_total"),
+            ("domain.fault", "sdrad_domain_faults_total"),
+            ("domain.enter", "sdrad_domain_entries_total"),
+            ("domain.init", "sdrad_domains_created_total"),
+            ("domain.destroy", "sdrad_domains_destroyed_total"),
+        ]
+        for trace_kind, counter_name in pairs:
+            traced = runtime.tracer.count(trace_kind)
+            counted = obs.registry.counter_total(counter_name)
+            if traced != counted:
+                problems.append(
+                    f"tracer saw {traced} {trace_kind!r} events but obs "
+                    f"counter {counter_name!r} totals {counted}"
+                )
+        if obs.open_span_count != 0:
+            problems.append(
+                f"{obs.open_span_count} span(s) still open at rest"
+            )
+        tree_problems = obs.buffer.tree_violations()
+        problems.extend(f"span tree: {p}" for p in tree_problems)
     return problems

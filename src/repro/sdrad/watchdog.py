@@ -23,9 +23,12 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, Optional
+from typing import TYPE_CHECKING, Deque, Dict, Optional
 
 from ..sim.clock import VirtualClock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.hub import Observability
 
 
 @dataclass
@@ -66,10 +69,14 @@ class FaultWatchdog:
     """Sliding-window fault accounting with escalating quarantine."""
 
     def __init__(
-        self, clock: VirtualClock, config: Optional[WatchdogConfig] = None
+        self,
+        clock: VirtualClock,
+        config: Optional[WatchdogConfig] = None,
+        obs: Optional["Observability"] = None,
     ) -> None:
         self.clock = clock
         self.config = config or WatchdogConfig()
+        self.obs = obs
         self._records: Dict[str, QuarantineRecord] = {}
         self.total_quarantines = 0
 
@@ -82,6 +89,8 @@ class FaultWatchdog:
         record.total_faults += 1
         record.fault_times.append(now)
         self._trim(record, now)
+        if self.obs is not None:
+            self.obs.registry.counter("watchdog_faults_total").increment()
         if len(record.fault_times) >= self.config.threshold:
             period = min(
                 self.config.quarantine_period * (2**record.quarantine_count),
@@ -91,6 +100,17 @@ class FaultWatchdog:
             record.quarantine_count += 1
             record.fault_times.clear()
             self.total_quarantines += 1
+            if self.obs is not None:
+                self.obs.event(
+                    "watchdog.quarantine",
+                    principal=principal,
+                    duration=period,
+                    offence=record.quarantine_count,
+                )
+                self.obs.registry.counter("watchdog_quarantines_total").increment()
+                self.obs.registry.gauge("watchdog_quarantined_principals").set(
+                    len(self.quarantined_principals())
+                )
             return True
         return False
 

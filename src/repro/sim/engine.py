@@ -18,10 +18,13 @@ from __future__ import annotations
 
 import heapq
 import itertools
-from typing import Callable, Generator, Optional, Union
+from typing import TYPE_CHECKING, Callable, Generator, Optional, Union
 
 from ..errors import SimulationError
 from .clock import VirtualClock
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.hub import Observability
 
 #: What a process generator may yield: a delay in seconds, or a process to
 #: join (resume when it finishes).
@@ -60,8 +63,15 @@ class Process:
 class Engine:
     """The event loop: owns the clock and the pending-event heap."""
 
-    def __init__(self, clock: Optional[VirtualClock] = None) -> None:
+    def __init__(
+        self,
+        clock: Optional[VirtualClock] = None,
+        obs: Optional["Observability"] = None,
+    ) -> None:
         self.clock = clock if clock is not None else VirtualClock()
+        self.obs = obs
+        if obs is not None:
+            obs.bind_clock(self.clock)
         self._heap: list[tuple[float, int, Callable[[], None]]] = []
         self._sequence = itertools.count()
         self._running = False
@@ -103,6 +113,11 @@ class Engine:
         """Start a process coroutine after ``delay`` seconds."""
         process = Process(generator, name=name, daemon=daemon)
         self._live_processes += 1
+        if self.obs is not None:
+            self.obs.registry.counter("engine_processes_spawned_total").increment()
+            self.obs.registry.gauge("engine_live_processes").set(
+                self._live_processes
+            )
         self.schedule(delay, lambda: self._step(process, None))
         return process
 
@@ -120,12 +135,17 @@ class Engine:
             raise SimulationError("engine.run() is not reentrant")
         self._running = True
         try:
+            dispatched = self.obs.registry.counter(
+                "engine_events_dispatched_total"
+            ) if self.obs is not None else None
             while self._heap:
                 timestamp, _seq, callback = self._heap[0]
                 if until is not None and timestamp > until:
                     break
                 heapq.heappop(self._heap)
                 self.clock.advance_to(timestamp)
+                if dispatched is not None:
+                    dispatched.increment()
                 callback()
             if until is not None and self.clock.now < until:
                 self.clock.advance_to(until)
@@ -214,6 +234,10 @@ class Engine:
         process.result = result
         process.error = error
         self._live_processes -= 1
+        if self.obs is not None:
+            self.obs.registry.gauge("engine_live_processes").set(
+                self._live_processes
+            )
         for waiter in process._waiters:
             if error is not None:
                 # A join on a failed process must not look like success:

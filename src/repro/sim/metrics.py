@@ -3,58 +3,38 @@
 The benchmark harness reports the same *kinds* of rows the paper reports:
 throughput deltas (E1), latency distributions (E2, E6), availability
 percentages (E3), per-client success rates (E4) and energy totals (E5).
-Counters and histograms here are deliberately simple — plain Python data
-structures with explicit summary statistics — so benchmark output is easy to
-audit against the paper's claims.
+
+As of the ``repro.obs`` subsystem there is **one** set of metric
+primitives: :class:`Counter` and :class:`Gauge` live in
+:mod:`repro.obs.metrics` and are re-exported here so historic imports
+keep working, and :class:`MetricsRegistry` registers everything it
+creates into a backing :class:`~repro.obs.metrics.ObsRegistry` — so
+experiment metrics surface through the same snapshot and Prometheus
+exporters as the serving-path metrics.
+
+The exact-sample :class:`Histogram` stays here: experiments record at
+most a few hundred thousand observations, so exact storage is affordable
+and avoids the bucketing-error caveats a fixed-bucket histogram would
+add to result interpretation. (The serving path uses
+:class:`repro.obs.metrics.BucketHistogram` instead, which is O(1) per
+observation.)
 """
 
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass, field
-from typing import Iterable
+from dataclasses import dataclass
+from typing import Iterable, Optional
 
+from ..obs.metrics import Counter, Gauge, ObsRegistry
 
-class Counter:
-    """A monotonically increasing named counter."""
-
-    __slots__ = ("name", "_value")
-
-    def __init__(self, name: str) -> None:
-        self.name = name
-        self._value = 0
-
-    def increment(self, amount: int = 1) -> None:
-        if amount < 0:
-            raise ValueError(f"counter {self.name!r} cannot decrease")
-        self._value += amount
-
-    @property
-    def value(self) -> int:
-        return self._value
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return f"Counter({self.name!r}, value={self._value})"
-
-
-class Gauge:
-    """A named value that can move in both directions (e.g. live replicas)."""
-
-    __slots__ = ("name", "_value")
-
-    def __init__(self, name: str, initial: float = 0.0) -> None:
-        self.name = name
-        self._value = float(initial)
-
-    def set(self, value: float) -> None:
-        self._value = float(value)
-
-    def add(self, delta: float) -> None:
-        self._value += delta
-
-    @property
-    def value(self) -> float:
-        return self._value
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "Summary",
+]
 
 
 @dataclass
@@ -84,12 +64,7 @@ class Summary:
 
 
 class Histogram:
-    """Stores raw observations and computes exact quantiles on demand.
-
-    Experiments record at most a few hundred thousand observations, so exact
-    storage is affordable and avoids the bucketing-error caveats an HDR-style
-    histogram would add to result interpretation.
-    """
+    """Stores raw observations and computes exact quantiles on demand."""
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -147,27 +122,38 @@ class Histogram:
         )
 
 
-@dataclass
 class MetricsRegistry:
-    """A namespace of counters, gauges and histograms for one simulation run."""
+    """A namespace of counters, gauges and histograms for one simulation run.
 
-    counters: dict[str, Counter] = field(default_factory=dict)
-    gauges: dict[str, Gauge] = field(default_factory=dict)
-    histograms: dict[str, Histogram] = field(default_factory=dict)
+    A thin veneer over :class:`ObsRegistry` preserving the historic
+    unlabelled API and snapshot format. Metrics created here land in the
+    backing obs registry too (counters/gauges directly, exact histograms
+    via adoption), so one Prometheus snapshot covers both worlds. Pass an
+    existing ``ObsRegistry`` (e.g. ``Observability().registry``) to share
+    a namespace with the serving-path metrics.
+    """
+
+    def __init__(self, obs_registry: Optional[ObsRegistry] = None) -> None:
+        self.obs_registry = obs_registry if obs_registry is not None else ObsRegistry()
+        self.counters: dict[str, Counter] = {}
+        self.gauges: dict[str, Gauge] = {}
+        self.histograms: dict[str, Histogram] = {}
 
     def counter(self, name: str) -> Counter:
         if name not in self.counters:
-            self.counters[name] = Counter(name)
+            self.counters[name] = self.obs_registry.counter(name)
         return self.counters[name]
 
     def gauge(self, name: str) -> Gauge:
         if name not in self.gauges:
-            self.gauges[name] = Gauge(name)
+            self.gauges[name] = self.obs_registry.gauge(name)
         return self.gauges[name]
 
     def histogram(self, name: str) -> Histogram:
         if name not in self.histograms:
-            self.histograms[name] = Histogram(name)
+            histogram = Histogram(name)
+            self.histograms[name] = histogram
+            self.obs_registry.adopt_histogram(histogram)
         return self.histograms[name]
 
     def snapshot(self) -> dict[str, object]:

@@ -1,0 +1,28 @@
+"""R3 near-misses: the repro.obs span/metric surface is rewind-safe.
+
+Spans land in a trusted-side buffer and metric counters are monotone
+aggregates, so recording them from a domain body leaves no half-completed
+state behind a rewind. Parsed, never imported.
+"""
+
+
+def observed_parser(handle: DomainHandle, raw, obs):  # noqa: F821
+    handle.charge(1e-6)
+    span = obs.start_span("parse", size=len(raw))
+    obs.registry.counter("parses_total").increment()
+    total = 0
+    for byte in raw:
+        total += byte
+    span.set_attrs(checksum=total)
+    obs.end_span(span, status="ok")
+    return total
+
+
+def metric_heavy_body(handle: DomainHandle, raw, obs):  # noqa: F821
+    obs.event("body.entered", size=len(raw))
+    obs.record_request("fixture", 1e-6, status="ok")
+    obs.registry.histogram("body_bytes").observe(len(raw))
+    obs.registry.gauge("body_depth").set(1)
+    buf = handle.malloc(max(len(raw), 1))
+    handle.store(buf, raw)
+    return handle.load(buf, len(raw))

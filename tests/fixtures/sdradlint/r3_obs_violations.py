@@ -1,0 +1,28 @@
+"""Planted R3 violations on the obs surface: safe calls don't launder
+unsafe ones.
+
+The span/metric entry points are sanctioned, but reaching *around* them —
+raw tracer writes via the obs object, buffer surgery, exporter I/O, clock
+rebinding — is still telemetry the rewind model excludes. Parsed, never
+imported.
+"""
+
+
+def sneaks_tracer_through_obs(handle: DomainHandle, raw, obs):  # noqa: F821
+    obs.tracer.record(0.0, "domain.sneak")  # expect[R3]
+
+
+def rewrites_span_buffer(handle: DomainHandle, obs):  # noqa: F821
+    obs.buffer.clear()  # expect[R3]
+
+
+def exports_from_domain(handle: DomainHandle, obs, path):  # noqa: F821
+    obs.registry.snapshot_to(path)  # expect[R3]
+
+
+def rebinds_obs_clock(handle: DomainHandle, obs, clock):  # noqa: F821
+    obs.bind_clock(clock)  # expect[R3]
+
+
+def still_flags_plain_telemetry(handle: DomainHandle, telemetry):  # noqa: F821
+    telemetry.push({"rewinds": 0})  # expect[R3]

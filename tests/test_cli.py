@@ -78,6 +78,29 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "injected 8 fault(s)" in out
 
+    def test_obs(self, capsys, tmp_path):
+        trace = tmp_path / "trace.jsonl"
+        metrics = tmp_path / "metrics.prom"
+        assert main(
+            [
+                "obs",
+                "--requests", "60",
+                "--clients", "2",
+                "--trace-out", str(trace),
+                "--metrics-out", str(metrics),
+            ]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "sdrad-rewind" in out and "process-restart" in out
+        assert "J/req" in out and "mgCO2e/req" in out
+        assert "consistency check: ok" in out
+        assert trace.read_text().count("\n") > 0
+        assert "app_requests_total" in metrics.read_text()
+
+    def test_obs_sampled(self, capsys):
+        assert main(["obs", "--requests", "40", "--sampling", "0.25"]) == 0
+        assert "sampling=0.25" in capsys.readouterr().out
+
     def test_module_entry_point(self):
         import subprocess
         import sys

@@ -1,0 +1,150 @@
+"""App-layer instrumentation tests: spans and metrics per server, and the
+cardinal rule that observability never changes what the apps do — same
+responses, same virtual time, obs on or off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.memcached_server import IsolationMode, MemcachedServer
+from repro.apps.nginx_server import NginxServer
+from repro.apps.openssl_service import TlsServer
+from repro.apps.tls import make_client_hello, make_heartbeat_request
+from repro.obs import Observability
+from repro.obs.report import run_demo_workload
+from repro.sdrad.runtime import SdradRuntime
+from repro.sdrad.telemetry import consistency_check
+
+ATTACK_LONG_KEY = b"get " + b"K" * 270 + b"\r\n"
+NGINX_ATTACK = b"GET /" + b"A" * 1100 + b" HTTP/1.1\r\nHost: h\r\n\r\n"
+
+
+class TestMemcachedSpans:
+    def test_request_span_and_status(self):
+        runtime = SdradRuntime(obs=Observability())
+        server = MemcachedServer(runtime, isolation=IsolationMode.PER_CONNECTION)
+        server.connect("c0")
+        server.handle("c0", b"set k 0 0 1\r\nv\r\n")
+        server.handle("c0", ATTACK_LONG_KEY)
+        obs = runtime.obs
+        spans = obs.buffer.of_name("memcached.request")
+        assert [s.status for s in spans] == ["ok", "fault"]
+        assert all(s.attrs["client"] == "c0" for s in spans)
+        # The domain execution nests inside its request span.
+        executes = obs.buffer.of_name("domain.execute")
+        assert executes[0].parent_id == spans[0].span_id
+        assert obs.registry.counter_total(
+            "app_requests_total", app="memcached", status="fault"
+        ) == 1
+        assert consistency_check(runtime) == []
+
+    def test_latency_lands_in_histogram(self):
+        runtime = SdradRuntime(obs=Observability())
+        server = MemcachedServer(runtime, isolation=IsolationMode.PER_CONNECTION)
+        server.connect("c0")
+        before = runtime.clock.now
+        server.handle("c0", b"set k 0 0 1\r\nv\r\n")
+        elapsed = runtime.clock.now - before
+        hist = runtime.obs.registry.histogram(
+            "app_request_latency_seconds", app="memcached"
+        )
+        assert hist.count == 1
+        assert hist.sum == pytest.approx(elapsed)
+
+
+class TestNginxSpans:
+    def test_batch_pipeline_spans(self):
+        runtime = SdradRuntime(obs=Observability())
+        server = NginxServer(runtime, isolation=IsolationMode.PER_CONNECTION)
+        server.connect("c0")
+        ok = b"GET / HTTP/1.1\r\nHost: h\r\n\r\n"
+        responses = server.handle_batch("c0", [ok, ok, ok])
+        assert len(responses) == 3
+        obs = runtime.obs
+        [batch] = obs.buffer.of_name("nginx.batch")
+        assert batch.status == "ok" and batch.attrs["size"] == 3
+        assert obs.registry.counter_total("app_requests_total", app="nginx") == 3
+        assert obs.registry.counter_total("app_batches_total", app="nginx") == 1
+        assert consistency_check(runtime) == []
+
+    def test_faulting_request_span(self):
+        runtime = SdradRuntime(obs=Observability())
+        server = NginxServer(runtime, isolation=IsolationMode.PER_CONNECTION)
+        server.connect("c0")
+        response = server.handle("c0", NGINX_ATTACK)
+        assert response.startswith(b"HTTP/1.1 500 ")
+        [span] = runtime.obs.buffer.of_name("nginx.request")
+        assert span.status == "fault"
+
+
+class TestTlsSpans:
+    def test_record_spans_with_fault_status(self):
+        runtime = SdradRuntime(obs=Observability())
+        server = TlsServer(
+            runtime,
+            isolation=IsolationMode.PER_CONNECTION,
+            domain_heap_size=16 * 1024,
+            domain_stack_size=16 * 1024,
+        )
+        server.connect("c0")
+        server.handle_record("c0", make_client_hello())
+        server.handle_record("c0", make_heartbeat_request(b"ping"))
+        # A lying length field drives the Heartbleed over-read past the
+        # (small) domain heap → MPK fault → rewind.
+        server.handle_record(
+            "c0", make_heartbeat_request(b"x", declared=60000)
+        )
+        obs = runtime.obs
+        spans = obs.buffer.of_name("tls.record")
+        assert [s.status for s in spans] == ["ok", "ok", "fault"]
+        assert obs.registry.counter_total(
+            "app_requests_total", app="tls", status="fault"
+        ) == 1
+        assert consistency_check(runtime) == []
+
+
+class TestObsIsPureObservation:
+    """Same bytes, same virtual time, with observability on or off."""
+
+    @staticmethod
+    def _drive(server: MemcachedServer) -> "list[bytes]":
+        server.connect("c0")
+        out = [
+            server.handle("c0", b"set k 0 0 2\r\nhi\r\n"),
+            server.handle("c0", b"get k\r\n"),
+            server.handle("c0", ATTACK_LONG_KEY),
+            server.handle("c0", b"get k\r\n"),
+        ]
+        out.extend(server.handle_batch("c0", [b"get k\r\n", b"stats\r\n"]))
+        return out
+
+    def test_responses_and_virtual_time_identical(self):
+        plain_runtime = SdradRuntime()
+        plain = self._drive(
+            MemcachedServer(plain_runtime, isolation=IsolationMode.PER_CONNECTION)
+        )
+        observed_runtime = SdradRuntime(obs=Observability())
+        observed = self._drive(
+            MemcachedServer(observed_runtime, isolation=IsolationMode.PER_CONNECTION)
+        )
+        assert plain == observed
+        assert plain_runtime.clock.now == observed_runtime.clock.now
+
+
+class TestDemoWorkload:
+    def test_demo_is_deterministic_and_consistent(self):
+        a = run_demo_workload(requests=80, clients=3)
+        b = run_demo_workload(requests=80, clients=3)
+        assert a.obs.registry.snapshot() == b.obs.registry.snapshot()
+        assert a.runtime.clock.now == b.runtime.clock.now
+        assert a.obs.registry.counter_total("app_requests_total") == 80
+        assert a.obs.registry.counter_total("sdrad_rewinds_total") > 0
+        assert consistency_check(a.runtime) == []
+        assert a.obs.buffer.tree_violations() == []
+
+    def test_demo_validates_arguments(self):
+        with pytest.raises(ValueError):
+            run_demo_workload(requests=0)
+        with pytest.raises(ValueError):
+            run_demo_workload(clients=0)

@@ -1,0 +1,158 @@
+"""Exporter tests: golden files and mechanical round-trips.
+
+The exporters promise byte-stable output for a deterministic run (virtual
+timestamps, sequential ids, sorted families). The golden files under
+``tests/fixtures/obs/`` pin that promise: :func:`golden_scenario` builds
+the same hub state on every run, and the rendered exports must match the
+committed fixtures byte for byte. Regenerate them (after an intentional
+format change) with::
+
+    PYTHONPATH=src:tests python -c \
+        "import test_obs_exporters as t; t.regenerate_golden_files()"
+"""
+
+from __future__ import annotations
+
+import math
+from pathlib import Path
+
+from repro.obs import (
+    Observability,
+    parse_jsonl,
+    parse_prometheus_samples,
+    prometheus_text,
+    spans_to_jsonl,
+    write_jsonl,
+    write_prometheus,
+)
+from repro.obs.metrics import ObsRegistry
+from repro.obs.spans import SpanBuffer
+from repro.sim.clock import VirtualClock
+from repro.sim.metrics import Histogram as ExactHistogram
+
+GOLDEN_DIR = Path(__file__).resolve().parent / "fixtures" / "obs"
+TRACE_GOLDEN = GOLDEN_DIR / "trace.jsonl"
+METRICS_GOLDEN = GOLDEN_DIR / "metrics.prom"
+
+
+def golden_scenario() -> Observability:
+    """A small, fully deterministic run: one faulting request + metrics."""
+    clock = VirtualClock()
+    obs = Observability(clock=clock)
+    registry = obs.registry
+
+    request = obs.start_span("memcached.request", client="c0")
+    clock.advance(1e-5)
+    execute = obs.start_span("domain.execute", udi=1)
+    clock.advance(2e-5)
+    obs.event("domain.fault", mechanism="stack-canary", udi=1)
+    obs.event("domain.rewind", cause="stack-canary", duration=3.5e-6, udi=1)
+    clock.advance(3.5e-6)
+    obs.end_span(execute, status="fault", retries=0)
+    obs.end_span(request, status="fault")
+
+    registry.counter("app_requests_total", app="memcached", status="ok").increment(3)
+    registry.counter("app_requests_total", app="memcached", status="fault").increment()
+    registry.counter("sdrad_rewinds_total", cause="stack-canary").increment()
+    registry.gauge("engine_live_processes").set(2)
+    rewind_latency = registry.histogram("sdrad_rewind_latency_seconds")
+    for value in (3.5e-6, 4.0e-6, 1.2e-5):
+        rewind_latency.observe(value)
+    exact = ExactHistogram("request_latency_exact")
+    for value in (1e-5, 2e-5, 3e-5, 4e-5):
+        exact.observe(value)
+    registry.adopt_histogram(exact)
+    registry.adopt_histogram(ExactHistogram("never_observed"))
+    return obs
+
+
+def regenerate_golden_files() -> None:  # pragma: no cover - maintenance tool
+    obs = golden_scenario()
+    GOLDEN_DIR.mkdir(parents=True, exist_ok=True)
+    TRACE_GOLDEN.write_text(spans_to_jsonl(obs.buffer), encoding="utf-8")
+    METRICS_GOLDEN.write_text(prometheus_text(obs.registry), encoding="utf-8")
+
+
+class TestGoldenFiles:
+    def test_trace_jsonl_matches_golden(self):
+        obs = golden_scenario()
+        assert spans_to_jsonl(obs.buffer) == TRACE_GOLDEN.read_text(encoding="utf-8")
+
+    def test_prometheus_matches_golden(self):
+        obs = golden_scenario()
+        assert prometheus_text(obs.registry) == METRICS_GOLDEN.read_text(
+            encoding="utf-8"
+        )
+
+    def test_scenario_is_deterministic(self):
+        a, b = golden_scenario(), golden_scenario()
+        assert spans_to_jsonl(a.buffer) == spans_to_jsonl(b.buffer)
+        assert prometheus_text(a.registry) == prometheus_text(b.registry)
+
+
+class TestJsonlRoundTrip:
+    def test_parse_inverts_render(self):
+        obs = golden_scenario()
+        spans = parse_jsonl(spans_to_jsonl(obs.buffer))
+        assert [s.as_dict() for s in spans] == [
+            s.as_dict() for s in obs.buffer
+        ]
+
+    def test_golden_file_parses_to_wellformed_tree(self):
+        spans = parse_jsonl(TRACE_GOLDEN.read_text(encoding="utf-8"))
+        buf = SpanBuffer()
+        for span in spans:
+            buf.append(span)
+        assert buf.tree_violations() == []
+        rewinds = buf.of_name("domain.rewind")
+        assert len(rewinds) == 1
+        assert rewinds[0].attrs["cause"] == "stack-canary"
+        assert rewinds[0].attrs["duration"] == 3.5e-6
+
+    def test_write_jsonl_counts_lines(self, tmp_path):
+        obs = golden_scenario()
+        out = tmp_path / "trace.jsonl"
+        count = write_jsonl(obs.buffer, str(out))
+        assert count == len(obs.buffer) == 4
+        assert out.read_text(encoding="utf-8") == spans_to_jsonl(obs.buffer)
+
+    def test_empty_buffer_renders_empty(self):
+        assert spans_to_jsonl(SpanBuffer()) == ""
+        assert parse_jsonl("") == []
+
+
+class TestPrometheusRoundTrip:
+    def test_samples_parse_back(self):
+        obs = golden_scenario()
+        samples = parse_prometheus_samples(prometheus_text(obs.registry))
+        assert samples['app_requests_total{app="memcached",status="ok"}'] == 3
+        assert samples['app_requests_total{app="memcached",status="fault"}'] == 1
+        assert samples["engine_live_processes"] == 2
+        # Cumulative buckets: 2 rewinds <= 5e-6, all 3 <= 1e-4 and +Inf.
+        assert samples['sdrad_rewind_latency_seconds_bucket{le="5e-06"}'] == 2
+        assert samples['sdrad_rewind_latency_seconds_bucket{le="0.0001"}'] == 3
+        assert samples['sdrad_rewind_latency_seconds_bucket{le="+Inf"}'] == 3
+        assert samples["sdrad_rewind_latency_seconds_count"] == 3
+        assert samples["request_latency_exact_count"] == 4
+        assert samples["never_observed_count"] == 0
+
+    def test_histogram_sum_consistency(self):
+        obs = golden_scenario()
+        samples = parse_prometheus_samples(prometheus_text(obs.registry))
+        assert samples["sdrad_rewind_latency_seconds_sum"] == (
+            3.5e-6 + 4.0e-6 + 1.2e-5
+        )
+        assert samples["request_latency_exact_sum"] == 1e-5 + 2e-5 + 3e-5 + 4e-5
+
+    def test_inf_parses_as_inf(self):
+        samples = parse_prometheus_samples('x_bucket{le="+Inf"} +Inf\n')
+        assert math.isinf(samples['x_bucket{le="+Inf"}'])
+
+    def test_write_prometheus(self, tmp_path):
+        obs = golden_scenario()
+        out = tmp_path / "metrics.prom"
+        write_prometheus(obs.registry, str(out))
+        assert out.read_text(encoding="utf-8") == prometheus_text(obs.registry)
+
+    def test_empty_registry_renders_empty(self):
+        assert prometheus_text(ObsRegistry()) == ""

@@ -1,0 +1,125 @@
+"""Ledger tests: live metrics folded through the frozen E5 models.
+
+The ledger must never invent constants — every figure must equal a direct
+call into :mod:`repro.sustainability`'s models at the observed rate, so
+its numbers are consistent with the offline report tables by construction.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.ledger import DEFAULT_DATASET_BYTES, SustainabilityLedger
+from repro.obs.metrics import ObsRegistry
+from repro.resilience.strategy import RecoveryStrategyModel
+from repro.sim.clock import VirtualClock
+from repro.sim.cost import GIB
+from repro.sustainability.carbon import CarbonModel
+from repro.sustainability.energy import EnergyModel
+from repro.sustainability.power import ServerPowerModel, joules_to_kwh
+
+
+def loaded_ledger(requests=1000, rewinds=3, elapsed=2.0, **kwargs):
+    registry = ObsRegistry()
+    registry.counter("app_requests_total", app="memcached", status="ok").increment(
+        requests - rewinds
+    )
+    registry.counter(
+        "app_requests_total", app="memcached", status="fault"
+    ).increment(rewinds)
+    registry.counter("sdrad_rewinds_total", cause="stack-canary").increment(rewinds)
+    clock = VirtualClock()
+    clock.advance(elapsed)
+    return SustainabilityLedger(registry, clock, **kwargs)
+
+
+class TestLiveReadings:
+    def test_rate_and_counts(self):
+        ledger = loaded_ledger(requests=1000, rewinds=3, elapsed=2.0)
+        assert ledger.requests_served() == 1000
+        assert ledger.faults_observed() == 3
+        assert ledger.request_rate() == pytest.approx(500.0)
+
+    def test_rate_requires_traffic(self):
+        empty = SustainabilityLedger(ObsRegistry(), VirtualClock())
+        with pytest.raises(ValueError):
+            empty.request_rate()
+
+    def test_default_strategies_are_the_papers_pair(self):
+        names = [s.name for s in loaded_ledger().default_strategies()]
+        assert names == ["sdrad-rewind", "process-restart"]
+
+
+class TestModelConsistency:
+    """Ledger figures == direct calls into the E5 models (no new constants)."""
+
+    def test_energy_per_request_matches_energy_model(self):
+        ledger = loaded_ledger()
+        energy = EnergyModel(ServerPowerModel())
+        for spec, entry in zip(ledger.default_strategies(), ledger.entries()):
+            assert entry.joules_per_request == pytest.approx(
+                energy.energy_per_request(spec, 500.0, 0.30)
+            )
+
+    def test_carbon_per_request_matches_carbon_model(self):
+        ledger = loaded_ledger()
+        carbon = CarbonModel()
+        for spec, entry in zip(ledger.default_strategies(), ledger.entries()):
+            operational_g = (
+                carbon.operational_kg(joules_to_kwh(entry.joules_per_request))
+                * 1000.0
+            )
+            embodied_g = carbon.embodied_kg(spec.replicas, 1.0 / 500.0) * 1000.0
+            assert entry.gco2e_per_request == pytest.approx(
+                operational_g + embodied_g
+            )
+
+    def test_recovery_cost_matches_power_model(self):
+        ledger = loaded_ledger(rewinds=3)
+        power = ServerPowerModel()
+        for spec, entry in zip(ledger.default_strategies(), ledger.entries()):
+            seconds = 3 * spec.downtime_per_fault
+            assert entry.recovery_seconds == pytest.approx(seconds)
+            effective = min(1.0, 0.30 * (1.0 + spec.runtime_overhead))
+            assert entry.recovery_joules == pytest.approx(
+                power.energy_joules(effective, seconds)
+            )
+
+    def test_rewind_recovery_orders_of_magnitude_cheaper(self):
+        rewind, restart = loaded_ledger().entries()
+        assert rewind.strategy == "sdrad-rewind"
+        assert rewind.recovery_seconds < 1e-3
+        assert restart.recovery_seconds > 60.0
+        assert restart.recovery_joules > 1e6 * rewind.recovery_joules
+
+    def test_dataset_size_drives_restart_cost(self):
+        small = loaded_ledger(dataset_bytes=1 * GIB).entries()[1]
+        large = loaded_ledger(dataset_bytes=100 * GIB).entries()[1]
+        assert large.recovery_seconds > small.recovery_seconds
+        assert DEFAULT_DATASET_BYTES == 10 * GIB
+
+    def test_downtime_comes_from_strategy_model(self):
+        ledger = loaded_ledger()
+        model = RecoveryStrategyModel(ledger.cost)
+        rewind, restart = ledger.entries()
+        assert rewind.recovery_seconds == pytest.approx(
+            3 * model.sdrad_rewind().downtime_per_fault
+        )
+        assert restart.recovery_seconds == pytest.approx(
+            3 * model.process_restart(DEFAULT_DATASET_BYTES).downtime_per_fault
+        )
+
+
+class TestRendering:
+    def test_entries_serialise(self):
+        for entry in loaded_ledger().entries():
+            data = entry.as_dict()
+            json.dumps(data)
+            assert data["requests"] == 1000 and data["faults"] == 3
+
+    def test_format_entries_table(self):
+        table = loaded_ledger().format_entries()
+        assert "sdrad-rewind" in table and "process-restart" in table
+        assert "J/req" in table and "mgCO2e/req" in table

@@ -1,0 +1,150 @@
+"""Tests for the obs metric primitives and the central registry."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import SdradError
+from repro.obs.metrics import (
+    BATCH_SIZE_BUCKETS,
+    BucketHistogram,
+    Counter,
+    DEFAULT_BUCKETS,
+    Gauge,
+    ObsRegistry,
+    REWIND_LATENCY_BUCKETS,
+)
+from repro.sim.metrics import Histogram as ExactHistogram
+
+
+class TestCounter:
+    def test_monotone(self):
+        c = Counter("requests")
+        c.increment()
+        c.increment(4)
+        assert c.value == 5
+        with pytest.raises(ValueError):
+            c.increment(-1)
+
+    def test_labels_are_sorted_items(self):
+        c = Counter("requests", labels={"status": "ok", "app": "memcached"})
+        assert c.labels == (("app", "memcached"), ("status", "ok"))
+
+
+class TestGauge:
+    def test_set_and_add(self):
+        g = Gauge("live", initial=2)
+        g.add(3)
+        g.set(1.5)
+        g.add(-0.5)
+        assert g.value == pytest.approx(1.0)
+
+
+class TestBucketHistogram:
+    def test_validation(self):
+        with pytest.raises(SdradError):
+            BucketHistogram("h", buckets=())
+        with pytest.raises(SdradError):
+            BucketHistogram("h", buckets=(2.0, 1.0))
+        with pytest.raises(SdradError):
+            BucketHistogram("h", buckets=(1.0, 1.0))
+        with pytest.raises(SdradError):
+            BucketHistogram("h", buckets=(1.0, math.inf))
+
+    def test_binning_is_le_inclusive(self):
+        h = BucketHistogram("h", buckets=(1.0, 10.0))
+        for value in (0.5, 1.0, 5.0, 10.0, 11.0):
+            h.observe(value)
+        assert h.bucket_counts == [2, 2, 1]  # le=1, le=10, +Inf
+        assert h.count == 5
+        assert h.sum == pytest.approx(27.5)
+
+    def test_cumulative_prometheus_shape(self):
+        h = BucketHistogram("h", buckets=(1.0, 10.0))
+        h.observe(0.5)
+        h.observe(20.0)
+        cum = h.cumulative()
+        assert cum == [(1.0, 1), (10.0, 1), (math.inf, 2)]
+
+    def test_mean_and_quantile(self):
+        h = BucketHistogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (0.5, 1.5, 1.6, 3.0):
+            h.observe(value)
+        assert h.mean() == pytest.approx(6.6 / 4)
+        assert h.quantile(0.5) == 2.0
+        assert h.quantile(1.0) == 4.0
+        h.observe(100.0)
+        assert h.quantile(1.0) == math.inf
+
+    def test_empty_histogram_errors(self):
+        h = BucketHistogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.mean()
+        with pytest.raises(ValueError):
+            h.quantile(0.5)
+        with pytest.raises(ValueError):
+            h.quantile(2.0)
+
+
+class TestObsRegistry:
+    def test_get_or_create_identity(self):
+        reg = ObsRegistry()
+        a = reg.counter("requests", app="memcached")
+        b = reg.counter("requests", app="memcached")
+        c = reg.counter("requests", app="nginx")
+        assert a is b and a is not c
+
+    def test_default_buckets_by_name(self):
+        reg = ObsRegistry()
+        h = reg.histogram("sdrad_rewind_latency_seconds")
+        assert h.buckets == REWIND_LATENCY_BUCKETS
+        b = reg.histogram("app_batch_size")
+        assert b.buckets == tuple(float(x) for x in BATCH_SIZE_BUCKETS)
+        assert set(DEFAULT_BUCKETS) >= {
+            "app_request_latency_seconds",
+            "sdrad_rewind_latency_seconds",
+            "app_batch_size",
+        }
+
+    def test_counter_total_partial_label_match(self):
+        reg = ObsRegistry()
+        reg.counter("app_requests_total", app="memcached", status="ok").increment(3)
+        reg.counter("app_requests_total", app="memcached", status="fault").increment()
+        reg.counter("app_requests_total", app="nginx", status="ok").increment(5)
+        assert reg.counter_total("app_requests_total") == 9
+        assert reg.counter_total("app_requests_total", app="memcached") == 4
+        assert reg.counter_total("app_requests_total", status="ok") == 8
+        assert reg.counter_total("app_requests_total", app="tls") == 0
+
+    def test_gauge_value_defaults_to_zero(self):
+        reg = ObsRegistry()
+        assert reg.gauge_value("missing") == 0.0
+        reg.gauge("live").set(3)
+        assert reg.gauge_value("live") == 3.0
+
+    def test_snapshot_sorted_and_json_friendly(self):
+        import json
+
+        reg = ObsRegistry()
+        reg.counter("b_total").increment()
+        reg.counter("a_total", app="x").increment(2)
+        reg.gauge("depth").set(1)
+        reg.histogram("lat", buckets=(1.0,)).observe(0.5)
+        snap = reg.snapshot()
+        assert list(snap) == sorted(snap)
+        assert snap['counter/a_total{app="x"}'] == 2
+        hist = snap["histogram/lat"]
+        assert hist["count"] == 1 and hist["buckets"]["+Inf"] == 1
+        json.dumps(snap)
+
+    def test_adopt_exact_histogram(self):
+        reg = ObsRegistry()
+        exact = ExactHistogram("exact_latency")
+        exact.observe(1.0)
+        reg.adopt_histogram(exact)
+        assert reg.iter_adopted() == [exact]
+        assert "summary/exact_latency" in reg.snapshot()
+        with pytest.raises(SdradError):
+            reg.adopt_histogram(object())

@@ -93,3 +93,36 @@ class TestConsistency:
         # so the check must not claim trace/stat divergence spuriously
         problems = consistency_check(runtime)
         assert all("destroyed" not in p for p in problems)
+
+
+class TestObsConsistency:
+    """The obs counters are cross-checked against the tracer, so silent
+    counter drift fails a tier-1 test instead of shipping wrong metrics."""
+
+    def busy_observed_runtime(self) -> SdradRuntime:
+        from repro.obs import Observability
+
+        runtime = SdradRuntime(obs=Observability())
+        a = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+        b = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+        runtime.execute(a.udi, lambda h: h.store(h.malloc(32), b"data"))
+        runtime.execute(a.udi, lambda h: h.store(0, b"fault"))  # rewind
+        runtime.execute(b.udi, lambda h: None)
+        runtime.domain_destroy(b.udi)  # ephemeral: stats gone, tracer stays
+        return runtime
+
+    def test_observed_runtime_is_consistent(self):
+        assert consistency_check(self.busy_observed_runtime()) == []
+
+    def test_counter_drift_fails_loudly(self):
+        runtime = self.busy_observed_runtime()
+        runtime.obs.registry.counter("sdrad_domain_entries_total").increment()
+        problems = consistency_check(runtime)
+        assert any("sdrad_domain_entries_total" in p for p in problems)
+
+    def test_snapshot_obs_block_serialises(self):
+        data = snapshot(self.busy_observed_runtime())
+        json.dumps(data["obs"])
+        assert data["obs"]["metrics"][
+            "counter/sdrad_domains_destroyed_total"
+        ] == 1
