@@ -25,6 +25,13 @@ reverting one of the big fast paths collapses its ratio by 30-70%. Absolute
 ops/sec for the headline metrics are still printed for context, but they
 inform rather than gate.
 
+The newest file is additionally held to the PR 6 absolute targets
+(``ABSOLUTE_GATES``): compiled access plans >= 10x the plan-off path, the
+batched pipeline >= 3x the fully-unoptimised within-file baseline, and
+full observability <= 1.05x wall clock on the serving pipeline. These are
+within-file ratios checked against fixed floors/ceilings, so they stay
+machine-independent while pinning the contract the PR claims.
+
 Usage::
 
     python scripts/check_bench_regression.py [--dir .] [--threshold 0.25]
@@ -42,11 +49,26 @@ from pathlib import Path
 #: machine-independent, so a drop is a real fast-path regression: they GATE.
 TRACKED_RATIOS = [
     ("raw_access", ("speedup",)),
+    ("access_plans", ("speedup",)),
     ("fault_rewind", ("speedup",)),
     ("kvstore_e2e", ("speedup",)),
     ("memcached_e2e", ("batched_speedup",)),
     ("memcached_e2e", ("speedup_vs_fastpath_off",)),
+    ("memcached_e2e", ("speedup_vs_baseline",)),
     ("domain_reentry", ("speedup",)),
+]
+
+#: (bench, path, op, limit) absolute targets checked on the NEWEST file only
+#: — the PR 6 performance contract. These are within-file ratios too, so
+#: they are machine-independent; unlike TRACKED_RATIOS they compare against
+#: a fixed floor/ceiling instead of the previous file, and they skip
+#: silently when the newest file predates the metric. ``memcached_obs``
+#: ``overhead_full`` is deliberately NOT drop-gated above: it is a <=
+#: ceiling (lower is better), so a "drop" toward 1.0 is an improvement.
+ABSOLUTE_GATES = [
+    ("access_plans", ("speedup",), ">=", 10.0),
+    ("memcached_e2e", ("speedup_vs_baseline",), ">=", 3.0),
+    ("memcached_obs", ("overhead_full",), "<=", 1.05),
 ]
 
 #: (bench, path-within-bench) pairs of absolute ops/sec we print for context.
@@ -61,6 +83,8 @@ TRACKED_INFO = [
     ("memcached_e2e", ("fastpath_off", "ops_per_sec")),
     ("domain_reentry", ("reentry_on", "ops_per_sec")),
     ("memcached_obs", ("obs_off", "ops_per_sec")),
+    ("access_plans", ("plan_on", "ops_per_sec")),
+    ("memcached_e2e", ("baseline", "ops_per_sec")),
 ]
 
 
@@ -146,6 +170,18 @@ def main() -> int:
             f"  {label:36s} {new:>8.2f}x  vs {old:>6.2f}x"
             f"  ({change:+.1%})  {status}"
         )
+    print("absolute targets (PR 6 contract, newest file only — these gate):")
+    for bench, path, op, limit in ABSOLUTE_GATES:
+        label = ".".join((bench,) + path)
+        value = _dig(cur.get(bench, {}), path)
+        if value is None:
+            print(f"  {label:36s} absent (metric predates this file) — skipped")
+            continue
+        ok = value >= limit if op == ">=" else value <= limit
+        status = "ok" if ok else f"FAILED (target {op} {limit}x)"
+        if not ok:
+            failed = True
+        print(f"  {label:36s} {value:>8.2f}x  target {op} {limit}x  {status}")
     print("absolute throughput (depends on the recording VM — informational):")
     for bench, path in TRACKED_INFO:
         label = ".".join((bench,) + path[:-1]) or bench

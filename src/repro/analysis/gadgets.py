@@ -25,6 +25,18 @@ register and demands it sit inside the *entry-gate sequence*:
 
 Anything else is reported: an unguarded PKRU write is the simulated
 equivalent of a stray WRPKRU gadget.
+
+Generated accessor closures (the access-plan factories of
+:mod:`repro.memory.plans`) sharpen one edge of the closure rule: a nested
+function whose *name escapes* its definer — returned, stored into an
+attribute like ``plan.load = load``, or bound into a container — outlives
+the gate it was compiled inside and runs in whatever context later
+invokes it. Such a closure must therefore NOT inherit guarding from a
+gated encloser, even if the encloser also calls it once inside the gate:
+a PKRU write captured in an escaping closure is a *callable* WRPKRU
+gadget (ERIM's indirect-jump case). Plan accessor closures stay clean
+precisely because they guard on a validity cell instead of touching the
+register.
 """
 
 from __future__ import annotations
@@ -68,6 +80,43 @@ def _called_names(node: ast.AST) -> set:
     return names
 
 
+def _escaped_closures(model: ModuleModel) -> set:
+    """Names of nested functions whose value escapes their definer.
+
+    A nested ``def`` referenced other than as the target of a direct call
+    (returned, assigned to an attribute/container, passed along) outlives
+    the defining call — the plan-factory shape, where generated accessor
+    closures are bound to ``plan.load``/``plan.store`` and invoked from
+    arbitrary later contexts. Escaping closures must carry their own gate:
+    they cannot inherit one from the function that built them.
+    """
+    escaped = set()
+    for info in model.functions:
+        node = info.node
+        nested = {
+            child.name
+            for child in ast.walk(node)
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef))
+            and child is not node
+        }
+        if not nested:
+            continue
+        direct_call_funcs = {
+            id(sub.func)
+            for sub in ast.walk(node)
+            if isinstance(sub, ast.Call) and isinstance(sub.func, ast.Name)
+        }
+        for sub in ast.walk(node):
+            if (
+                isinstance(sub, ast.Name)
+                and isinstance(sub.ctx, ast.Load)
+                and sub.id in nested
+                and id(sub) not in direct_call_funcs
+            ):
+                escaped.add(sub.id)
+    return escaped
+
+
 def check(model: ModuleModel) -> list:
     """Run R4 over ``model``."""
     # Pass 1: direct gates (functions containing a contexts.push/pop) and
@@ -86,7 +135,10 @@ def check(model: ModuleModel) -> list:
                     gate_first_line[node.name] = call.lineno
 
     # Pass 2: closure — functions called (by bare name) from a gate or a
-    # closure member are themselves guarded in full.
+    # closure member are themselves guarded in full. Escaping closures are
+    # exempt from propagation: even when a gated factory calls one while
+    # building it, the escaped value runs post-gate (see module docstring).
+    escaped = _escaped_closures(model)
     guarded_fully: set = set(annotated)
     frontier = set(gate_first_line) | annotated
     seen = set(frontier)
@@ -98,7 +150,7 @@ def check(model: ModuleModel) -> list:
             if info is None:
                 continue
             for callee in _called_names(info.node):
-                if callee in by_name and callee not in seen:
+                if callee in by_name and callee not in seen and callee not in escaped:
                     seen.add(callee)
                     guarded_fully.add(callee)
                     next_frontier.add(callee)

@@ -17,6 +17,15 @@ tainted constructor argument taints the constructed object), sanitizers
 stop it, and three sink classes report an escape — returning/yielding a
 tainted value, binding one to a module global, and storing one into an
 attribute or a caller-owned container.
+
+Compiled access plans (:mod:`repro.memory.plans`) extend the surface: a
+plan object captures raw memoryviews of the run it was compiled over, so
+*acquiring* one inside a domain body (``checked_plan``/``kernel_plan``/
+``_heap_plan``, or the handle's cached ``._plan``) taints like a view —
+a plan leaked past discard is a live alias into freed pages. The plan's
+*copying* accessors (``load``/``load_many``/``unpack_from``) are already
+sanitizers by name, matching the handle readers they mirror, while the
+zero-copy ``view`` accessor is a source exactly like ``load_view``.
 """
 
 from __future__ import annotations
@@ -30,9 +39,18 @@ from .model import FunctionInfo, ModuleModel, call_func_name
 #: Calls whose result aliases domain memory (the taint sources).
 SOURCE_CALLS = {
     "load_view": "zero-copy view of domain memory",
+    "view": "zero-copy view of domain memory",
     "malloc": "raw domain-heap address",
     "alloca": "raw domain-stack address",
     "sdrad_malloc": "raw domain-heap address",
+    "checked_plan": "compiled access plan aliasing domain memory",
+    "kernel_plan": "compiled access plan aliasing domain memory",
+    "_heap_plan": "compiled access plan aliasing domain memory",
+}
+
+#: Attribute reads that alias domain memory (the handle's cached plan).
+SOURCE_ATTRS = {
+    "_plan": "compiled access plan aliasing domain memory",
 }
 
 #: Calls whose result is a trusted-side (or at least materialised) copy —
@@ -112,6 +130,8 @@ class _TaintChecker(ast.NodeVisitor):
         if isinstance(node, ast.Subscript):
             return self.taint_of(node.value)  # a slice of a view is a view
         if isinstance(node, ast.Attribute):
+            if node.attr in SOURCE_ATTRS:
+                return SOURCE_ATTRS[node.attr]
             return self.taint_of(node.value)
         if isinstance(node, ast.Starred):
             return self.taint_of(node.value)

@@ -75,6 +75,21 @@ class KVStore:
         # key -> payload address; ordered by recency (LRU at the front).
         self._index: "OrderedDict[bytes, int]" = OrderedDict()
         self.stats = StoreStats()
+        # Compiled kernel window over the slab arena: item headers and
+        # bodies are trusted-side reads, all within [base, base+arena_size).
+        self._arena_base = base
+        self._arena_size = arena_size
+        self._plan = None
+
+    def _arena_plan(self):
+        plan = self._plan
+        if plan is not None and plan.cell[0]:
+            return plan
+        cache = self.runtime.space.plans
+        if cache is None:
+            return None
+        self._plan = cache.kernel_plan(self._arena_base, self._arena_size)
+        return self._plan
 
     # ------------------------------------------------------------------
     # Operations
@@ -91,7 +106,11 @@ class KVStore:
         needed = ITEM_HEADER + len(key) + len(value)
         addr = self._alloc_with_eviction(needed)
         header = _ITEM_STRUCT.pack(len(key), flags & 0xFFFF, len(value))
-        self.runtime.space.raw_store(addr, header + key + value)
+        plan = self._arena_plan()
+        if plan is not None:
+            plan.store(addr, header + key + value)
+        else:
+            self.runtime.space.raw_store(addr, header + key + value)
         self._index[key] = addr
         self._index.move_to_end(key)
         self.runtime.charge(self.runtime.cost.memcached_op)
@@ -132,6 +151,18 @@ class KVStore:
         self.runtime.charge(len(keys) * self.runtime.cost.memcached_op)
         if not hits:
             return {}
+        plan = self._arena_plan()
+        if plan is not None:
+            unpack = plan.unpack_from
+            load = plan.load
+            out = {}
+            for key, addr in hits:
+                klen, flags, vlen = unpack(_ITEM_STRUCT, addr)
+                body = load(addr + ITEM_HEADER, klen + vlen)
+                if body[:klen] != key:
+                    raise SdradError("index/item key mismatch — store corrupted")
+                out[key] = (body[klen:], flags)
+            return out
         space = self.runtime.space
         headers = [
             _ITEM_STRUCT.unpack(raw)
@@ -250,12 +281,17 @@ class KVStore:
         self.slabs.free(addr)
 
     def _read_item(self, addr: int, key: bytes) -> tuple[bytes, int]:
-        space = self.runtime.space
-        # One zero-copy header peek plus one fused key+value read, instead
-        # of three copying loads — the hot path of every hit.
-        header = space.raw_view(addr, ITEM_HEADER)
-        klen, flags, vlen = _ITEM_STRUCT.unpack(header)
-        body = space.raw_load(addr + ITEM_HEADER, klen + vlen)
+        # One header decode plus one fused key+value read, both through the
+        # compiled arena window — the hot path of every hit.
+        plan = self._arena_plan()
+        if plan is not None:
+            klen, flags, vlen = plan.unpack_from(_ITEM_STRUCT, addr)
+            body = plan.load(addr + ITEM_HEADER, klen + vlen)
+        else:
+            space = self.runtime.space
+            header = space.raw_view(addr, ITEM_HEADER)
+            klen, flags, vlen = _ITEM_STRUCT.unpack(header)
+            body = space.raw_load(addr + ITEM_HEADER, klen + vlen)
         if body[:klen] != key:
             raise SdradError("index/item key mismatch — store corrupted")
         return body[klen:], flags

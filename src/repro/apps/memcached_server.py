@@ -112,6 +112,17 @@ class MemcachedServer:
         self.watchdog = watchdog
         self.metrics = ServerMetrics()
         self._connections: dict[str, int] = {}  # client id -> udi
+        #: Whether the last batch ran the single-entry pipelined path, in
+        #: which case every response is "ok" by construction and the obs
+        #: wrapper can skip per-response classification.
+        self._batch_pipelined = True
+        if runtime.obs is None:
+            # With observability off the obs wrappers below are pure
+            # dead weight (an extra frame and a ``None`` check per
+            # request); bind dispatch straight to the implementations so
+            # the off path stays a single attribute lookup.
+            self.handle = self._handle
+            self.handle_batch = self._handle_batch
 
     # ------------------------------------------------------------------
     # Connection lifecycle
@@ -222,23 +233,41 @@ class MemcachedServer:
         obs = self.runtime.obs
         if obs is None:
             return self._handle_batch(client_id, raws)
+        clock = self.runtime.clock
         span = obs.start_span("memcached.batch", client=client_id, size=len(raws))
-        started = self.runtime.clock.now
+        started = clock.now
         try:
             responses = self._handle_batch(client_id, raws)
         except BaseException:
             obs.record_batch("memcached", len(raws))
             obs.end_span(span, status="crash")
             raise
-        elapsed = self.runtime.clock.now - started
-        obs.record_batch("memcached", len(raws))
+        elapsed = clock.now - started
         # Per-request accounting with the batch's amortised latency: the
         # whole point of pipelining is that each request's share shrinks.
-        share = elapsed / len(responses) if responses else 0.0
-        statuses = [_response_status(response) for response in responses]
-        for status in statuses:
-            obs.record_request("memcached", share, status)
-        batch_status = "ok" if all(s == "ok" for s in statuses) else "partial"
+        if self._batch_pipelined:
+            # Steady state: the batch parsed and applied in one pipelined
+            # entry, and ``_apply`` never emits SERVER_ERROR, so every
+            # status is "ok" by construction — record the batch and all
+            # its requests in one fused call without inspecting the
+            # responses.
+            obs.record_pipeline(
+                "memcached",
+                len(raws),
+                elapsed / len(responses) if responses else 0.0,
+                len(responses),
+            )
+            batch_status = "ok"
+        else:
+            obs.record_batch("memcached", len(raws))
+            share = elapsed / len(responses) if responses else 0.0
+            # Fallback or degenerate batch (fault mid-parse, quarantine,
+            # non-persistent isolation): classify each response.
+            statuses = [_response_status(r) for r in responses]
+            obs.record_requests("memcached", share, statuses)
+            batch_status = (
+                "ok" if all(s == "ok" for s in statuses) else "partial"
+            )
         obs.end_span(span, status=batch_status)
         return responses
 
@@ -250,13 +279,16 @@ class MemcachedServer:
         if self.isolation is not IsolationMode.PER_CONNECTION or (
             self.watchdog is not None and self.watchdog.is_quarantined(client_id)
         ):
+            self._batch_pipelined = False
             return [self._handle(client_id, raw) for raw in raws]
         udi = self._connections[client_id]
         result = self.runtime.execute(udi, _parse_batch_in_domain, raws)
         if not result.ok:
             # The rewind discarded the whole (unapplied) batch; re-handle
             # each request in its own entry so only the offender errors.
+            self._batch_pipelined = False
             return [self._handle(client_id, raw) for raw in raws]
+        self._batch_pipelined = True
         self.metrics.requests += len(raws)
         return [self._apply(parsed) for parsed in result.value]
 
@@ -370,88 +402,110 @@ def _parse_in_domain(handle: DomainHandle, raw: bytes) -> Optional[_ParsedOp]:
     if line_end < 0:
         return None
     parts = raw[:line_end].split(b" ")
-    command = parts[0]
 
     frame = handle.push_frame("process_command")
     try:
-        if command in (b"set", b"add", b"replace"):
-            if len(parts) != 5:
-                return None
-            key = parts[1]
-            # BUG 1: strcpy-style copy into a fixed stack buffer.
-            key_buf = frame.alloca(KEY_STACK_BUFFER)
-            frame.write_buffer(key_buf, key + b"\x00")
-            try:
-                flags = int(parts[2])
-                int(parts[3])  # exptime parsed but unused in the subset
-                declared = int(parts[4])
-            except ValueError:
-                return None
-            if declared < 0:
-                return None
-            data = raw[line_end + 2 :]
-            if data.endswith(b"\r\n"):
-                data = data[:-2]
-            # BUG 2: allocation sized by the *declared* length, filled with
-            # the *actual* payload.
-            value_buf = handle.malloc(max(declared, 1))
-            handle.store(value_buf, data)
-            # Zero-copy read-back: the view runs the same checked-access
-            # path as ``load`` (same TLB verdicts, same counters) but the
-            # only copy is the one materialising the trusted-side value.
-            value = bytes(handle.load_view(value_buf, min(declared, len(data))))
-            handle.free(value_buf)
-            if len(key) > MAX_KEY_LEN:
-                return None  # reached only if the overflow was survivable
-            return _ParsedOp(
-                op=command.decode("ascii"), key=bytes(key), flags=flags, value=value
-            )
-        if command in (b"incr", b"decr"):
-            if len(parts) != 3:
-                return None
-            key = parts[1]
-            key_buf = frame.alloca(KEY_STACK_BUFFER)
-            frame.write_buffer(key_buf, key + b"\x00")
-            try:
-                delta = int(parts[2])
-            except ValueError:
-                return None
-            if delta < 0 or len(key) > MAX_KEY_LEN:
-                return None
-            return _ParsedOp(
-                op=command.decode("ascii"), key=bytes(key), flags=delta
-            )
-        if command == b"get":
-            if len(parts) < 2:
-                return None
-            keys = parts[1:]
-            # Each key of a multi-key get is "strcpy'd" into the same fixed
-            # stack buffer in turn — BUG 1 fires for any over-long key in
-            # the pipeline, exactly as for a single-key get.
-            key_buf = frame.alloca(KEY_STACK_BUFFER)
-            for key in keys:
-                frame.write_buffer(key_buf, key + b"\x00")
-            if any(len(key) > MAX_KEY_LEN for key in keys):
-                return None
-            if len(keys) == 1:
-                return _ParsedOp(op="get", key=bytes(keys[0]))
-            return _ParsedOp(
-                op="get", key=bytes(keys[0]), keys=tuple(bytes(k) for k in keys)
-            )
-        if command == b"delete":
-            if len(parts) != 2:
-                return None
-            key = parts[1]
-            key_buf = frame.alloca(KEY_STACK_BUFFER)
-            frame.write_buffer(key_buf, key + b"\x00")
-            if len(key) > MAX_KEY_LEN:
-                return None
-            return _ParsedOp(op="delete", key=bytes(key))
-        if command == b"stats":
-            return _ParsedOp(op="stats")
-        return None
+        return _parse_parts(handle, frame, None, parts, raw, line_end)
     finally:
         handle.pop_frame(frame)
+
+
+def _parse_parts(
+    handle: DomainHandle,
+    frame,
+    key_buf: Optional[int],
+    parts: list,
+    raw: bytes,
+    line_end: int,
+) -> Optional[_ParsedOp]:
+    """Parse one split command line inside an already-open stack frame.
+
+    ``key_buf`` is ``None`` on the per-request path (each command allocas
+    its own buffer, the seed behaviour) and a pre-alloca'd buffer on the
+    batch path, where every command of the pipeline strcpy's into the same
+    stack slot — the same reuse idiom as a multi-key ``get``.
+    """
+    command = parts[0]
+    if command in (b"set", b"add", b"replace"):
+        if len(parts) != 5:
+            return None
+        key = parts[1]
+        # BUG 1: strcpy-style copy into a fixed stack buffer.
+        if key_buf is None:
+            key_buf = frame.alloca(KEY_STACK_BUFFER)
+        frame.write_buffer(key_buf, key + b"\x00")
+        try:
+            flags = int(parts[2])
+            int(parts[3])  # exptime parsed but unused in the subset
+            declared = int(parts[4])
+        except ValueError:
+            return None
+        if declared < 0:
+            return None
+        data = raw[line_end + 2 :]
+        if data.endswith(b"\r\n"):
+            data = data[:-2]
+        # BUG 2: allocation sized by the *declared* length, filled with
+        # the *actual* payload.
+        value_buf = handle.malloc(max(declared, 1))
+        handle.store(value_buf, data)
+        # Zero-copy read-back: the view runs the same checked-access
+        # path as ``load`` (same TLB verdicts, same counters) but the
+        # only copy is the one materialising the trusted-side value.
+        value = bytes(handle.load_view(value_buf, min(declared, len(data))))
+        handle.free(value_buf)
+        if len(key) > MAX_KEY_LEN:
+            return None  # reached only if the overflow was survivable
+        return _ParsedOp(
+            op=command.decode("ascii"), key=bytes(key), flags=flags, value=value
+        )
+    if command in (b"incr", b"decr"):
+        if len(parts) != 3:
+            return None
+        key = parts[1]
+        if key_buf is None:
+            key_buf = frame.alloca(KEY_STACK_BUFFER)
+        frame.write_buffer(key_buf, key + b"\x00")
+        try:
+            delta = int(parts[2])
+        except ValueError:
+            return None
+        if delta < 0 or len(key) > MAX_KEY_LEN:
+            return None
+        return _ParsedOp(
+            op=command.decode("ascii"), key=bytes(key), flags=delta
+        )
+    if command == b"get":
+        if len(parts) < 2:
+            return None
+        keys = parts[1:]
+        # Each key of a multi-key get is "strcpy'd" into the same fixed
+        # stack buffer in turn — BUG 1 fires for any over-long key in
+        # the pipeline, exactly as for a single-key get.
+        if key_buf is None:
+            key_buf = frame.alloca(KEY_STACK_BUFFER)
+        for key in keys:
+            frame.write_buffer(key_buf, key + b"\x00")
+        if any(len(key) > MAX_KEY_LEN for key in keys):
+            return None
+        if len(keys) == 1:
+            return _ParsedOp(op="get", key=bytes(keys[0]))
+        return _ParsedOp(
+            op="get", key=bytes(keys[0]), keys=tuple(bytes(k) for k in keys)
+        )
+    if command == b"delete":
+        if len(parts) != 2:
+            return None
+        key = parts[1]
+        if key_buf is None:
+            key_buf = frame.alloca(KEY_STACK_BUFFER)
+        frame.write_buffer(key_buf, key + b"\x00")
+        if len(key) > MAX_KEY_LEN:
+            return None
+        return _ParsedOp(op="delete", key=bytes(key))
+    if command == b"stats":
+        return _ParsedOp(op="stats")
+    return None
 
 
 def _parse_batch_in_domain(
@@ -459,9 +513,29 @@ def _parse_batch_in_domain(
 ) -> list[Optional[_ParsedOp]]:
     """Parse a whole request pipeline inside one domain entry.
 
-    Each request still gets its own stack frame and allocations, so the
-    attack surface per request is unchanged — only the domain enter/exit
-    is amortised. A fault on any request aborts (and rewinds) the whole
-    batch parse; the server falls back to per-request handling.
+    The batch parser is one "C function": a single activation record whose
+    locals are reused across the pipeline loop, exactly like memcached's
+    connection event loop (and like a multi-key ``get`` reuses one key
+    buffer). Every command still strcpy's its key into a canary-guarded
+    stack buffer and every value still round-trips the domain heap, so the
+    per-request attack surface is unchanged — an over-long key anywhere in
+    the pipeline smashes the shared frame's canary, the epilogue check
+    trips when the batch parse returns, and the whole (unapplied) batch is
+    rewound; the server then falls back to per-request handling so only
+    the offender errors.
     """
-    return [_parse_in_domain(handle, raw) for raw in raws]
+    frame = handle.push_frame("process_batch")
+    try:
+        key_buf = frame.alloca(KEY_STACK_BUFFER)
+        out = []
+        append = out.append
+        for raw in raws:
+            line_end = raw.find(b"\r\n")
+            if line_end < 0:
+                append(None)
+                continue
+            parts = raw[:line_end].split(b" ")
+            append(_parse_parts(handle, frame, key_buf, parts, raw, line_end))
+        return out
+    finally:
+        handle.pop_frame(frame)

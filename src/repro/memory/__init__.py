@@ -20,6 +20,7 @@ from .layout import (
 )
 from .mpk import NUM_PKEYS, PKEY_DEFAULT, PkeyAllocator, PkruRegister, pkru_bits
 from .pagetable import PageEntry, PageTable
+from .plans import AccessPlan, AccessPlanCache
 from .slab import SlabAllocator, SlabClassStats, default_size_classes
 from .snapshot import RegionSnapshot, capture, differs, restore
 from .stack import CallStack, StackFrame
@@ -44,6 +45,8 @@ __all__ = [
     "pkru_bits",
     "PageEntry",
     "PageTable",
+    "AccessPlan",
+    "AccessPlanCache",
     "SlabAllocator",
     "SlabClassStats",
     "default_size_classes",

@@ -48,6 +48,7 @@ from __future__ import annotations
 from typing import Iterable, Literal
 
 from ..errors import (
+    MemoryError_,
     PermissionFault,
     ProtectionKeyViolation,
     SdradError,
@@ -56,6 +57,7 @@ from ..errors import (
 from .layout import DEFAULT_SPACE_SIZE, PAGE_SIZE, pages_spanned
 from .mpk import PkeyAllocator, PkruRegister
 from .pagetable import PageTable
+from .plans import AccessPlanCache
 
 #: Access-check fidelity (ablation hook D1 in DESIGN.md):
 #: ``strict``  — walk every page an access spans (hardware-faithful);
@@ -88,6 +90,7 @@ class AddressSpace:
         size: int = DEFAULT_SPACE_SIZE,
         check_mode: CheckMode = "strict",
         tlb_enabled: bool = True,
+        access_plans: bool = True,
     ) -> None:
         if check_mode not in ("strict", "first", "off"):
             raise SdradError(f"unknown check mode {check_mode!r}")
@@ -116,6 +119,17 @@ class AddressSpace:
             self.pkru.on_write = self._tlb_switch_pkru
             self.pkeys.on_free = self._tlb_on_pkey_free
             self.page_table.on_range_update = self._tlb_invalidate_pages
+        # --- compiled access plans (repro.memory.plans) ---------------
+        # Plans piggyback on the TLB shootdown hooks above for their
+        # invalidation signal, so they exist only when the TLB does (and
+        # only under strict checking — the D1 check-mode ablations measure
+        # per-access cost and must not be confounded by a bypass).
+        self.access_plans = (
+            bool(access_plans) and self.tlb_enabled and check_mode == "strict"
+        )
+        self.plans: AccessPlanCache | None = (
+            AccessPlanCache(self) if self.access_plans else None
+        )
 
     @property
     def size(self) -> int:
@@ -175,45 +189,139 @@ class AddressSpace:
         """Checked batched read: one call for many ``(address, length)``.
 
         Semantically identical to ``[load(a, n) for a, n in requests]`` but
-        amortises the per-call overhead across the batch — the shape of the
-        kvstore/slab hot loops.
+        amortises the per-call overhead across the batch, and coalesces
+        *adjacent* requests (each starting where the previous ended) into
+        one contiguous run checked as a unit — the same pages, so the same
+        verdicts; :meth:`_check_run` replays a faulting run per request so
+        fault identity is preserved. This is the shape of the kvstore/slab
+        hot loops (header followed by its body) even with plans disabled.
         """
-        tlb = self._tlb
         view = self._view
         out: list[bytes] = []
-        hits = 0
+        run_start = 0
+        run_end = -1  # sentinel: no run open
+        members: list[tuple[int, int]] = []
+        count = 0
         for address, length in requests:
-            if (
-                0 < length <= PAGE_SIZE - address % PAGE_SIZE
-                and address // PAGE_SIZE * 2 in tlb
-            ):
-                hits += 1
-            else:
+            count += 1
+            if 0 < length and address == run_end:
+                members.append((address, length))
+                run_end += length
+                continue
+            if run_end >= 0:
+                self._check_run(run_start, run_end - run_start, members)
+                for member_address, member_length in members:
+                    out.append(
+                        bytes(view[member_address : member_address + member_length])
+                    )
+            if length <= 0:
+                # Degenerate requests keep exact per-request semantics
+                # (bounds check, empty result) and never join a run.
                 self._check_access(address, length, write=False)
-            out.append(bytes(view[address : address + length]))
-        self.tlb_hits += hits
-        self.loads += len(out)
+                out.append(b"")
+                run_end = -1
+                members = []
+            else:
+                run_start = address
+                run_end = address + length
+                members = [(address, length)]
+        if run_end >= 0:
+            self._check_run(run_start, run_end - run_start, members)
+            for member_address, member_length in members:
+                out.append(
+                    bytes(view[member_address : member_address + member_length])
+                )
+        self.loads += count
         return out
 
     def store_many(self, items: Iterable[tuple[int, bytes]]) -> None:
-        """Checked batched write: one call for many ``(address, data)``."""
-        tlb = self._tlb
-        memory = self._memory
+        """Checked batched write: one call for many ``(address, data)``.
+
+        Adjacent writes coalesce into contiguous runs like
+        :meth:`load_many`; a fault inside a run replays that run's members
+        individually so the partially-applied prefix and the raised fault
+        are identical to the uncoalesced path.
+        """
+        run_start = 0
+        run_end = -1
+        members: list[tuple[int, bytes]] = []
         count = 0
-        hits = 0
         for address, data in items:
             length = len(data)
-            if (
-                0 < length <= PAGE_SIZE - address % PAGE_SIZE
-                and address // PAGE_SIZE * 2 + 1 in tlb
-            ):
-                hits += 1
-            else:
-                self._check_access(address, length, write=True)
-            memory[address : address + length] = data
             count += 1
-        self.tlb_hits += hits
+            if 0 < length and address == run_end:
+                members.append((address, data))
+                run_end += length
+                continue
+            if run_end >= 0:
+                self._store_run(run_start, run_end - run_start, members)
+            if length <= 0:
+                self._check_access(address, length, write=True)
+                run_end = -1
+                members = []
+            else:
+                run_start = address
+                run_end = address + length
+                members = [(address, data)]
+        if run_end >= 0:
+            self._store_run(run_start, run_end - run_start, members)
         self.stores += count
+
+    def _check_run(self, address: int, length: int, members) -> None:
+        """Check one coalesced run of adjacent batched reads.
+
+        The run spans exactly the pages its members span, so one fused
+        check computes the same verdicts. If the fused check faults, the
+        members are re-checked one by one (after undoing the fused check's
+        fault count) so the raised fault and the fault counter match the
+        uncoalesced path byte for byte.
+        """
+        if (
+            0 < length <= PAGE_SIZE - address % PAGE_SIZE
+            and address // PAGE_SIZE * 2 in self._tlb
+        ):
+            self.tlb_hits += 1
+            return
+        if len(members) == 1:
+            self._check_access(address, length, write=False)
+            return
+        faults_before = self.faults
+        try:
+            self._check_access(address, length, write=False)
+        except MemoryError_:
+            self.faults = faults_before
+            for member_address, member_length in members:
+                self._check_access(member_address, member_length, write=False)
+            raise  # pragma: no cover - per-member re-check raises first
+
+    def _store_run(self, address: int, length: int, members) -> None:
+        """Check one coalesced run of adjacent batched writes, then apply.
+
+        On a fused-check fault the members are replayed individually —
+        checking *and writing* each passing member before the faulting one
+        raises — so the partially-applied prefix matches sequential
+        semantics exactly.
+        """
+        memory = self._memory
+        if (
+            0 < length <= PAGE_SIZE - address % PAGE_SIZE
+            and address // PAGE_SIZE * 2 + 1 in self._tlb
+        ):
+            self.tlb_hits += 1
+        elif len(members) == 1:
+            self._check_access(address, length, write=True)
+        else:
+            faults_before = self.faults
+            try:
+                self._check_access(address, length, write=True)
+            except MemoryError_:
+                self.faults = faults_before
+                for member_address, data in members:
+                    self._check_access(member_address, len(data), write=True)
+                    memory[member_address : member_address + len(data)] = data
+                raise  # pragma: no cover - per-member re-check raises first
+        for member_address, data in members:
+            memory[member_address : member_address + len(data)] = data
 
     def load_u8(self, address: int) -> int:
         return self.load(address, 1)[0]
@@ -280,10 +388,12 @@ class AddressSpace:
     # ------------------------------------------------------------------
 
     def tlb_flush(self) -> None:
-        """Drop every cached verdict (all PKRU views)."""
+        """Drop every cached verdict (all PKRU views) and every plan."""
         self._tlb = {}
         self._tlb_by_pkru = {self.pkru.value: self._tlb}
         self.tlb_flushes += 1
+        if self.plans is not None:
+            self.plans.shootdown()
 
     def _tlb_switch_pkru(self, value: int) -> None:
         """WRPKRU hook: activate the verdict cache for the new PKRU value.
@@ -295,12 +405,20 @@ class AddressSpace:
         cache = self._tlb_by_pkru.get(value)
         if cache is None:
             if len(self._tlb_by_pkru) >= 64:
-                # Pathological PKRU churn: fall back to a full flush.
+                # Pathological PKRU churn: fall back to a full flush. The
+                # discarded verdict dicts are exactly what checked plans
+                # anchor their validity to, so they must die with them.
                 self._tlb_by_pkru.clear()
                 self.tlb_flushes += 1
+                if self.plans is not None:
+                    self.plans.shootdown()
             cache = {}
             self._tlb_by_pkru[value] = cache
         self._tlb = cache
+        # Plans compiled under other PKRU values need no action here: each
+        # checked plan captures its verdict dict and tests identity against
+        # ``self._tlb`` per access, so this switch makes foreign plans
+        # dormant exactly like it benches foreign verdict caches.
 
     def _tlb_invalidate_pages(self, first_page: int, last_page: int) -> None:
         """Page-table hook: shoot down pages in every cached PKRU view."""
@@ -314,6 +432,11 @@ class AddressSpace:
                     cache.pop(page * 2, None)
                     cache.pop(page * 2 + 1, None)
         self.tlb_flushes += 1
+        # Any mapping/permission/key change kills every plan. Page-scoped
+        # plan invalidation would need a page->plan index; range updates
+        # are domain-lifecycle-rate events, so conservative is cheap.
+        if self.plans is not None:
+            self.plans.shootdown()
 
     def _tlb_on_pkey_free(self, pkey: int) -> None:
         """``pkey_free`` hook: a recycled key may re-appear under a new

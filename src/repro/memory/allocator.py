@@ -102,6 +102,16 @@ class FreeListAllocator:
         # until reallocated; malloc zero-fills each block it hands out.
         self._scrub_pending = False
         self.lazy_scrubbed_bytes = 0
+        # Compiled kernel window over the arena for boundary-tag I/O;
+        # rebuilt on demand after any plan shootdown.
+        self._plan = None
+        # Deferred-free fast bin (dlmalloc's fastbin idea, depth 1): the
+        # most recently freed block is parked fully verified but with its
+        # ALLOC header still in place; an exact-capacity malloc reclaims
+        # it without the first-fit walk, split, FREE-header write, or
+        # coalesce. Any other operation retires it through the normal
+        # free path first, so observable heap state never diverges.
+        self._hot: "tuple[int, int] | None" = None  # (block addr, capacity)
         self._init_arena()
 
     # ------------------------------------------------------------------
@@ -113,6 +123,27 @@ class FreeListAllocator:
         if nbytes <= 0:
             raise SdradError(f"allocation size must be positive, got {nbytes}")
         capacity = _align(nbytes)
+        hot = self._hot
+        if hot is not None:
+            if hot[1] == capacity:
+                # Exact-fit reclaim of the parked block: its guard was
+                # verified intact at park time, but free memory is fair
+                # game for wild writes, so the guard is rewritten exactly
+                # as the slow path would.
+                addr = hot[0]
+                self._hot = None
+                self._write_header(addr, ALLOC_MAGIC, capacity, nbytes)
+                self._write_guard(addr, capacity)
+                self.total_allocs += 1
+                self._allocated_bytes += capacity
+                self._peak_allocated = max(
+                    self._peak_allocated, self._allocated_bytes
+                )
+                if self._scrub_pending:
+                    self.space.raw_fill(addr + HEADER_SIZE, capacity, 0)
+                    self.lazy_scrubbed_bytes += capacity
+                return addr + HEADER_SIZE
+            self._retire_hot()
         blocks = self._blocks
         for addr in self._addrs:
             block_capacity, in_use = blocks[addr]
@@ -143,6 +174,12 @@ class FreeListAllocator:
 
     def free(self, payload_addr: int) -> None:
         """Free a payload pointer, verifying header and guard integrity."""
+        if self._hot is not None:
+            # Completing the previous deferred free first keeps the heap
+            # exactly as if every free had run eagerly — including turning
+            # a re-free of the parked block into the same "double free"
+            # (or, post-coalesce, "does not belong") the eager path raises.
+            self._retire_hot()
         addr = payload_addr - HEADER_SIZE
         if addr not in self._blocks:
             raise InvalidFree(payload_addr, "pointer does not belong to this heap")
@@ -156,21 +193,23 @@ class FreeListAllocator:
         mirror_capacity, in_use = self._blocks[addr]
         if capacity != mirror_capacity or not in_use:
             raise HeapCorruption(addr, "header capacity disagrees with allocator state")
-        guard = self.space.raw_load(addr + HEADER_SIZE + capacity, GUARD_SIZE)
+        guard = self._read_guard(addr, capacity)
         if guard != _GUARD_BYTES:
             raise HeapCorruption(
                 addr + HEADER_SIZE + capacity,
                 f"guard bytes overwritten ({guard.hex()}) — buffer overflow",
             )
-        self._write_header(addr, FREE_MAGIC, capacity, 0)
-        self._blocks[addr] = (capacity, False)
+        # Park instead of freeing eagerly: the block keeps its ALLOC
+        # header and mirror entry until something retires it.
+        self._hot = (addr, capacity)
         self.total_frees += 1
         self._allocated_bytes -= capacity
-        self._coalesce(addr)
 
     def payload_capacity(self, payload_addr: int) -> int:
         """Usable capacity behind a payload pointer."""
         addr = payload_addr - HEADER_SIZE
+        if self._hot is not None and self._hot[0] == addr:
+            self._retire_hot()
         if addr not in self._blocks or not self._blocks[addr][1]:
             raise InvalidFree(payload_addr, "not an allocated block")
         return self._blocks[addr][0]
@@ -181,6 +220,7 @@ class FreeListAllocator:
         This models the heap-integrity sweep SDRaD can run at a domain
         boundary; it raises :class:`HeapCorruption` on the first defect.
         """
+        self._retire_hot()
         addr = self.base
         end = self.base + self.size
         seen = 0
@@ -191,9 +231,7 @@ class FreeListAllocator:
             if checksum != (magic ^ capacity ^ requested) & 0xFFFFFFFF:
                 raise HeapCorruption(addr, "walk found bad checksum")
             if magic == ALLOC_MAGIC:
-                guard = self.space.raw_load(
-                    addr + HEADER_SIZE + capacity, GUARD_SIZE
-                )
+                guard = self._read_guard(addr, capacity)
                 if guard != _GUARD_BYTES:
                     raise HeapCorruption(
                         addr + HEADER_SIZE + capacity, "walk found smashed guard"
@@ -222,6 +260,7 @@ class FreeListAllocator:
         ablation keeps the eager mode for exactly that comparison.
         """
         pages = 0
+        self._hot = None  # everything is discarded, deferred free included
         if scrub:
             if lazy:
                 self._scrub_pending = True
@@ -239,17 +278,24 @@ class FreeListAllocator:
 
         Pairs with a byte-level snapshot of the arena: restoring both puts
         the heap back exactly as it was, metadata and mirror in agreement.
+        Retires any deferred free first, so callers must export *before*
+        capturing arena bytes (the retire writes boundary tags).
         """
+        self._retire_hot()
         return dict(self._blocks), self._allocated_bytes
 
     def import_state(self, state: tuple[dict[int, tuple[int, bool]], int]) -> None:
         """Restore bookkeeping exported by :meth:`export_state`."""
         blocks, allocated = state
+        # The restored snapshot was exported post-retire; whatever is
+        # parked now belongs to the state being thrown away.
+        self._hot = None
         self._blocks = dict(blocks)
         self._addrs = sorted(self._blocks)
         self._allocated_bytes = allocated
 
     def stats(self) -> HeapStats:
+        self._retire_hot()
         live = sum(1 for _, in_use in self._blocks.values() if in_use)
         free_blocks = len(self._blocks) - live
         return HeapStats(
@@ -268,6 +314,17 @@ class FreeListAllocator:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
+
+    def _retire_hot(self) -> None:
+        """Complete the deferred free: write the FREE tag and coalesce."""
+        hot = self._hot
+        if hot is None:
+            return
+        self._hot = None
+        addr, capacity = hot
+        self._write_header(addr, FREE_MAGIC, capacity, 0)
+        self._blocks[addr] = (capacity, False)
+        self._coalesce(addr)
 
     def _init_arena(self) -> None:
         capacity = self.size - HEADER_SIZE - GUARD_SIZE
@@ -325,14 +382,48 @@ class FreeListAllocator:
                 self._write_header(prev, FREE_MAGIC, merged, 0)
                 self._write_guard(prev, merged)
 
+    def _arena_plan(self):
+        """Live kernel plan over the arena, or ``None`` with plans off.
+
+        Boundary-tag traffic is the allocator's whole access profile, so a
+        single compiled window over ``[base, base+size)`` serves every
+        header, guard and scrub; a shootdown (mprotect/retag/``pkey_free``
+        on any page) drops ``cell[0]`` and the next call recompiles.
+        """
+        plan = self._plan
+        if plan is not None and plan.cell[0]:
+            return plan
+        cache = self.space.plans
+        if cache is None:
+            return None
+        self._plan = cache.kernel_plan(self.base, self.size)
+        return self._plan
+
     def _write_header(self, addr: int, magic: int, capacity: int, requested: int) -> None:
         checksum = (magic ^ capacity ^ requested) & 0xFFFFFFFF
-        self.space.raw_store(
-            addr, _HEADER_STRUCT.pack(magic, capacity, requested, checksum)
-        )
+        plan = self._arena_plan()
+        if plan is not None:
+            plan.pack_into(_HEADER_STRUCT, addr, magic, capacity, requested, checksum)
+        else:
+            self.space.raw_store(
+                addr, _HEADER_STRUCT.pack(magic, capacity, requested, checksum)
+            )
 
     def _write_guard(self, addr: int, capacity: int) -> None:
-        self.space.raw_store(addr + HEADER_SIZE + capacity, _GUARD_BYTES)
+        plan = self._arena_plan()
+        if plan is not None:
+            plan.store(addr + HEADER_SIZE + capacity, _GUARD_BYTES)
+        else:
+            self.space.raw_store(addr + HEADER_SIZE + capacity, _GUARD_BYTES)
 
     def _read_header(self, addr: int) -> tuple[int, int, int, int]:
+        plan = self._arena_plan()
+        if plan is not None:
+            return plan.unpack_from(_HEADER_STRUCT, addr)
         return _HEADER_STRUCT.unpack(self.space.raw_load(addr, HEADER_SIZE))
+
+    def _read_guard(self, addr: int, capacity: int) -> bytes:
+        plan = self._arena_plan()
+        if plan is not None:
+            return plan.load(addr + HEADER_SIZE + capacity, GUARD_SIZE)
+        return self.space.raw_load(addr + HEADER_SIZE + capacity, GUARD_SIZE)

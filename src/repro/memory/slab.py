@@ -86,6 +86,13 @@ class SlabAllocator:
             i: 0 for i in range(len(self.chunk_sizes))
         }
         self._live: dict[int, int] = {}  # chunk addr -> class id
+        # Chunk headers are constant per class; precomputing them turns
+        # the per-alloc header write and per-free verification into one
+        # bytes store / compare.
+        self._header_bytes: list[bytes] = [
+            CHUNK_MAGIC.to_bytes(4, "little") + class_id.to_bytes(4, "little")
+            for class_id in range(len(self.chunk_sizes))
+        ]
         self.total_allocs = 0
         self.total_frees = 0
 
@@ -123,10 +130,12 @@ class SlabAllocator:
         class_id = self._live.get(addr)
         if class_id is None:
             raise InvalidFree(payload_addr, "not a live slab chunk")
-        magic, stored_class = self._read_chunk_header(addr)
-        if magic != CHUNK_MAGIC:
-            raise HeapCorruption(addr, f"chunk magic smashed ({magic:#x})")
-        if stored_class != class_id:
+        raw = self.space.raw_load(addr, CHUNK_HEADER)
+        if raw != self._header_bytes[class_id]:
+            # Decode only on the corruption path to name the defect.
+            magic, stored_class = self._read_chunk_header(addr)
+            if magic != CHUNK_MAGIC:
+                raise HeapCorruption(addr, f"chunk magic smashed ({magic:#x})")
             raise HeapCorruption(addr, "chunk class id smashed")
         del self._live[addr]
         self._free_chunks[class_id].append(addr)
@@ -215,8 +224,7 @@ class SlabAllocator:
             self._free_chunks[class_id].append(page + i * stride)
 
     def _write_chunk_header(self, addr: int, class_id: int) -> None:
-        header = CHUNK_MAGIC.to_bytes(4, "little") + class_id.to_bytes(4, "little")
-        self.space.raw_store(addr, header)
+        self.space.raw_store(addr, self._header_bytes[class_id])
 
     def _read_chunk_header(self, addr: int) -> tuple[int, int]:
         raw = self.space.raw_load(addr, CHUNK_HEADER)

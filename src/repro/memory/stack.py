@@ -28,15 +28,24 @@ any local buffer first smashes the canary, exactly as on x86-64.
 from __future__ import annotations
 
 import random
+import struct
 
 from ..errors import SdradError, StackCanaryViolation
 from .address_space import AddressSpace
 
 WORD = 8
 
+#: Canary word + saved return address, the prologue/epilogue pair.
+_FRAME_STRUCT = struct.Struct("<QQ")
+
 
 class StackFrame:
     """One activation record; created by :meth:`CallStack.push_frame`."""
+
+    __slots__ = (
+        "stack", "name", "return_slot", "canary_slot", "sp",
+        "_expected_canary", "popped",
+    )
 
     def __init__(
         self, stack: "CallStack", name: str, return_slot: int, canary_slot: int
@@ -73,11 +82,20 @@ class StackFrame:
 
         Note that, like a C ``memcpy``, this enforces nothing about buffer
         bounds — only page-level permissions apply. Writing more bytes than
-        were ``alloca``'d is precisely how tests model a stack smash.
+        were ``alloca``'d is precisely how tests model a stack smash: a
+        compiled plan covers the whole stack region, so an overflow inside
+        it corrupts the canary exactly like the per-access path would.
         """
-        self.stack.space.store(addr, data)
+        plan = self.stack._checked_plan()
+        if plan is not None:
+            plan.store(addr, data)
+        else:
+            self.stack.space.store(addr, data)
 
     def read_buffer(self, addr: int, nbytes: int) -> bytes:
+        plan = self.stack._checked_plan()
+        if plan is not None:
+            return plan.load(addr, nbytes)
         return self.stack.space.load(addr, nbytes)
 
 
@@ -103,6 +121,31 @@ class CallStack:
         #: Set by a lazy discard: the stack bytes are stale and are
         #: zero-filled on the next frame push instead of at rewind time.
         self.scrub_pending = False
+        # Compiled windows over the stack region, rebuilt after shootdowns:
+        # a kernel plan for prologue/epilogue canary words, a checked plan
+        # (current PKRU) for application buffer I/O.
+        self._plan = None
+        self._rw_plan = None
+
+    def _kernel_plan(self):
+        plan = self._plan
+        if plan is not None and plan.cell[0]:
+            return plan
+        cache = self.space.plans
+        if cache is None:
+            return None
+        self._plan = cache.kernel_plan(self.base, self.size)
+        return self._plan
+
+    def _checked_plan(self):
+        plan = self._rw_plan
+        if plan is not None and plan.is_valid():
+            return plan
+        cache = self.space.plans
+        if cache is None:
+            return None
+        self._rw_plan = cache.checked_plan(self.base, self.size, "rw")
+        return self._rw_plan
 
     @property
     def depth(self) -> int:
@@ -130,11 +173,15 @@ class CallStack:
         frame._expected_canary = canary
         # The canary slot sits directly below the return slot, so both words
         # go down in one store (same bytes, same layout, half the calls).
-        self.space.raw_store(
-            canary_slot,
-            canary.to_bytes(WORD, "little")
-            + return_address.to_bytes(WORD, "little"),
-        )
+        plan = self._kernel_plan()
+        if plan is not None:
+            plan.pack_into(_FRAME_STRUCT, canary_slot, canary, return_address)
+        else:
+            self.space.raw_store(
+                canary_slot,
+                canary.to_bytes(WORD, "little")
+                + return_address.to_bytes(WORD, "little"),
+            )
         self._frames.append(frame)
         return frame
 
@@ -149,13 +196,20 @@ class CallStack:
             raise SdradError(
                 f"pop of frame '{frame.name}' that is not the innermost frame"
             )
-        words = self.space.raw_load(frame.canary_slot, 2 * WORD)
-        found = int.from_bytes(words[:WORD], "little")
+        plan = self._kernel_plan()
+        if plan is not None:
+            found, return_address = plan.unpack_from(
+                _FRAME_STRUCT, frame.canary_slot
+            )
+        else:
+            words = self.space.raw_load(frame.canary_slot, 2 * WORD)
+            found = int.from_bytes(words[:WORD], "little")
+            return_address = int.from_bytes(words[WORD:], "little")
         self._frames.pop()
         frame.popped = True
         if found != frame._expected_canary:
             raise StackCanaryViolation(frame.name, frame._expected_canary, found)
-        return int.from_bytes(words[WORD:], "little")
+        return return_address
 
     def unwind_all(self) -> None:
         """Abandon every frame without canary checks (rewind path)."""

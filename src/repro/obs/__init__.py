@@ -26,7 +26,7 @@ from .exporters import (
     write_jsonl,
     write_prometheus,
 )
-from .hub import UNSAMPLED, Observability
+from .hub import DROPPED, UNSAMPLED, Observability
 from .metrics import (
     BATCH_SIZE_BUCKETS,
     REQUEST_LATENCY_BUCKETS,
@@ -67,6 +67,7 @@ __all__ = [
     "BucketHistogram",
     "Counter",
     "DEFAULT_DATASET_BYTES",
+    "DROPPED",
     "Gauge",
     "LedgerEntry",
     "ObsError",

@@ -22,6 +22,7 @@ into the registry so one snapshot covers both.
 from __future__ import annotations
 
 import math
+from bisect import bisect_left
 from typing import Iterable, Optional, Union
 
 from ..errors import SdradError
@@ -143,16 +144,28 @@ class BucketHistogram:
 
     def observe(self, value: float) -> None:
         value = float(value)
-        lo, hi = 0, len(self.buckets)
-        while lo < hi:
-            mid = (lo + hi) // 2
-            if value <= self.buckets[mid]:
-                hi = mid
-            else:
-                lo = mid + 1
-        self._bucket_counts[lo] += 1
+        # bisect_left finds the first bound >= value — the Prometheus
+        # ``le`` bucket — at C speed; index len(buckets) is the +Inf slot.
+        self._bucket_counts[bisect_left(self.buckets, value)] += 1
         self._sum += value
         self._count += 1
+
+    def observe_many(self, value: float, count: int) -> None:
+        """``count`` observations of the same ``value`` in one call.
+
+        Exactly equivalent to calling :meth:`observe` ``count`` times —
+        the sum is accumulated by repeated addition, not ``value * count``,
+        so the float result is bit-identical to the unbatched sequence.
+        """
+        if count <= 0:
+            return
+        value = float(value)
+        self._bucket_counts[bisect_left(self.buckets, value)] += count
+        total = self._sum
+        for _ in range(count):
+            total += value
+        self._sum = total
+        self._count += count
 
     @property
     def count(self) -> int:

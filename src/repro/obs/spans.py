@@ -18,11 +18,17 @@ Design constraints (why this is not OpenTelemetry):
   not random 128-bit ids, for the same reason;
 * **single-threaded** — the simulator is single-threaded, so one open-span
   stack per hub is sufficient for parent linking.
+
+Hot-path layout (DESIGN.md §9): span names and statuses are *interned* to
+small integer codes at record time and materialised back to strings only
+when someone reads ``span.name``/``span.status`` — at export or snapshot
+time, never per request. A bounded :class:`SpanBuffer` preallocates its
+slot array once, so steady-state appends are one index store with no list
+growth, and a saturated buffer costs one counter bump per drop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Iterator, Optional
 
 from ..errors import SdradError
@@ -32,20 +38,79 @@ class ObsError(SdradError):
     """Misuse of the observability layer (e.g. mis-nested span ends)."""
 
 
-@dataclass
-class Span:
-    """One finished-or-open span. Mutable until :class:`ended <Span>`."""
+# ----------------------------------------------------------------------
+# Label interning: strings in, integer codes stored, strings back out
+# only when somebody looks. The tables are process-global on purpose —
+# span names are a tiny closed vocabulary ("domain.execute",
+# "memcached.request", ...), so codes stay small and hubs share them.
+# ----------------------------------------------------------------------
 
-    span_id: int
-    trace_id: int
-    parent_id: Optional[int]
-    name: str
-    start: float
-    end: Optional[float] = None
-    status: str = "open"
-    attrs: dict = field(default_factory=dict)
+_LABEL_CODES: dict = {}
+_LABELS: list = []
+
+
+def _intern(label: str) -> int:
+    code = _LABEL_CODES.get(label)
+    if code is None:
+        code = len(_LABELS)
+        _LABEL_CODES[label] = code
+        _LABELS.append(label)
+    return code
+
+
+class Span:
+    """One finished-or-open span. Mutable until ended.
+
+    ``name`` and ``status`` are stored as interned integer codes
+    (:func:`_intern`); the string properties resolve lazily, so the hot
+    path never rebuilds label strings and the exporters see exactly the
+    strings that went in.
+    """
+
+    __slots__ = (
+        "span_id",
+        "trace_id",
+        "parent_id",
+        "_name_code",
+        "start",
+        "end",
+        "_status_code",
+        "attrs",
+    )
 
     sampled = True
+
+    def __init__(
+        self,
+        span_id: int,
+        trace_id: int,
+        parent_id: Optional[int],
+        name: str,
+        start: float,
+        end: Optional[float] = None,
+        status: str = "open",
+        attrs: Optional[dict] = None,
+    ) -> None:
+        self.span_id = span_id
+        self.trace_id = trace_id
+        self.parent_id = parent_id
+        self._name_code = _intern(name)
+        self.start = start
+        self.end = end
+        self._status_code = _intern(status)
+        self.attrs = {} if attrs is None else attrs
+
+    @property
+    def name(self) -> str:
+        return _LABELS[self._name_code]
+
+    @property
+    def status(self) -> str:
+        return _LABELS[self._status_code]
+
+    @status.setter
+    def status(self, value: str) -> None:
+        self._status_code = _intern(value)
 
     @property
     def duration(self) -> float:
@@ -61,15 +126,20 @@ class Span:
         return self.end is None
 
     def as_dict(self) -> dict:
-        """JSON-friendly representation (the JSONL exporter's row)."""
+        """JSON-friendly representation (the JSONL exporter's row).
+
+        This is where labels materialise: the integer codes resolve back
+        to the exact strings recorded, keeping exporter output identical
+        to the pre-interning format.
+        """
         return {
             "span_id": self.span_id,
             "trace_id": self.trace_id,
             "parent_id": self.parent_id,
-            "name": self.name,
+            "name": _LABELS[self._name_code],
             "start": self.start,
             "end": self.end,
-            "status": self.status,
+            "status": _LABELS[self._status_code],
             "attrs": dict(self.attrs),
         }
 
@@ -86,6 +156,14 @@ class Span:
             attrs=dict(data["attrs"]),
         )
 
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Span(span_id={self.span_id}, trace_id={self.trace_id}, "
+            f"parent_id={self.parent_id}, name={self.name!r}, "
+            f"start={self.start}, end={self.end}, status={self.status!r}, "
+            f"attrs={self.attrs!r})"
+        )
+
     def __str__(self) -> str:  # pragma: no cover - debugging aid
         attrs = " ".join(f"{k}={v}" for k, v in sorted(self.attrs.items()))
         return (
@@ -98,56 +176,83 @@ class Span:
 class SpanBuffer:
     """Per-run buffer of *finished* spans, bounded by ``capacity``.
 
-    When full, further spans are counted in :attr:`dropped` instead of
-    stored — a long benchmark run must not grow memory without bound just
-    because tracing is on.
+    A bounded buffer preallocates its slot array once (the ring the obs
+    hot path writes into) and appends with a single index store; when
+    full, further spans are counted in :attr:`dropped` instead of stored —
+    a long benchmark run must not grow memory without bound just because
+    tracing is on, and the hub stops even *constructing* spans once
+    :attr:`full` goes true (see ``Observability.start_span``). Drop order
+    is oldest-kept/newest-dropped so early-run context survives.
     """
 
     def __init__(self, capacity: Optional[int] = None) -> None:
         if capacity is not None and capacity < 1:
             raise ObsError(f"span buffer capacity must be >= 1, got {capacity}")
-        self._spans: list[Span] = []
         self._capacity = capacity
+        # Preallocated ring storage for the bounded case; a plain growable
+        # list when unbounded (tests, small tools).
+        self._slots: "list[Optional[Span]]" = (
+            [None] * capacity if capacity is not None else []
+        )
+        self._count = 0
         self.dropped = 0
 
-    def append(self, span: Span) -> None:
-        if self._capacity is not None and len(self._spans) >= self._capacity:
-            self.dropped += 1
-            return
-        self._spans.append(span)
+    @property
+    def capacity(self) -> Optional[int]:
+        return self._capacity
 
     @property
-    def spans(self) -> list[Span]:
-        return list(self._spans)
+    def full(self) -> bool:
+        """True when the next append would drop (the hub's saturation test)."""
+        return self._capacity is not None and self._count >= self._capacity
+
+    def append(self, span: Span) -> None:
+        i = self._count
+        if self._capacity is None:
+            self._slots.append(span)
+        elif i >= self._capacity:
+            self.dropped += 1
+            return
+        else:
+            self._slots[i] = span
+        self._count = i + 1
+
+    @property
+    def spans(self) -> "list[Span]":
+        return self._slots[: self._count]
 
     def __len__(self) -> int:
-        return len(self._spans)
+        return self._count
 
     def __iter__(self) -> Iterator[Span]:
-        return iter(self._spans)
+        return iter(self._slots[: self._count])
 
     def clear(self) -> None:
-        self._spans.clear()
+        if self._capacity is None:
+            self._slots.clear()
+        else:
+            self._slots = [None] * self._capacity
+        self._count = 0
         self.dropped = 0
 
     # ------------------------------------------------------------------
     # Tree queries (tests and reports)
     # ------------------------------------------------------------------
 
-    def of_name(self, *names: str) -> list[Span]:
+    def of_name(self, *names: str) -> "list[Span]":
         wanted = set(names)
-        return [s for s in self._spans if s.name in wanted]
+        return [s for s in self.spans if s.name in wanted]
 
     def count(self, name: str) -> int:
-        return sum(1 for s in self._spans if s.name == name)
+        return sum(1 for s in self.spans if s.name == name)
 
-    def roots(self) -> list[Span]:
-        return [s for s in self._spans if s.parent_id is None]
+    def roots(self) -> "list[Span]":
+        return [s for s in self.spans if s.parent_id is None]
 
-    def children_of(self, span: Span) -> list[Span]:
-        return [s for s in self._spans if s.parent_id == span.span_id]
+    def children_of(self, span: Span) -> "list[Span]":
+        return [s for s in self.spans if s.parent_id == span.span_id]
 
-    def tree_violations(self) -> list[str]:
+    def tree_violations(self) -> "list[str]":
         """Structural invariants of the buffered span forest.
 
         Returns human-readable problems; an empty list means every span is
@@ -155,9 +260,10 @@ class SpanBuffer:
         one that was dropped — flagged only when nothing was dropped), and
         every child lies within its parent's interval.
         """
-        problems: list[str] = []
-        by_id = {s.span_id: s for s in self._spans}
-        for span in self._spans:
+        problems: "list[str]" = []
+        spans = self.spans
+        by_id = {s.span_id: s for s in spans}
+        for span in spans:
             if span.is_open:
                 problems.append(f"span #{span.span_id} {span.name!r} never ended")
                 continue

@@ -89,6 +89,21 @@ class DomainHandle:
     def __init__(self, runtime: "SdradRuntime", domain: Domain) -> None:
         self._runtime = runtime
         self._domain = domain
+        # Compiled checked window over the domain heap (the overwhelmingly
+        # common target of handle I/O). PKRU-keyed: valid only while the
+        # domain's PKRU is active, revalidated per access burst.
+        self._plan = None
+
+    def _heap_plan(self):
+        plan = self._plan
+        if plan is not None and plan.is_valid():
+            return plan
+        cache = self._runtime.space.plans
+        if cache is None:
+            return None
+        domain = self._domain
+        self._plan = cache.checked_plan(domain.heap_base, domain.heap_size, "rw")
+        return self._plan
 
     @property
     def udi(self) -> int:
@@ -114,21 +129,38 @@ class DomainHandle:
     # --- checked memory access (the application data path) -------------
 
     def store(self, addr: int, data: bytes) -> None:
-        self._runtime.space.store(addr, data)
+        plan = self._heap_plan()
+        if plan is not None:
+            plan.store(addr, data)
+        else:
+            self._runtime.space.store(addr, data)
 
     def load(self, addr: int, nbytes: int) -> bytes:
+        plan = self._heap_plan()
+        if plan is not None:
+            return plan.load(addr, nbytes)
         return self._runtime.space.load(addr, nbytes)
 
     def store_many(self, items) -> None:
         """Batched checked writes — one call for many ``(addr, data)``."""
-        self._runtime.space.store_many(items)
+        plan = self._heap_plan()
+        if plan is not None:
+            plan.store_many(items)
+        else:
+            self._runtime.space.store_many(items)
 
     def load_many(self, requests) -> list[bytes]:
         """Batched checked reads — one call for many ``(addr, nbytes)``."""
+        plan = self._heap_plan()
+        if plan is not None:
+            return plan.load_many(requests)
         return self._runtime.space.load_many(requests)
 
     def load_view(self, addr: int, nbytes: int) -> memoryview:
         """Checked zero-copy read (see :meth:`AddressSpace.load_view`)."""
+        plan = self._heap_plan()
+        if plan is not None:
+            return plan.view(addr, nbytes)
         return self._runtime.space.load_view(addr, nbytes)
 
     # --- stack ----------------------------------------------------------
@@ -211,8 +243,14 @@ class SdradRuntime:
         # load and a falsy check, keeping E1's overhead numbers intact
         # (the ``memcached_obs`` bench holds this to account).
         self.obs = obs
+        self._obs_entries = None
         if obs is not None:
             obs.bind_clock(self.clock)
+            # Resolved once: the per-entry counter is on the hottest path
+            # in the runtime, and registry lookups resolve label kwargs.
+            self._obs_entries = obs.registry.counter(
+                "sdrad_domain_entries_total"
+            )
         self.rng = rng if rng is not None else RngFactory(0)
         self.contexts = ContextStack()
         self._domains: dict[int, Domain] = {}
@@ -517,7 +555,7 @@ class SdradRuntime:
         span = None
         if obs is not None:
             span = obs.start_span("domain.execute", udi=udi)
-            obs.registry.counter("sdrad_domain_entries_total").increment()
+            self._obs_entries.increment()
 
         attempt = 0
         recovery_time = 0.0
@@ -610,10 +648,12 @@ class SdradRuntime:
 
         domain = self.domain(udi)
         footprint = domain.heap_size + domain.stack_size
-        # checkpoint: copy out heap + stack (+ allocator mirror state)
+        # checkpoint: allocator mirror state first (exporting retires any
+        # deferred free, which writes boundary tags), then heap + stack
+        # bytes, so the byte snapshot matches the exported metadata.
+        heap_state = domain.heap.export_state()
         heap_snap = capture(self.space, domain.heap_base, domain.heap_size)
         stack_snap = capture(self.space, domain.stack_base, domain.stack_size)
-        heap_state = domain.heap.export_state()
         self.charge(self.cost.copy_time(footprint))
 
         result = self.execute(udi, fn, *args, policy=RewindPolicy())
@@ -723,11 +763,22 @@ class SdradRuntime:
     # Cross-domain data movement (used by SDRaD-FFI marshalling)
     # ------------------------------------------------------------------
 
+    def _ffi_plan(self, domain: Domain):
+        """Kernel plan over a domain's heap for FFI marshalling I/O."""
+        cache = self.space.plans
+        if cache is None:
+            return None
+        return cache.kernel_plan(domain.heap_base, domain.heap_size)
+
     def copy_into(self, udi: int, data: bytes) -> int:
         """Copy ``data`` into ``udi``'s heap; returns the domain address."""
         domain = self.domain(udi)
         addr = domain.heap.malloc(max(len(data), 1))
-        self.space.raw_store(addr, data)
+        plan = self._ffi_plan(domain)
+        if plan is not None:
+            plan.store(addr, data)
+        else:
+            self.space.raw_store(addr, data)
         self.charge(self.cost.domain_alloc + self.cost.copy_time(len(data)))
         domain.stats.bytes_copied_in += len(data)
         return addr
@@ -735,7 +786,11 @@ class SdradRuntime:
     def copy_out(self, udi: int, addr: int, nbytes: int) -> bytes:
         """Copy ``nbytes`` out of ``udi``'s heap into the trusted side."""
         domain = self.domain(udi)
-        data = self.space.raw_load(addr, nbytes)
+        plan = self._ffi_plan(domain)
+        if plan is not None:
+            data = plan.load(addr, nbytes)
+        else:
+            data = self.space.raw_load(addr, nbytes)
         self.charge(self.cost.copy_time(nbytes))
         domain.stats.bytes_copied_out += nbytes
         return data

@@ -1,0 +1,79 @@
+"""Access-plan idioms that must stay clean under all rules.
+
+Mirrors ``repro.memory.plans`` and its consumers: a plan factory whose
+generated accessor closures capture the space and a validity cell but
+never touch the PKRU register (they guard on the cell instead), a gated
+runtime that compiles plans inside the entry-gate bracket, and domain
+bodies that move data across the boundary only through the plan's
+*copying* accessors or an explicit ``bytes(...)``. Parsed, never
+imported.
+"""
+
+
+def compile_checked_plan(space, base, length):
+    # The plan-factory shape: closures read the register value and the
+    # per-PKRU verdict dict, but a validity cell — not a PKRU write — is
+    # what gates the fast path. All of them escape via plan attributes.
+    cell = [True]
+    tlb = space._tlb
+    run = space._view[base : base + length]
+    ro_run = run.toreadonly()
+    compiled_under = space.pkru.value  # a read of WRPKRU state, not a write
+
+    def is_valid():
+        return cell[0] and space._tlb is tlb
+
+    def load(addr, n):
+        o = addr - base
+        if cell[0] and space._tlb is tlb and 0 <= o <= o + n <= length:
+            return bytes(ro_run[o : o + n])
+        return space.load(addr, n)
+
+    def store(addr, data):
+        n = len(data)
+        o = addr - base
+        if cell[0] and space._tlb is tlb and 0 <= o <= o + n <= length:
+            run[o : o + n] = data
+            return
+        space.store(addr, data)
+
+    plan = AccessPlan()  # noqa: F821
+    plan.pkru = compiled_under
+    plan.is_valid = is_valid
+    plan.load = load
+    plan.store = store
+    return plan
+
+
+class GatedRuntimeWithPlans:
+    def execute(self, domain, body):
+        # Entry gate unchanged by plans: the marshalling fast path uses a
+        # compiled plan *between* the bracketed PKRU writes.
+        saved = self.space.pkru.snapshot()
+        context = self.contexts.push(domain.udi, saved, 0.0)
+        self.space.pkru.write_prepared(domain.entry_pkru, 2)
+        plan = self.space.plans.kernel_plan(domain.heap_base, domain.heap_size)
+        if plan is not None:
+            plan.store(domain.heap_base, b"args")
+        result = body(domain.handle)
+        self.contexts.pop(context)
+        self.space.pkru.write(saved)
+        return result
+
+
+def copies_through_plan(handle: DomainHandle, addr):  # noqa: F821
+    # The plan's copying readers mirror handle.load: taint stops there.
+    plan = handle._heap_plan()
+    return plan.load(addr, 64)
+
+
+def materialises_plan_view(handle: DomainHandle, addr):  # noqa: F821
+    plan = handle._heap_plan()
+    view = plan.view(addr, 32)
+    return bytes(view)  # materialised before crossing the boundary
+
+
+def unpacks_header_via_plan(handle: DomainHandle, st, addr):  # noqa: F821
+    plan = handle._heap_plan()
+    magic, size = plan.unpack_from(st, addr)
+    return (magic, size)  # plain ints, not aliases

@@ -1,0 +1,39 @@
+"""Planted violations around compiled access plans. Parsed, never imported.
+
+A plan captures raw memoryviews of the run it was compiled over, so
+letting one (or its zero-copy ``view`` accessor's result) escape a domain
+body is a live alias into pages the rewind will discard (R2); and a
+generated closure that captures a PKRU write escapes the gate it was
+compiled inside — a callable WRPKRU gadget even though the factory
+invoked it once behind the bracket (R4).
+"""
+
+
+def leak_plan_from_domain_body(handle: DomainHandle):  # noqa: F821
+    plan = handle._heap_plan()
+    return plan  # expect[R2]
+
+
+def leak_plan_view(handle: DomainHandle, addr):  # noqa: F821
+    plan = handle._heap_plan()
+    return plan.view(addr, 64)  # expect[R2]
+
+
+def leak_cached_plan_attribute(handle: DomainHandle, out):  # noqa: F821
+    out["plan"] = handle._plan  # expect[R2]
+
+
+class TicketCacheWithReplayClosure:
+    def prime(self, domain):
+        saved = self.space.pkru.snapshot()
+        context = self.contexts.push(domain.udi, saved, 0.0)
+
+        def replay():
+            self.space.pkru.write_prepared(domain.entry_pkru, 1)  # expect[R4]
+
+        replay()  # warmed once inside the gate...
+        self.contexts.pop(context)
+        self.space.pkru.write(saved)
+        # ...but the closure escapes the bracket: whoever calls it later
+        # replays a WRPKRU with no gate around it.
+        self.tickets[domain.udi] = replay

@@ -1,0 +1,464 @@
+"""Adversarial tests for compiled access plans and batched coalescing.
+
+A plan is a batched TLB verdict, and like the re-entry tickets it is only
+sound because every event that could change the verdict shoots it down:
+mprotect, pkey retag, ``pkey_free``, explicit TLB flush, PKRU switch
+(dormancy, not death), and domain destroy. Each event gets a scenario
+that *goes wrong* if its shootdown hook — and only that hook — is
+deleted: a stale plan would then read through revoked permissions, a
+recycled key, or a freed domain's heap. The ablation tests pin the pure
+fast-path contract — ``AddressSpace(access_plans=False)`` must be
+bit-identical in responses, virtual time and architectural counters —
+and the coalescing tests pin fault identity for the batched paths that
+stay honest even with plans off.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.apps.memcached_server import IsolationMode, MemcachedServer
+from repro.errors import (
+    MemoryError_,
+    PermissionFault,
+    ProtectionKeyViolation,
+    SegmentationFault,
+)
+from repro.memory.address_space import AddressSpace
+from repro.memory.layout import PAGE_SIZE
+from repro.memory.mpk import PkruRegister
+from repro.sdrad.constants import DomainFlags
+from repro.sdrad.runtime import SdradRuntime
+
+
+def _mapped_space(pages: int = 4, pkey: int = 0) -> AddressSpace:
+    space = AddressSpace(size=PAGE_SIZE * 16)
+    space.page_table.map_range(0, pages * PAGE_SIZE, pkey=pkey)
+    return space
+
+
+class TestPlanFastPath:
+    """A live plan serves accesses with exact counter semantics."""
+
+    def test_checked_plan_roundtrip_and_counters(self):
+        space = _mapped_space()
+        plan = space.plans.checked_plan(0, 2 * PAGE_SIZE, "rw")
+        assert plan is not None and plan.is_valid()
+        loads, stores, hits = space.loads, space.stores, space.tlb_hits
+        plan.store(64, b"hello world")
+        assert plan.load(64, 11) == b"hello world"
+        plan.store_u32(128, 0xDEADBEEF)
+        assert plan.load_u32(128) == 0xDEADBEEF
+        plan.store_u64(136, 2**53 + 7)
+        assert plan.load_u64(136) == 2**53 + 7
+        # Every fast-path access counts as one load/store and one TLB hit
+        # (the plan *is* a cached verdict).
+        assert space.loads == loads + 3
+        assert space.stores == stores + 3
+        assert space.tlb_hits == hits + 6
+        assert space.faults == 0
+
+    def test_plan_is_cached_per_pkru_and_run(self):
+        space = _mapped_space()
+        first = space.plans.checked_plan(0, PAGE_SIZE, "r")
+        again = space.plans.checked_plan(0, PAGE_SIZE, "r")
+        other = space.plans.checked_plan(PAGE_SIZE, PAGE_SIZE, "r")
+        assert first is again
+        assert other is not first
+        assert space.plans.hits == 1
+        assert space.plans.built == 2
+
+    def test_probe_failure_returns_none_without_faulting(self):
+        space = _mapped_space(pages=2)
+        faults = space.faults
+        # Run extends into an unmapped page: no plan, no fault recorded.
+        assert space.plans.checked_plan(0, 4 * PAGE_SIZE, "r") is None
+        # Pages tagged with a key the current PKRU denies: same story.
+        pkey = space.pkeys.alloc()
+        space.page_table.tag_range(PAGE_SIZE, PAGE_SIZE, pkey)
+        assert space.plans.checked_plan(PAGE_SIZE, PAGE_SIZE, "r") is None
+        assert space.faults == faults
+
+    def test_out_of_window_access_falls_back(self):
+        space = _mapped_space()
+        space.store(2 * PAGE_SIZE + 8, b"outside")
+        plan = space.plans.checked_plan(0, PAGE_SIZE, "rw")
+        # An address outside the compiled window takes the checked path
+        # and still succeeds — a plan narrows nothing, it only speeds up.
+        assert plan.load(2 * PAGE_SIZE + 8, 7) == b"outside"
+        with pytest.raises(SegmentationFault):
+            plan.load(PAGE_SIZE * 40, 4)
+
+
+class TestMprotectShootdown:
+    """``protect_range`` must kill every plan or a write-plan outlives
+    a read-only downgrade of its pages."""
+
+    def test_write_plan_dies_on_readonly_downgrade(self):
+        space = _mapped_space()
+        plan = space.plans.checked_plan(0, 2 * PAGE_SIZE, "rw")
+        plan.store(64, b"before")
+        shootdowns = space.plans.shootdowns
+        space.page_table.protect_range(
+            0, 4 * PAGE_SIZE, readable=True, writable=False
+        )
+        assert space.plans.shootdowns == shootdowns + 1
+        assert not plan.is_valid()
+        # The dead plan falls back to the checked path, which raises the
+        # byte-identical fault the plan-off build would raise.
+        with pytest.raises(PermissionFault):
+            plan.store(64, b"after")
+        assert space.faults == 1
+        assert plan.load(64, 6) == b"before"  # reads still allowed
+
+    def test_fallback_fault_matches_plan_off_twin(self):
+        def provoke(space):
+            plan_or_space = (
+                space.plans.checked_plan(0, PAGE_SIZE, "rw")
+                if space.plans is not None
+                else space
+            )
+            plan_or_space.store(64, b"x" * 8)
+            space.page_table.protect_range(
+                0, 4 * PAGE_SIZE, readable=True, writable=False
+            )
+            try:
+                plan_or_space.store(64, b"y" * 8)
+            except PermissionFault as exc:
+                return str(exc), space.faults, space.loads, space.stores
+
+        on = provoke(_mapped_space())
+        off_space = AddressSpace(size=PAGE_SIZE * 16, access_plans=False)
+        off_space.page_table.map_range(0, 4 * PAGE_SIZE, pkey=0)
+        off = provoke(off_space)
+        assert on == off
+
+
+class TestRetagShootdown:
+    """``pkey_mprotect`` retags must kill plans — the pages now belong to
+    a key the compiling PKRU may not hold."""
+
+    def test_plan_dies_when_pages_move_to_foreign_key(self):
+        space = _mapped_space()
+        plan = space.plans.checked_plan(0, PAGE_SIZE, "rw")
+        plan.store(0, b"mine")
+        foreign = space.pkeys.alloc()
+        space.page_table.tag_range(0, 4 * PAGE_SIZE, foreign)
+        assert not plan.is_valid()
+        # Default PKRU denies the foreign key: the fallback faults exactly
+        # as the per-access path would. A stale plan reading through the
+        # old verdict would silently alias another owner's pages.
+        with pytest.raises(ProtectionKeyViolation):
+            plan.load(0, 4)
+        with pytest.raises(ProtectionKeyViolation):
+            plan.store(0, b"evil")
+
+
+class TestPkeyFreeShootdown:
+    """Key recycling flushes the TLB and must take every plan with it."""
+
+    def test_unrelated_pkey_free_kills_plans(self):
+        space = _mapped_space()
+        plan = space.plans.checked_plan(0, PAGE_SIZE, "rw")
+        plan.store(8, b"payload")
+        shootdowns = space.plans.shootdowns
+        pkey = space.pkeys.alloc()
+        space.pkeys.free(pkey)
+        assert space.plans.shootdowns == shootdowns + 1
+        assert not plan.is_valid()
+        # Pages are untouched, so the fallback still succeeds — and a
+        # fresh plan can be compiled for the same run.
+        assert plan.load(8, 7) == b"payload"
+        rebuilt = space.plans.checked_plan(0, PAGE_SIZE, "rw")
+        assert rebuilt is not None and rebuilt is not plan
+
+    def test_explicit_tlb_flush_kills_plans(self):
+        space = _mapped_space()
+        plan = space.plans.checked_plan(0, PAGE_SIZE, "r")
+        assert plan.is_valid()
+        space.tlb_flush()
+        assert not plan.is_valid()
+
+
+class TestPkruSwitchDormancy:
+    """WRPKRU makes foreign plans *dormant*, not dead — mirroring the
+    per-PKRU TLB verdict caches they anchor to."""
+
+    def test_plan_sleeps_under_foreign_pkru_and_wakes_on_return(self):
+        space = _mapped_space()
+        pkey = space.pkeys.alloc()
+        space.page_table.tag_range(0, 2 * PAGE_SIZE, pkey)
+        space.pkru.grant(pkey)
+        granted = space.pkru.value
+        plan = space.plans.checked_plan(0, PAGE_SIZE, "rw")
+        plan.store(16, b"domain-data")
+        assert plan.is_valid()
+
+        space.pkru.write(PkruRegister.DENY_ALL_EXCEPT_DEFAULT)
+        assert not plan.is_valid()
+        assert plan.cell[0]  # dormant, not shot down
+        # Under the denying PKRU the fallback checked path faults — the
+        # plan must not leak the rights it was compiled under.
+        with pytest.raises(ProtectionKeyViolation):
+            plan.load(16, 11)
+        with pytest.raises(ProtectionKeyViolation):
+            plan.store(16, b"smuggled")
+
+        space.pkru.write(granted)
+        assert plan.is_valid()  # same PKRU, same verdict dict: reactivated
+        assert plan.load(16, 11) == b"domain-data"
+
+    def test_cache_compiles_one_plan_per_pkru(self):
+        space = _mapped_space()
+        pkey = space.pkeys.alloc()
+        space.page_table.tag_range(0, 2 * PAGE_SIZE, pkey)
+        space.pkru.grant(pkey)
+        with_key = space.plans.checked_plan(0, PAGE_SIZE, "r")
+        space.pkru.write(PkruRegister.DENY_ALL_EXCEPT_DEFAULT)
+        # Pages carry the (now denied) key: probe fails, no plan.
+        assert space.plans.checked_plan(0, PAGE_SIZE, "r") is None
+        # An accessible run compiles a distinct plan under this PKRU.
+        other = space.plans.checked_plan(2 * PAGE_SIZE, PAGE_SIZE, "r")
+        assert other is not None and other is not with_key
+
+
+class TestKernelPlans:
+    """Kernel plans mirror ``raw_*``: PKRU-exempt, counter-exempt, but
+    still bound to the mapping they were compiled over."""
+
+    def test_survives_pkru_switch_but_not_range_update(self):
+        space = _mapped_space()
+        plan = space.plans.kernel_plan(0, 2 * PAGE_SIZE)
+        loads, stores = space.loads, space.stores
+        plan.store(32, b"metadata")
+        assert plan.load(32, 8) == b"metadata"
+        assert (space.loads, space.stores) == (loads, stores)
+
+        space.pkru.write(PkruRegister.DENY_ALL_EXCEPT_DEFAULT)
+        assert plan.is_valid()  # kernel access ignores PKRU, like raw_*
+        assert plan.load(32, 8) == b"metadata"
+
+        space.page_table.protect_range(
+            0, 4 * PAGE_SIZE, readable=True, writable=False
+        )
+        assert not plan.is_valid()
+        # Dead kernel plan falls back to the raw path (still PKRU/perm
+        # exempt), so trusted-runtime semantics are unchanged.
+        assert plan.load(32, 8) == b"metadata"
+
+    def test_rejects_out_of_space_runs(self):
+        space = _mapped_space()
+        assert space.plans.kernel_plan(-8, PAGE_SIZE) is None
+        assert space.plans.kernel_plan(0, 0) is None
+        assert space.plans.kernel_plan(space.size - 16, 64) is None
+
+
+class TestDomainDestroyShootdown:
+    """The load-bearing invariant: a stale plan serving a freed domain's
+    heap must be impossible, even when the udi/heap region is recycled."""
+
+    def _capture_heap_plan(self, runtime, domain):
+        captured = {}
+
+        def body(handle):
+            buf = handle.malloc(64)
+            handle.store(buf, b"S" * 64)
+            captured["plan"] = handle._plan
+            captured["buf"] = buf
+            return bytes(handle.load_view(buf, 64))
+
+        result = runtime.execute(domain.udi, body)
+        assert result.ok and result.value == b"S" * 64
+        assert captured["plan"] is not None
+        return captured["plan"], captured["buf"]
+
+    def test_destroy_kills_the_heap_plan(self):
+        runtime = SdradRuntime()
+        domain = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
+        plan, buf = self._capture_heap_plan(runtime, domain)
+        runtime.domain_destroy(domain.udi)
+        assert not plan.cell[0]  # shot down, not merely dormant
+        # The freed heap is unmapped: every accessor path faults.
+        with pytest.raises(MemoryError_):
+            plan.load(buf, 64)
+        with pytest.raises(MemoryError_):
+            plan.store(buf, b"use-after-destroy")
+
+    def test_stale_plan_cannot_read_a_successor_domain(self):
+        runtime = SdradRuntime()
+        first = runtime.domain_init(udi=5, flags=DomainFlags.RETURN_TO_PARENT)
+        plan, buf = self._capture_heap_plan(runtime, first)
+        runtime.domain_destroy(5)
+        successor = runtime.domain_init(
+            udi=5, flags=DomainFlags.RETURN_TO_PARENT
+        )
+
+        def fill(handle):
+            secret = handle.malloc(64)
+            handle.store(secret, b"successor-secret" * 4)
+            return secret
+
+        assert runtime.execute(successor.udi, fill).ok
+        # From the root domain, the predecessor's plan must not reveal
+        # the successor's heap: the dead plan falls back to the checked
+        # path, which denies the successor's key under the root PKRU.
+        assert not plan.cell[0]
+        with pytest.raises(MemoryError_):
+            plan.load(buf, 64)
+
+
+class TestAblationBitIdentical:
+    """``AddressSpace(access_plans=False)`` is the honesty ablation: the
+    same workload must produce bit-identical responses, virtual time and
+    architectural counters — plans are a pure fast path."""
+
+    def _run_workload(self, access_plans: bool):
+        runtime = SdradRuntime(space=AddressSpace(access_plans=access_plans))
+        server = MemcachedServer(runtime, isolation=IsolationMode.PER_CONNECTION)
+        server.connect("c")
+        responses = []
+        for i in range(20):
+            value = b"value-%04d" % i
+            responses.append(
+                server.handle(
+                    "c", b"set key%d 0 0 %d\r\n%s\r\n" % (i, len(value), value)
+                )
+            )
+            responses.append(server.handle("c", b"get key%d\r\n" % i))
+        # A contained stack smash and the recovery that follows it.
+        responses.append(server.handle("c", b"get " + b"K" * 300 + b"\r\n"))
+        responses.append(server.handle("c", b"get key7\r\n"))
+        responses.extend(
+            server.handle_batch(
+                "c", [b"get key1 key2\r\n", b"delete key3\r\n", b"get key3\r\n"]
+            )
+        )
+        return runtime, server, responses
+
+    def test_responses_time_and_counters_identical(self):
+        rt_on, srv_on, out_on = self._run_workload(True)
+        rt_off, srv_off, out_off = self._run_workload(False)
+        assert out_on == out_off
+        assert rt_on.clock.now == rt_off.clock.now
+        assert rt_on.space.loads == rt_off.space.loads
+        assert rt_on.space.stores == rt_off.space.stores
+        assert rt_on.space.faults == rt_off.space.faults
+        assert rt_on.space.pkru.writes == rt_off.space.pkru.writes
+        assert srv_on.metrics.rewinds == srv_off.metrics.rewinds == 1
+        # And the fast path actually engaged on the plan-on run.
+        assert rt_on.space.plans.built > 0
+        assert rt_off.space.plans is None
+
+    def test_obs_and_plans_grid_is_pure(self):
+        from repro.obs import Observability
+
+        def run(access_plans: bool, obs_on: bool):
+            runtime = SdradRuntime(
+                space=AddressSpace(access_plans=access_plans),
+                obs=Observability() if obs_on else None,
+            )
+            server = MemcachedServer(
+                runtime, isolation=IsolationMode.PER_CONNECTION
+            )
+            server.connect("c")
+            out = [server.handle("c", b"set a 0 0 2\r\nhi\r\n")]
+            out.append(server.handle("c", b"get a\r\n"))
+            out.append(server.handle("c", b"get " + b"K" * 300 + b"\r\n"))
+            return out, runtime.clock.now
+
+        grid = {
+            (plans, obs): run(plans, obs)
+            for plans in (True, False)
+            for obs in (True, False)
+        }
+        baseline = grid[(False, False)]
+        for cell, got in grid.items():
+            assert got == baseline, cell
+
+
+class TestBatchedCoalescing:
+    """Adjacent batched requests coalesce into runs checked once — with
+    fault identity and partial-application preserved exactly."""
+
+    def _space(self, access_plans: bool = False) -> AddressSpace:
+        space = AddressSpace(size=PAGE_SIZE * 16, access_plans=access_plans)
+        space.page_table.map_range(0, 4 * PAGE_SIZE, pkey=0)
+        return space
+
+    def test_adjacent_requests_check_once(self):
+        space = self._space()
+        space.store(0, bytes(range(64)))
+        space.load(0, 1)  # warm the read verdict for page 0
+        hits = space.tlb_hits
+        out = space.load_many([(0, 8), (8, 8), (16, 16), (32, 32)])
+        assert out == [
+            bytes(range(8)),
+            bytes(range(8, 16)),
+            bytes(range(16, 32)),
+            bytes(range(32, 64)),
+        ]
+        assert space.tlb_hits == hits + 1  # one fused verdict for the run
+
+    def test_non_adjacent_and_degenerate_requests_keep_semantics(self):
+        space = self._space()
+        space.store(0, bytes(range(64)))
+        out = space.load_many([(0, 4), (32, 4), (8, 0), (8, 4)])
+        assert out == [bytes(range(4)), bytes(range(32, 36)), b"", bytes(range(8, 12))]
+
+    def test_load_fault_identity_matches_sequential(self):
+        batched = self._space()
+        sequential = self._space()
+        # Run starts mapped and extends into the unmapped page 4.
+        requests = [
+            (4 * PAGE_SIZE - 16, 8),
+            (4 * PAGE_SIZE - 8, 8),
+            (4 * PAGE_SIZE, 8),
+        ]
+        with pytest.raises(MemoryError_) as batch_exc:
+            batched.load_many(requests)
+        seq_exc = None
+        for address, length in requests:
+            try:
+                sequential.load(address, length)
+            except MemoryError_ as exc:
+                seq_exc = exc
+                break
+        assert str(batch_exc.value) == str(seq_exc)
+        assert type(batch_exc.value) is type(seq_exc)
+        assert batched.faults == sequential.faults
+
+    def test_store_fault_preserves_partial_prefix(self):
+        batched = self._space()
+        sequential = self._space()
+        items = [
+            (4 * PAGE_SIZE - 8, b"a" * 4),
+            (4 * PAGE_SIZE - 4, b"b" * 4),
+            (4 * PAGE_SIZE, b"c" * 4),
+        ]
+        with pytest.raises(MemoryError_) as batch_exc:
+            batched.store_many(items)
+        seq_exc = None
+        for address, data in items:
+            try:
+                sequential.store(address, data)
+            except MemoryError_ as exc:
+                seq_exc = exc
+                break
+        # Same fault, same fault count, same partially-applied prefix.
+        assert str(batch_exc.value) == str(seq_exc)
+        assert batched.faults == sequential.faults
+        assert batched.raw_load(4 * PAGE_SIZE - 8, 8) == sequential.raw_load(
+            4 * PAGE_SIZE - 8, 8
+        )
+
+    def test_plan_batched_ops_match_space_semantics(self):
+        space = self._space(access_plans=True)
+        space.store(0, bytes(range(64)))
+        plan = space.plans.checked_plan(0, PAGE_SIZE, "rw")
+        # Mixed in/out-of-window batches: per-item fallback keeps results
+        # identical to the space-level batched path.
+        requests = [(0, 8), (8, 8), (2 * PAGE_SIZE, 4)]
+        assert plan.load_many(requests) == space.load_many(requests)
+        plan.store_many([(0, b"zz"), (2 * PAGE_SIZE, b"yy")])
+        assert space.load(0, 2) == b"zz"
+        assert space.load(2 * PAGE_SIZE, 2) == b"yy"
