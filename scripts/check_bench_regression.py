@@ -25,12 +25,14 @@ reverting one of the big fast paths collapses its ratio by 30-70%. Absolute
 ops/sec for the headline metrics are still printed for context, but they
 inform rather than gate.
 
-The newest file is additionally held to the PR 6 absolute targets
+The newest file is additionally held to the absolute targets
 (``ABSOLUTE_GATES``): compiled access plans >= 10x the plan-off path, the
-batched pipeline >= 3x the fully-unoptimised within-file baseline, and
-full observability <= 1.05x wall clock on the serving pipeline. These are
-within-file ratios checked against fixed floors/ceilings, so they stay
-machine-independent while pinning the contract the PR claims.
+batched pipeline >= 3x the fully-unoptimised within-file baseline, full
+observability <= 1.05x wall clock on the serving pipeline, and (PR 7)
+8-shard scatter-gather multiget >= 3x single-shard serving of the same
+keys. These are within-file ratios checked against fixed
+floors/ceilings, so they stay machine-independent while pinning the
+contract each PR claims.
 
 Usage::
 
@@ -56,6 +58,7 @@ TRACKED_RATIOS = [
     ("memcached_e2e", ("speedup_vs_fastpath_off",)),
     ("memcached_e2e", ("speedup_vs_baseline",)),
     ("domain_reentry", ("speedup",)),
+    ("fleet", ("multiget_speedup_8x1",)),
 ]
 
 #: (bench, path, op, limit) absolute targets checked on the NEWEST file only
@@ -69,6 +72,9 @@ ABSOLUTE_GATES = [
     ("access_plans", ("speedup",), ">=", 10.0),
     ("memcached_e2e", ("speedup_vs_baseline",), ">=", 3.0),
     ("memcached_obs", ("overhead_full",), "<=", 1.05),
+    # PR 7: scatter-gather multiget over 8 shards must beat single-shard
+    # serving of the same key sequences by >= 3x on the critical path.
+    ("fleet", ("multiget_speedup_8x1",), ">=", 3.0),
 ]
 
 #: (bench, path-within-bench) pairs of absolute ops/sec we print for context.
@@ -85,6 +91,8 @@ TRACKED_INFO = [
     ("memcached_obs", ("obs_off", "ops_per_sec")),
     ("access_plans", ("plan_on", "ops_per_sec")),
     ("memcached_e2e", ("baseline", "ops_per_sec")),
+    ("fleet", ("fleet_8shard", "keys_per_sec")),
+    ("fleet", ("fleet_1shard", "keys_per_sec")),
 ]
 
 

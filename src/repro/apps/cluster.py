@@ -65,6 +65,10 @@ class _Worker:
         self.obs = obs
         self.down_until = 0.0
         self.restarts = 0
+        #: Every outage as a real ``(start, end)`` interval, in order.
+        #: Downtime accounting walks these instead of assuming each restart
+        #: burned one full window inside the horizon.
+        self.outages: list[tuple[float, float]] = []
         self._boot()
 
     def _boot(self) -> None:
@@ -81,7 +85,9 @@ class _Worker:
     def crash_and_schedule_restart(self) -> float:
         """Worker died; supervisor restarts it (stateless → base cost)."""
         restart = self.cost.process_restart_time(0)
-        self.down_until = self.clock.now + restart
+        started = self.clock.now
+        self.down_until = started + restart
+        self.outages.append((started, self.down_until))
         self.restarts += 1
         self._boot()  # fresh process image, no connections
         return restart
@@ -216,15 +222,42 @@ class NginxCluster:
     def downtime_fraction(self, horizon: float) -> float:
         """Aggregate capacity lost to worker restarts over ``[0, horizon]``.
 
-        Each worker contributes ``1/N`` of capacity; this sums the restart
-        windows (clipped to the horizon) weighted by that share.
+        Each worker contributes ``1/N`` of capacity. Outages are summed as
+        the *recorded* intervals, individually clipped to the horizon — a
+        restart window still open at the horizon counts only its elapsed
+        part, and a worker can never be "more than down" no matter how its
+        windows land. Concurrent outages on different workers add their
+        capacity shares (partial capacity, not a binary up/down).
         """
         if horizon <= 0:
             raise SdradError(f"horizon must be positive, got {horizon}")
         total = 0.0
         for worker in self.workers:
-            # down_until only tracks the most recent window; restarts count
-            # the rest — all windows have equal length for stateless workers
-            window = self.cost.process_restart_time(0)
-            total += min(worker.restarts * window, horizon)
+            for start, end in worker.outages:
+                total += max(0.0, min(end, horizon) - min(start, horizon))
         return total / (len(self.workers) * horizon)
+
+    def capacity_dip(self, horizon: float) -> float:
+        """Worst instantaneous capacity loss in ``[0, horizon]``: the peak
+        fraction of workers down *at the same moment*.
+
+        ``downtime_fraction`` is the time-averaged loss; this is the depth
+        of the worst dip — 0.25 when one of four workers was down, 0.5 if
+        two outages ever overlapped, and so on. A sweep over interval
+        endpoints is exact because concurrency only changes there.
+        """
+        if horizon <= 0:
+            raise SdradError(f"horizon must be positive, got {horizon}")
+        intervals = [
+            (min(start, horizon), min(end, horizon))
+            for worker in self.workers
+            for start, end in worker.outages
+        ]
+        intervals = [(s, e) for s, e in intervals if e > s]
+        if not intervals:
+            return 0.0
+        peak = 0
+        for probe, _ in intervals:
+            down = sum(1 for s, e in intervals if s <= probe < e)
+            peak = max(peak, down)
+        return peak / len(self.workers)

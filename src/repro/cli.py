@@ -7,7 +7,9 @@ Gives downstream users the paper's headline analyses without writing code:
 * ``availability``  — E3's simulated service-year comparison;
 * ``lca``           — E5's energy/carbon table (+ rebound sensitivity);
 * ``crossover``     — E8's SLO crossover map;
-* ``fleet``         — §IV case-study scenarios at fleet scale;
+* ``fleet``         — live consistent-hash sharded fleet run (latency
+  percentiles, availability, sustainability ledger); ``--scenarios``
+  prints the §IV case-study table instead;
 * ``inject``        — run a fault-injection campaign and report containment;
 * ``obs``           — observed memcached demo: spans, metrics, live
   sustainability ledger (joules / gCO2e per request, rewind vs restart).
@@ -125,24 +127,48 @@ def _cmd_crossover(args: argparse.Namespace) -> int:
 
 
 def _cmd_fleet(args: argparse.Namespace) -> int:
-    assessments = [
-        assess_fleet(scenario, rebound_fraction=args.rebound)
-        for scenario in DEFAULT_SCENARIOS
-    ]
-    print(
-        format_table(
-            (
-                "scenario",
-                "nodes",
-                "servers (restart)",
-                "servers (sdrad)",
-                "avoided",
-                "energy saved/yr",
-                "carbon saved/yr",
-            ),
-            summarize(assessments),
+    if args.scenarios:
+        assessments = [
+            assess_fleet(scenario, rebound_fraction=args.rebound)
+            for scenario in DEFAULT_SCENARIOS
+        ]
+        print(
+            format_table(
+                (
+                    "scenario",
+                    "nodes",
+                    "servers (restart)",
+                    "servers (sdrad)",
+                    "avoided",
+                    "energy saved/yr",
+                    "carbon saved/yr",
+                ),
+                summarize(assessments),
+            )
         )
+        return 0
+
+    # Imported here, not at module top: the live fleet pulls in the full
+    # serving stack, which the table-only path does not need.
+    from .fleet import FleetRunConfig, HealthConfig, run_fleet
+
+    config = FleetRunConfig(
+        shards=args.shards,
+        seed=args.seed,
+        keyspace=args.keyspace,
+        rate=args.rate,
+        horizon=args.horizon,
+        autoscale=args.autoscale,
+        kill_at=args.kill_at,
+        outage=args.outage,
+        health_config=HealthConfig(probe_interval=0.05),
     )
+    report = run_fleet(config)
+    print(
+        f"fleet run: {args.shards} shard(s), {args.keyspace} keys, "
+        f"{args.rate:g} req/s for {args.horizon:g}s (seed {args.seed})"
+    )
+    print(report.format())
     return 0
 
 
@@ -224,8 +250,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     crossover.set_defaults(func=_cmd_crossover)
 
-    fleet = sub.add_parser("fleet", help="fleet-scale case studies (§IV)")
+    fleet = sub.add_parser(
+        "fleet", help="live sharded fleet run (default) or §IV case studies"
+    )
+    fleet.add_argument(
+        "--scenarios",
+        action="store_true",
+        help="print the §IV case-study table instead of a live run",
+    )
     fleet.add_argument("--rebound", type=float, default=0.0)
+    fleet.add_argument("--shards", type=int, default=4)
+    fleet.add_argument("--seed", type=int, default=0)
+    fleet.add_argument("--keyspace", type=int, default=1_000_000)
+    fleet.add_argument("--rate", type=float, default=5_000.0)
+    fleet.add_argument("--horizon", type=float, default=2.0)
+    fleet.add_argument("--autoscale", action="store_true")
+    fleet.add_argument(
+        "--kill-at",
+        dest="kill_at",
+        type=float,
+        default=None,
+        help="kill shard-0 at this virtual time (failover demo)",
+    )
+    fleet.add_argument("--outage", type=float, default=0.5)
     fleet.set_defaults(func=_cmd_fleet)
 
     inject = sub.add_parser("inject", help="fault-injection campaign")

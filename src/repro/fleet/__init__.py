@@ -1,0 +1,42 @@
+"""Consistent-hash sharded fleet: scatter-gather serving at user scale.
+
+The fleet subsystem scales the single-node memcached simulation out to N
+shards behind a load-balancing front-end:
+
+* :mod:`~repro.fleet.ring` — consistent-hash ring with virtual nodes;
+  deterministic placement, minimal movement on membership change.
+* :mod:`~repro.fleet.shard` — one shard node: private
+  :class:`~repro.sdrad.runtime.SdradRuntime` + KVStore + memcached server
+  behind a single multiplexed front-end connection.
+* :mod:`~repro.fleet.balancer` — the front-end: ring-routed single-key
+  ops and scatter-gather multigets (one activation record per shard).
+* :mod:`~repro.fleet.health` — health checks, failover, rejoin.
+* :mod:`~repro.fleet.autoscaler` — arrival-driven scaling against a
+  target p99.
+* :mod:`~repro.fleet.driver` — seeded end-to-end runs reporting latency
+  percentiles, availability, and the sustainability ledger.
+"""
+
+from .autoscaler import Autoscaler, AutoscalerConfig
+from .balancer import Fleet, FleetMetrics
+from .driver import FleetRunConfig, FleetRunReport, run_fleet
+from .health import HealthConfig, HealthMonitor
+from .ring import DEFAULT_VNODES, HashRing
+from .shard import FRONTEND_CLIENT, Shard, ShardState
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalerConfig",
+    "DEFAULT_VNODES",
+    "FRONTEND_CLIENT",
+    "Fleet",
+    "FleetMetrics",
+    "FleetRunConfig",
+    "FleetRunReport",
+    "HashRing",
+    "HealthConfig",
+    "HealthMonitor",
+    "Shard",
+    "ShardState",
+    "run_fleet",
+]

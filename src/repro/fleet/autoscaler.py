@@ -1,0 +1,112 @@
+"""Arrival-driven autoscaler: size the fleet against a target p99.
+
+The autoscaler closes the loop between the open-loop arrival process and
+the shard count. Each evaluation window it sees three facts — observed
+arrival rate, observed mean service time, and the window's p99 latency —
+and makes the classic capacity calculation:
+
+* **demand**: ``rate x mean_service`` is the offered work in busy
+  shard-seconds per second; dividing by ``utilization_target`` converts it
+  into the shard count that keeps per-shard utilisation at the knee of
+  the latency curve rather than past it.
+* **SLO check**: if the window's p99 exceeds ``target_p99`` the fleet is
+  already past the knee regardless of what the demand estimate says, so
+  scale up by one.
+* **hysteresis**: scale down only when *both* the demand estimate says the
+  fleet is over-provisioned by more than one shard *and* p99 sits under
+  ``scale_down_fraction`` of target; a ``cooldown`` gap between actions
+  prevents flapping on a noisy window.
+
+Decisions are pure functions of the window observations, so a seeded run
+autoscales identically every time.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass
+class AutoscalerConfig:
+    """Scaling policy knobs."""
+
+    #: The SLO the fleet is sized against (virtual seconds).
+    target_p99: float = 2e-4
+    min_shards: int = 1
+    max_shards: int = 16
+    #: Per-shard utilisation the demand estimate aims for.
+    utilization_target: float = 0.6
+    #: Scale down only while p99 is below this fraction of target.
+    scale_down_fraction: float = 0.5
+    #: Minimum virtual seconds between scaling actions.
+    cooldown: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.target_p99 <= 0:
+            raise ValueError(f"target p99 must be positive, got {self.target_p99}")
+        if not 1 <= self.min_shards <= self.max_shards:
+            raise ValueError(
+                f"need 1 <= min_shards <= max_shards, got "
+                f"{self.min_shards}..{self.max_shards}"
+            )
+        if not 0.0 < self.utilization_target <= 1.0:
+            raise ValueError(
+                f"utilisation target must be in (0, 1], got "
+                f"{self.utilization_target}"
+            )
+        if not 0.0 < self.scale_down_fraction < 1.0:
+            raise ValueError(
+                f"scale-down fraction must be in (0, 1), got "
+                f"{self.scale_down_fraction}"
+            )
+        if self.cooldown < 0:
+            raise ValueError(f"cooldown cannot be negative, got {self.cooldown}")
+
+
+class Autoscaler:
+    """Pure decision engine: window observations in, shard delta out."""
+
+    def __init__(self, config: "AutoscalerConfig" = None) -> None:  # type: ignore[assignment]
+        self.config = config if config is not None else AutoscalerConfig()
+        self._last_action = float("-inf")
+        self.decisions: "list[tuple[float, int, int]]" = []
+
+    def required_shards(self, arrival_rate: float, mean_service: float) -> int:
+        """Shard count that keeps utilisation at the configured target."""
+        if arrival_rate <= 0 or mean_service <= 0:
+            return self.config.min_shards
+        demand = arrival_rate * mean_service / self.config.utilization_target
+        return max(
+            self.config.min_shards,
+            min(self.config.max_shards, math.ceil(demand)),
+        )
+
+    def evaluate(
+        self,
+        now: float,
+        shard_count: int,
+        arrival_rate: float,
+        mean_service: float,
+        window_p99: float,
+    ) -> int:
+        """Return the shard delta (+1, -1 or 0) for this window."""
+        cfg = self.config
+        if now - self._last_action < cfg.cooldown:
+            return 0
+        required = self.required_shards(arrival_rate, mean_service)
+        delta = 0
+        if shard_count < cfg.max_shards and (
+            window_p99 > cfg.target_p99 or required > shard_count
+        ):
+            delta = 1
+        elif (
+            shard_count > cfg.min_shards
+            and required < shard_count - 1
+            and window_p99 < cfg.target_p99 * cfg.scale_down_fraction
+        ):
+            delta = -1
+        if delta:
+            self._last_action = now
+            self.decisions.append((now, shard_count, delta))
+        return delta

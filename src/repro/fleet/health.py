@@ -1,0 +1,91 @@
+"""Shard health checks, failover, and rejoin for the fleet.
+
+Two detection paths feed the same failover decision, as in production
+balancers:
+
+* **In-band** — every routed request reports its outcome; a run of
+  ``failure_threshold`` consecutive failures on one shard (dead node,
+  watchdog-quarantined fleet connection, repeated parse faults) fails the
+  shard out of the ring immediately, so detection latency under load is a
+  handful of requests, not a probe interval.
+* **Out-of-band** — :meth:`HealthMonitor.tick` probes every shard at
+  ``probe_interval``; a shard that is down or quarantined while traffic is
+  idle is still caught, and a *recovered* shard (restarted process,
+  expired quarantine) is rejoined — reclaiming exactly the ranges it held
+  before, by the consistent ring's minimal-disruption property.
+
+Failover removes only the failed shard's vnodes, so surviving shards keep
+every key they owned (tested); the failed shard's ranges spill to their
+ring successors and refill on demand (cache semantics).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .balancer import Fleet
+
+
+@dataclass
+class HealthConfig:
+    """Failover policy knobs."""
+
+    #: Consecutive in-band failures on one shard before failover.
+    failure_threshold: int = 3
+    #: Seconds between out-of-band probe sweeps.
+    probe_interval: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError(
+                f"failure threshold must be >= 1, got {self.failure_threshold}"
+            )
+        if self.probe_interval <= 0:
+            raise ValueError(
+                f"probe interval must be positive, got {self.probe_interval}"
+            )
+
+
+class HealthMonitor:
+    """Tracks per-shard outcomes and drives failover/rejoin on the fleet."""
+
+    def __init__(self, fleet: "Fleet", config: "HealthConfig" = None) -> None:  # type: ignore[assignment]
+        self.fleet = fleet
+        self.config = config if config is not None else HealthConfig()
+        self._consecutive_failures: "dict[str, int]" = {}
+        self._last_sweep = float("-inf")
+        fleet.health = self
+
+    # ------------------------------------------------------------------
+    # In-band outcomes (reported by the front-end per routed request)
+    # ------------------------------------------------------------------
+
+    def on_success(self, name: str) -> None:
+        self._consecutive_failures[name] = 0
+
+    def on_failure(self, name: str) -> None:
+        count = self._consecutive_failures.get(name, 0) + 1
+        self._consecutive_failures[name] = count
+        if count >= self.config.failure_threshold:
+            self._consecutive_failures[name] = 0
+            self.fleet.fail_over(name)
+
+    # ------------------------------------------------------------------
+    # Out-of-band probes
+    # ------------------------------------------------------------------
+
+    def tick(self, now: float) -> None:
+        """Run a probe sweep if ``probe_interval`` has elapsed."""
+        if now - self._last_sweep < self.config.probe_interval:
+            return
+        self._last_sweep = now
+        fleet = self.fleet
+        for name, shard in fleet.shards.items():
+            healthy = not shard.is_down and not shard.is_quarantined
+            if healthy and name not in fleet.ring:
+                fleet.rejoin(name)
+                self._consecutive_failures[name] = 0
+            elif not healthy and name in fleet.ring:
+                fleet.fail_over(name)

@@ -100,10 +100,48 @@ REWIND_LATENCY_BUCKETS: "tuple[float, ...]" = (
 )
 BATCH_SIZE_BUCKETS: "tuple[float, ...]" = (1, 2, 4, 8, 16, 32, 64, 128)
 
+
+def log_buckets(
+    low: float, high: float, per_decade: int
+) -> "tuple[float, ...]":
+    """A geometric bucket ladder from ``low`` to at least ``high``.
+
+    ``per_decade`` bounds the quantile error of interpolated answers: at
+    20/decade adjacent bounds differ by ~12%, so any quantile — including
+    p999 — is resolved to within that factor no matter how many samples
+    land in the histogram. This is the HdrHistogram idea in Prometheus
+    clothing: O(1) memory, streaming, mergeable, deterministic.
+    """
+    if low <= 0 or high <= low:
+        raise SdradError(
+            f"need 0 < low < high for log buckets, got {low}..{high}"
+        )
+    if per_decade < 1:
+        raise SdradError(
+            f"need at least one bucket per decade, got {per_decade}"
+        )
+    bounds = []
+    exponent = math.floor(math.log10(low) * per_decade)
+    while True:
+        bound = 10.0 ** (exponent / per_decade)
+        bounds.append(bound)
+        if bound >= high:
+            return tuple(bounds)
+        exponent += 1
+
+
+#: The fleet ladder: 20 buckets/decade from 100 ns to 100 s. Coarse
+#: 2/decade ladders cannot resolve a p999 — at fleet request volumes the
+#: top 0.1% of a run lands whole decades above the median, and the answer
+#: degenerates to "somewhere in the last bucket". ~12% bucket spacing
+#: keeps interpolated p50/p99/p999 honest while staying O(1) memory.
+FLEET_LATENCY_BUCKETS: "tuple[float, ...]" = log_buckets(1e-7, 100.0, 20)
+
 DEFAULT_BUCKETS: "dict[str, tuple[float, ...]]" = {
     "app_request_latency_seconds": REQUEST_LATENCY_BUCKETS,
     "sdrad_rewind_latency_seconds": REWIND_LATENCY_BUCKETS,
     "app_batch_size": BATCH_SIZE_BUCKETS,
+    "fleet_request_latency_seconds": FLEET_LATENCY_BUCKETS,
 }
 
 
@@ -212,6 +250,30 @@ class BucketHistogram:
             if running >= target:
                 return bound
         return math.inf
+
+    def quantile_interpolated(self, q: float) -> float:
+        """Prometheus ``histogram_quantile``: linear within the bucket.
+
+        Locates the bucket the q-th sample falls in, then interpolates
+        between its bounds by rank — resolving quantiles to a fraction of
+        the bucket width instead of snapping to the edge. With a fine
+        ladder (:data:`FLEET_LATENCY_BUCKETS`) this makes tail quantiles
+        like p999 meaningful. Samples past the last finite bound have no
+        upper edge to interpolate toward, so the last bound is returned
+        (again matching Prometheus).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile must be in [0, 1], got {q}")
+        if not self._count:
+            raise ValueError(f"histogram {self.name!r} is empty")
+        target = q * self._count
+        running = 0
+        for i, (bound, n) in enumerate(zip(self.buckets, self._bucket_counts)):
+            if running + n >= target and n:
+                lower = self.buckets[i - 1] if i else 0.0
+                return lower + (bound - lower) * ((target - running) / n)
+            running += n
+        return self.buckets[-1]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

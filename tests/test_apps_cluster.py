@@ -94,6 +94,86 @@ class TestUnisolatedBlastRadius:
         assert cluster.metrics.per_worker_crashes == {victim: 1}
 
 
+class TestDowntimeAccounting:
+    """Interval-based downtime: clipping, exactness, concurrent outages."""
+
+    def test_downtime_matches_recorded_intervals_exactly(self):
+        cluster, names = cluster_with_clients(IsolationMode.NONE)
+        window = cluster.cost.process_restart_time(0)
+        cluster.handle(names[0], ATTACK)
+        cluster.clock.advance(window + 1.0)
+        cluster.handle(names[0], ATTACK)
+        cluster.clock.advance(window + 1.0)
+        horizon = cluster.clock.now
+        expected = 2 * window / (len(cluster.workers) * horizon)
+        assert cluster.downtime_fraction(horizon) == pytest.approx(expected)
+
+    def test_window_open_at_horizon_counts_elapsed_part_only(self):
+        cluster, names = cluster_with_clients(IsolationMode.NONE)
+        window = cluster.cost.process_restart_time(0)
+        cluster.handle(names[0], ATTACK)
+        crash_at = cluster.clock.now
+        # Ask about a horizon cutting the restart window in half: only the
+        # elapsed half may count. The old restarts*window accounting billed
+        # the full window no matter where the horizon fell.
+        horizon = crash_at + window / 2
+        expected = (window / 2) / (len(cluster.workers) * horizon)
+        assert cluster.downtime_fraction(horizon) == pytest.approx(expected)
+
+    def test_outage_entirely_past_horizon_is_free(self):
+        cluster, names = cluster_with_clients(IsolationMode.NONE)
+        cluster.clock.advance(5.0)
+        cluster.handle(names[0], ATTACK)
+        # The crash happened after this horizon; it contributes nothing.
+        assert cluster.downtime_fraction(4.0) == 0.0
+
+    def test_outage_intervals_are_recorded(self):
+        cluster, names = cluster_with_clients(IsolationMode.NONE)
+        window = cluster.cost.process_restart_time(0)
+        cluster.handle(names[0], ATTACK)
+        worker = cluster.workers[cluster.worker_of(names[0])]
+        start, end = worker.outages[-1]
+        assert end - start == pytest.approx(window)
+
+    def test_concurrent_outages_add_capacity_shares(self):
+        cluster, names = cluster_with_clients(IsolationMode.NONE, clients=40)
+        by_worker: dict[int, str] = {}
+        for name in names:
+            by_worker.setdefault(cluster.worker_of(name), name)
+        assert len(by_worker) == 4
+        attackers = list(by_worker.values())[:2]
+        # Two different workers crash back-to-back: their restart windows
+        # overlap almost fully, and both shares must count for that span.
+        cluster.handle(attackers[0], ATTACK)
+        cluster.handle(attackers[1], ATTACK)
+        window = cluster.cost.process_restart_time(0)
+        cluster.clock.advance(window + 1.0)
+        horizon = cluster.clock.now
+        expected = 2 * window / (len(cluster.workers) * horizon)
+        assert cluster.downtime_fraction(horizon) == pytest.approx(
+            expected, rel=1e-6
+        )
+        assert cluster.capacity_dip(horizon) == 0.5
+
+    def test_capacity_dip_single_worker(self):
+        cluster, names = cluster_with_clients(IsolationMode.NONE)
+        cluster.handle(names[0], ATTACK)
+        cluster.clock.advance(10.0)
+        assert cluster.capacity_dip(cluster.clock.now) == 0.25
+
+    def test_capacity_dip_no_outages(self):
+        cluster, _ = cluster_with_clients(IsolationMode.NONE)
+        cluster.clock.advance(1.0)
+        assert cluster.capacity_dip(cluster.clock.now) == 0.0
+
+    def test_validation(self):
+        cluster, _ = cluster_with_clients(IsolationMode.NONE)
+        with pytest.raises(SdradError):
+            cluster.downtime_fraction(0.0)
+        with pytest.raises(SdradError):
+            cluster.capacity_dip(-1.0)
+
+
 class TestIsolatedCluster:
     def test_attack_rewound_no_crash(self):
         cluster, names = cluster_with_clients(IsolationMode.PER_CONNECTION)

@@ -60,8 +60,46 @@ class TestCommands:
         assert "five-nines" in out
         assert "rewind" in out
 
-    def test_fleet(self, capsys):
-        assert main(["fleet"]) == 0
+    def test_fleet_live_run(self, capsys):
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--shards", "2",
+                    "--keyspace", "5000",
+                    "--rate", "1000",
+                    "--horizon", "0.2",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "fleet run: 2 shard(s)" in out
+        assert "availability" in out
+        assert "latency p50/p99/p999" in out
+        assert "ledger[sdrad-rewind]" in out
+        assert "ledger[process-restart]" in out
+
+    def test_fleet_failover_run(self, capsys):
+        assert (
+            main(
+                [
+                    "fleet",
+                    "--shards", "2",
+                    "--keyspace", "5000",
+                    "--rate", "2000",
+                    "--horizon", "0.4",
+                    "--kill-at", "0.1",
+                    "--outage", "0.1",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "failovers/rejoins    1/1" in out
+
+    def test_fleet_scenarios_table(self, capsys):
+        assert main(["fleet", "--scenarios"]) == 0
         out = capsys.readouterr().out
         assert "telecom-edge" in out
         assert "smart-grid" in out

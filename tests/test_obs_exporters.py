@@ -58,6 +58,11 @@ def golden_scenario() -> Observability:
     rewind_latency = registry.histogram("sdrad_rewind_latency_seconds")
     for value in (3.5e-6, 4.0e-6, 1.2e-5):
         rewind_latency.observe(value)
+    # The fleet's fine-grained ladder (20 buckets/decade) must export and
+    # parse like any other histogram despite its ~180 bounds.
+    fleet_latency = registry.histogram("fleet_request_latency_seconds")
+    for value in (1.1e-5, 1.3e-5, 6.0e-5, 2.4e-4):
+        fleet_latency.observe(value)
     exact = ExactHistogram("request_latency_exact")
     for value in (1e-5, 2e-5, 3e-5, 4e-5):
         exact.observe(value)

@@ -12,9 +12,11 @@ from repro.obs.metrics import (
     BucketHistogram,
     Counter,
     DEFAULT_BUCKETS,
+    FLEET_LATENCY_BUCKETS,
     Gauge,
     ObsRegistry,
     REWIND_LATENCY_BUCKETS,
+    log_buckets,
 )
 from repro.sim.metrics import Histogram as ExactHistogram
 
@@ -78,6 +80,48 @@ class TestBucketHistogram:
         h.observe(100.0)
         assert h.quantile(1.0) == math.inf
 
+    def test_quantile_interpolated_within_bucket(self):
+        h = BucketHistogram("h", buckets=(1.0, 2.0, 4.0))
+        for value in (1.5, 1.5, 3.0, 3.0):
+            h.observe(value)
+        # Two samples in (1, 2]: the median rank (2 of 4) sits at the top
+        # of that bucket; p25 sits halfway through it.
+        assert h.quantile_interpolated(0.5) == pytest.approx(2.0)
+        assert h.quantile_interpolated(0.25) == pytest.approx(1.5)
+        assert h.quantile_interpolated(0.75) == pytest.approx(3.0)
+
+    def test_quantile_interpolated_first_bucket_starts_at_zero(self):
+        h = BucketHistogram("h", buckets=(2.0, 4.0))
+        h.observe(1.0)
+        h.observe(1.0)
+        assert h.quantile_interpolated(0.5) == pytest.approx(1.0)
+
+    def test_quantile_interpolated_overflow_clamps_to_last_bound(self):
+        h = BucketHistogram("h", buckets=(1.0, 2.0))
+        h.observe(50.0)
+        assert h.quantile_interpolated(0.99) == 2.0
+
+    def test_quantile_interpolated_validation(self):
+        h = BucketHistogram("h", buckets=(1.0,))
+        with pytest.raises(ValueError):
+            h.quantile_interpolated(0.5)
+        h.observe(0.5)
+        with pytest.raises(ValueError):
+            h.quantile_interpolated(-0.1)
+
+    def test_fine_ladder_resolves_p999(self):
+        # The whole point of the fleet ladder: p99 and p999 of a bimodal
+        # population come back near the true values, not one bucket edge.
+        h = BucketHistogram("h", buckets=FLEET_LATENCY_BUCKETS)
+        for _ in range(999):
+            h.observe(1e-5)
+        h.observe(5e-3)
+        p999 = h.quantile_interpolated(0.999)
+        assert 0.9e-5 < h.quantile_interpolated(0.5) < 1.2e-5
+        assert 0.9e-5 < h.quantile_interpolated(0.99) < 1.2e-5
+        assert 0.9e-5 < p999 < 1.2e-5
+        assert 4e-3 < h.quantile_interpolated(1.0) < 6e-3
+
     def test_empty_histogram_errors(self):
         h = BucketHistogram("h", buckets=(1.0,))
         with pytest.raises(ValueError):
@@ -86,6 +130,34 @@ class TestBucketHistogram:
             h.quantile(0.5)
         with pytest.raises(ValueError):
             h.quantile(2.0)
+
+
+class TestLogBuckets:
+    def test_geometric_spacing(self):
+        bounds = log_buckets(1e-3, 1.0, 10)
+        assert bounds[0] == pytest.approx(1e-3)
+        assert bounds[-1] >= 1.0
+        ratios = [b / a for a, b in zip(bounds, bounds[1:])]
+        assert all(r == pytest.approx(10 ** 0.1) for r in ratios)
+
+    def test_strictly_increasing_and_usable(self):
+        bounds = log_buckets(1e-7, 100.0, 20)
+        assert list(bounds) == sorted(set(bounds))
+        BucketHistogram("h", buckets=bounds)  # accepted by the validator
+
+    def test_fleet_ladder_shape(self):
+        assert FLEET_LATENCY_BUCKETS == log_buckets(1e-7, 100.0, 20)
+        assert DEFAULT_BUCKETS["fleet_request_latency_seconds"] is (
+            FLEET_LATENCY_BUCKETS
+        )
+
+    def test_validation(self):
+        with pytest.raises(SdradError):
+            log_buckets(0.0, 1.0, 10)
+        with pytest.raises(SdradError):
+            log_buckets(1.0, 1.0, 10)
+        with pytest.raises(SdradError):
+            log_buckets(1e-3, 1.0, 0)
 
 
 class TestObsRegistry:
