@@ -43,17 +43,24 @@ and are unchanged by any of this). Four benches:
                        critical path, 8 shards vs. 1, serving identical
                        deterministic key sequences; plus a seeded
                        end-to-end fleet run (arrivals, failover,
-                       latency percentiles, sustainability ledger).
+                       latency percentiles, sustainability ledger);
+* ``backends``       — the PR 8 tentpole: the memcached E1 serving mix
+                       (per-connection isolation, set/get through the
+                       unsafe parser) on each isolation substrate —
+                       MPK (explicit and default spelling), simulated
+                       CHERI, and SFI — with the mpk-vs-default parity
+                       ratio gated (the backend axis must not tax the
+                       default path).
 
 Writes machine-readable results (ops/sec plus on/off speedups) to a JSON
-file — ``BENCH_PR7.json`` by default — which ``check_bench_regression.py``
+file — ``BENCH_PR8.json`` by default — which ``check_bench_regression.py``
 compares across PRs and gates with the absolute targets (plan speedup
 >= 10x, batched-vs-baseline >= 3x, obs overhead <= 1.05x, 8-shard
-multiget >= 3x 1-shard).
+multiget >= 3x 1-shard, mpk backend >= 0.75x the default spelling).
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench.py [--out BENCH_PR7.json] [--quick]
+    PYTHONPATH=src python scripts/bench.py [--out BENCH_PR8.json] [--quick]
         [--only memcached_obs,...] [--repeat 3]
 """
 
@@ -805,14 +812,80 @@ def bench_fleet(min_time: float) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Bench 9: isolation-backend substrates on the memcached E1 path (PR 8)
+# ----------------------------------------------------------------------
+
+def bench_backends(min_time: float) -> dict:
+    """The PR 8 tentpole: the same serving mix on each substrate.
+
+    Every configuration runs the memcached E1 path — per-connection
+    isolation, the 16-key set/get mix through the unsafe parser — on a
+    runtime constructed over a different :class:`IsolationBackend`.
+    ``default`` (no ``backend=`` argument) and ``mpk`` (the explicit
+    spelling) must be the same machine: their paired ratio is gated at
+    >= 0.75 so the backend indirection can never quietly tax the path
+    every earlier PR measured. ``cheri`` (grant-set gate, unbounded
+    tags) and ``sfi`` (per-access tax accounting on the virtual clock)
+    are recorded alongside — informational, since their *virtual* costs
+    are the modelled substrate differences while their *wall-clock*
+    rates mostly measure the shared gate machinery. All four are
+    measured interleaved, same drift discipline as ``memcached_e2e``."""
+
+    def requests() -> list[bytes]:
+        reqs = []
+        for i in range(16):
+            value = b"v" * 64
+            reqs.append(b"set key%d 0 0 %d\r\n%s\r\n" % (i, len(value), value))
+            reqs.append(b"get key%d\r\n" % i)
+        return reqs
+
+    def make_loop(backend):
+        runtime = SdradRuntime(backend=backend)
+        server = MemcachedServer(runtime, isolation=IsolationMode.PER_CONNECTION)
+        server.connect("bench-client")
+        reqs = requests()
+
+        def loop(n: int) -> None:
+            handle = server.handle
+            for i in range(n):
+                handle("bench-client", reqs[i % len(reqs)])
+
+        return loop
+
+    measured = _measure_group(
+        {
+            "default": make_loop(None),
+            "mpk": make_loop("mpk"),
+            "cheri": make_loop("cheri"),
+            "sfi": make_loop("sfi"),
+        },
+        min_time=min_time,
+        batch=32,
+        rounds=max(_REPEAT, 4),
+    )
+    return {
+        **measured,
+        "mpk_vs_default": round(
+            _paired_ratio(measured["mpk"], measured["default"]), 3
+        ),
+        "cheri_vs_mpk": round(
+            _paired_ratio(measured["cheri"], measured["mpk"]), 3
+        ),
+        "sfi_vs_mpk": round(
+            _paired_ratio(measured["sfi"], measured["mpk"]), 3
+        ),
+    }
+
+
+# ----------------------------------------------------------------------
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default="BENCH_PR7.json",
-        help="output JSON path (default: BENCH_PR7.json)",
+        default="BENCH_PR8.json",
+        help="output JSON path (default: BENCH_PR8.json)",
     )
     parser.add_argument(
         "--quick",
@@ -844,6 +917,7 @@ def main() -> int:
         ("domain_reentry", bench_domain_reentry),
         ("memcached_obs", bench_memcached_obs),
         ("fleet", bench_fleet),
+        ("backends", bench_backends),
     )
     selected = dict(all_benches)
     if args.only:
@@ -858,7 +932,7 @@ def main() -> int:
 
     out = Path(args.out)
     results = {
-        "schema": 5,
+        "schema": 6,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "repeat": _REPEAT,
@@ -956,6 +1030,15 @@ def main() -> int:
             f" speedup {f['multiget_speedup_8x1']}x;"
             f" run avail {run['availability']:.4f},"
             f" p99 {run['p99'] * 1e6:.0f}us)"
+        )
+    if "backends" in b:
+        k = b["backends"]
+        print(
+            f"  backends      : {k['mpk']['ops_per_sec']:>12,.0f} req/s mpk"
+            f"  (default {k['default']['ops_per_sec']:,.0f},"
+            f" cheri {k['cheri']['ops_per_sec']:,.0f},"
+            f" sfi {k['sfi']['ops_per_sec']:,.0f},"
+            f" mpk/default {k['mpk_vs_default']}x)"
         )
     return 0
 

@@ -75,6 +75,10 @@ ABSOLUTE_GATES = [
     # PR 7: scatter-gather multiget over 8 shards must beat single-shard
     # serving of the same key sequences by >= 3x on the critical path.
     ("fleet", ("multiget_speedup_8x1",), ">=", 3.0),
+    # PR 8: the explicit mpk backend spelling must stay within 25% of the
+    # default — the pluggable-substrate indirection cannot tax the path
+    # every earlier PR's ratios were recorded on.
+    ("backends", ("mpk_vs_default",), ">=", 0.75),
 ]
 
 #: (bench, path-within-bench) pairs of absolute ops/sec we print for context.
@@ -93,6 +97,9 @@ TRACKED_INFO = [
     ("memcached_e2e", ("baseline", "ops_per_sec")),
     ("fleet", ("fleet_8shard", "keys_per_sec")),
     ("fleet", ("fleet_1shard", "keys_per_sec")),
+    ("backends", ("mpk", "ops_per_sec")),
+    ("backends", ("cheri", "ops_per_sec")),
+    ("backends", ("sfi", "ops_per_sec")),
 ]
 
 

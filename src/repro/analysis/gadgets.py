@@ -1,12 +1,16 @@
-"""R4 — ERIM-style WRPKRU-gadget scan over the simulated API stream.
+"""R4 — ERIM-style gate-write gadget scan over the simulated API stream.
 
 ERIM's binary inspection rejects any executable WRPKRU occurrence that is
 not immediately followed by the sanctioned permission check; everything
 else is a gadget an attacker could jump to and grant itself access. The
-simulation's WRPKRU is the :class:`~repro.memory.mpk.PkruRegister` write
-surface — ``write``/``write_prepared``/``grant``/``revoke`` — so the
-analogous scan walks every call site whose receiver resolves to a PKRU
-register and demands it sit inside the *entry-gate sequence*:
+simulation's privileged gate writes are declared *per isolation backend*
+(:func:`repro.memory.backends.gate_idiom_table`): the MPK backend's WRPKRU
+spellings (the :class:`~repro.memory.mpk.PkruRegister` write surface —
+``write``/``write_prepared``/``grant``/``revoke``/``close_all``), CHERI's
+capability installs (``CapabilityGate`` / ``cap_gate`` receivers) and
+SFI's mask setup (``SfiMaskGate`` / ``mask_gate``). The scan walks every
+call site whose receiver resolves to a gate register of *any* registered
+backend and demands it sit inside the *entry-gate sequence*:
 
 * the enclosing function brackets the write with the context stack — a
   ``contexts.push(...)`` or ``contexts.pop(...)`` call appears lexically
@@ -16,9 +20,9 @@ register and demands it sit inside the *entry-gate sequence*:
   ``write_prepared`` (PR2), which replays only after the context push; or
 * the enclosing function is only reachable from such a gate — computed as
   the same-module call closure of gate functions (e.g.
-  ``SdradRuntime._apply_domain_pkru``, called from ``execute`` between
+  ``SdradRuntime._apply_domain_gate``, called from ``execute`` between
   push and pop); or
-* the write is a micro-op of :class:`PkruRegister` itself (the register
+* the write is a micro-op of a gate register class itself (the register
   *is* the instruction; its callers are what need gating); or
 * the function carries an explicit ``# sdradlint: gate`` annotation on
   its ``def`` line — the audited-by-hand escape hatch.
@@ -44,21 +48,35 @@ from __future__ import annotations
 import ast
 from typing import Optional
 
+from ..memory.backends import gate_idiom_table
 from .findings import Finding
 from .model import ModuleModel, call_func_name, call_receiver_path
 
-#: The PKRU register's write surface (simulated WRPKRU spellings).
-PKRU_WRITE_CALLS = {"write", "write_prepared", "grant", "revoke"}
+#: The union of every registered backend's gate idiom — the substrates
+#: declare their own privileged spellings; R4 only enforces the bracket.
+_IDIOMS = gate_idiom_table()
+
+#: The gate write surface (WRPKRU / capability install / mask setup
+#: spellings). The historical name is kept: R4 consumers imported it.
+PKRU_WRITE_CALLS = frozenset(_IDIOMS.write_calls)
 
 #: Classes whose own methods are the register micro-ops, not call sites.
-REGISTER_CLASSES = {"PkruRegister"}
+REGISTER_CLASSES = frozenset(_IDIOMS.register_classes)
+
+#: Receiver spellings that resolve to a gate (exact segment or suffix).
+GATE_RECEIVER_NAMES = frozenset(_IDIOMS.receiver_names)
+
+_RECEIVER_SUFFIXES = tuple(f"_{name}" for name in sorted(GATE_RECEIVER_NAMES))
 
 
 def _is_pkru_receiver(path: Optional[str]) -> bool:
-    """Does a dotted receiver path resolve to a PKRU register?"""
+    """Does a dotted receiver path resolve to an isolation gate?"""
     if path is None:
         return False
-    return any(seg == "pkru" or seg.endswith("_pkru") for seg in path.split("."))
+    return any(
+        seg in GATE_RECEIVER_NAMES or seg.endswith(_RECEIVER_SUFFIXES)
+        for seg in path.split(".")
+    )
 
 
 def _is_gate_call(call: ast.Call) -> bool:

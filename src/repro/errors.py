@@ -65,6 +65,41 @@ class ProtectionKeyViolation(MemoryError_):
         self.access = access
 
 
+class CapabilityViolation(ProtectionKeyViolation):
+    """Access outside the installed capability set (simulated CHERI).
+
+    Subclasses :class:`ProtectionKeyViolation` so fault classification,
+    recovery policies and telemetry treat a capability containment fault
+    exactly like an MPK one — the substrate changes, the protocol does not.
+    """
+
+    def __init__(self, address: int, tag: int, access: str = "load") -> None:
+        # Skip the parent constructor: the message names the actual
+        # mechanism, but the attribute surface stays identical.
+        MemoryError_.__init__(
+            self,
+            f"capability violation: {access} at {address:#x} "
+            f"(page sealed for domain tag {tag}, no installed capability)",
+        )
+        self.address = address
+        self.pkey = tag
+        self.access = access
+
+
+class SfiViolation(ProtectionKeyViolation):
+    """Masked access escaped its sandbox region (simulated SFI)."""
+
+    def __init__(self, address: int, tag: int, access: str = "load") -> None:
+        MemoryError_.__init__(
+            self,
+            f"SFI violation: masked {access} at {address:#x} "
+            f"(page in region {tag}, outside the active mask)",
+        )
+        self.address = address
+        self.pkey = tag
+        self.access = access
+
+
 class PermissionFault(MemoryError_):
     """Access denied by page permissions (e.g. write to a read-only page)."""
 
@@ -144,6 +179,15 @@ class DomainStateError(SdradError):
 
 class OutOfDomains(SdradError):
     """All hardware protection keys are in use (MPK provides only 16)."""
+
+
+class UnsupportedByBackend(SdradError):
+    """The selected isolation backend cannot provide this feature.
+
+    Raised eagerly (never silently ignored) so a deployment that asks for,
+    say, key virtualisation on a substrate without key scarcity finds out
+    at configuration time, not from quietly different behaviour.
+    """
 
 
 # ---------------------------------------------------------------------------

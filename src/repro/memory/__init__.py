@@ -8,6 +8,14 @@ stacks — with enforcement performed on the simulated load/store path.
 
 from .address_space import AddressSpace, CheckMode
 from .allocator import FreeListAllocator, HeapStats
+from .backends import (
+    BackendLimits,
+    GrantSetGate,
+    IsolationBackend,
+    TagAllocator,
+    available_backends,
+    resolve_backend,
+)
 from .layout import (
     DEFAULT_DOMAIN_HEAP,
     DEFAULT_DOMAIN_STACK,
@@ -28,6 +36,12 @@ from .stack import CallStack, StackFrame
 __all__ = [
     "AddressSpace",
     "CheckMode",
+    "BackendLimits",
+    "GrantSetGate",
+    "IsolationBackend",
+    "TagAllocator",
+    "available_backends",
+    "resolve_backend",
     "FreeListAllocator",
     "HeapStats",
     "DEFAULT_DOMAIN_HEAP",

@@ -50,12 +50,11 @@ from typing import Iterable, Literal
 from ..errors import (
     MemoryError_,
     PermissionFault,
-    ProtectionKeyViolation,
     SdradError,
     SegmentationFault,
 )
+from .backends import resolve_backend
 from .layout import DEFAULT_SPACE_SIZE, PAGE_SIZE, pages_spanned
-from .mpk import PkeyAllocator, PkruRegister
 from .pagetable import PageTable
 from .plans import AccessPlanCache
 
@@ -91,12 +90,24 @@ class AddressSpace:
         check_mode: CheckMode = "strict",
         tlb_enabled: bool = True,
         access_plans: bool = True,
+        backend: object = "mpk",
     ) -> None:
         if check_mode not in ("strict", "first", "off"):
             raise SdradError(f"unknown check mode {check_mode!r}")
-        self.page_table = PageTable(size)
-        self.pkru = PkruRegister()
-        self.pkeys = PkeyAllocator()
+        #: The isolation substrate. The gate, the tag allocator, the
+        #: page-table tag ceiling and the violation a denied access raises
+        #: all come from it; everything else in this class is generic.
+        self.backend = resolve_backend(backend)
+        self.page_table = PageTable(size, num_keys=self.backend.num_page_tags)
+        #: The substrate's permission gate. ``pkru`` is the historical name
+        #: (and still literally a PKRU register under the MPK default);
+        #: ``gate`` is the same object under its substrate-neutral name.
+        self.pkru = self.backend.create_gate()
+        self.gate = self.pkru
+        #: The substrate's domain-tag allocator (``pkeys`` historically).
+        self.pkeys = self.backend.create_allocator()
+        self.tags = self.pkeys
+        self._violation = self.backend.violation
         self.check_mode: CheckMode = check_mode
         self._memory = bytearray(size)
         self._view = memoryview(self._memory)
@@ -494,4 +505,4 @@ class AddressSpace:
         )
         if not allowed:
             self.faults += 1
-            raise ProtectionKeyViolation(address, entry.pkey, access=access)
+            raise self._violation(address, entry.pkey, access)

@@ -1,0 +1,84 @@
+"""Pluggable isolation backends: MPK (default), simulated CHERI, SFI.
+
+``AddressSpace(backend=...)`` / ``SdradRuntime(backend=...)`` accept a
+backend name or instance; :func:`resolve_backend` is the registry.
+"""
+
+from __future__ import annotations
+
+from ...errors import SdradError
+from .base import (
+    DEFAULT_TAG,
+    BackendLimits,
+    GateIdiom,
+    GrantSetGate,
+    IsolationBackend,
+    TagAllocator,
+)
+from .cheri import CapabilityGate, CheriBackend
+from .mpk_backend import MpkBackend
+from .sfi import SfiBackend, SfiMaskGate
+
+#: Registry of substrate names to implementations. Backends are stateless
+#: (all per-process state lives in the gate/allocator instances they
+#: create), so one shared instance per substrate suffices.
+BACKENDS: dict = {
+    backend.name: backend
+    for backend in (MpkBackend(), CheriBackend(), SfiBackend())
+}
+
+
+def available_backends() -> list:
+    """Registered backend names, default first."""
+    return list(BACKENDS)
+
+
+def resolve_backend(spec) -> IsolationBackend:
+    """Resolve a ``backend=`` constructor argument (name or instance)."""
+    if spec is None or spec == "mpk":
+        return BACKENDS["mpk"]
+    if isinstance(spec, IsolationBackend):
+        return spec
+    try:
+        return BACKENDS[spec]
+    except (KeyError, TypeError):
+        raise SdradError(
+            f"unknown isolation backend {spec!r}; "
+            f"available: {', '.join(BACKENDS)}"
+        ) from None
+
+
+def gate_idiom_table() -> GateIdiom:
+    """The union of every backend's gate idiom — sdradlint R4's input."""
+    register_classes: frozenset = frozenset()
+    receiver_names: frozenset = frozenset()
+    write_calls: frozenset = frozenset()
+    for backend in BACKENDS.values():
+        idiom = backend.idiom
+        register_classes |= idiom.register_classes
+        receiver_names |= idiom.receiver_names
+        write_calls |= idiom.write_calls
+    return GateIdiom(
+        register_classes=register_classes,
+        receiver_names=receiver_names,
+        write_calls=write_calls,
+    )
+
+
+__all__ = [
+    "BACKENDS",
+    "BackendLimits",
+    "CapabilityGate",
+    "CheriBackend",
+    "DEFAULT_TAG",
+    "GateIdiom",
+    "GrantSetGate",
+    "IsolationBackend",
+    "MpkBackend",
+    "SfiBackend",
+    "SfiMaskGate",
+    "TagAllocator",
+    "available_backends",
+    "gate_idiom_table",
+    "resolve_backend",
+]

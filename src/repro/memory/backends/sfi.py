@@ -1,0 +1,71 @@
+"""Simulated SFI substrate: masked addressing, per-access check tax.
+
+Software fault isolation ("Software Fault Isolation for Robust
+Compilation", PAPERS.md) enforces compartment boundaries by *rewriting the
+code*: every load/store is instrumented to mask (or compare) its address
+against the sandbox region. The overhead shape is the inverse of MPK's —
+**no gate cost** (switching compartments is just calling differently
+instrumented code; there is no privileged register to write) but a **tax
+on every checked access** inside a domain.
+
+The simulation keeps the same tag-set gate as CHERI (the active mask set
+is the gate state; the ``on_write`` hook keeps the permission cache
+coherent across switches) with two differences:
+
+* entry/exit charge nothing to the clock — ``gate_cost == 0``;
+* every checked load/store executed between enter and exit charges
+  ``cost.sfi_access_check``, accounted at domain exit from the address
+  space's access counters (nested entries are not double-taxed: an access
+  is instrumented exactly once, by the innermost sandbox).
+
+A masked access that escapes its region raises
+:class:`~repro.errors.SfiViolation` — again a
+:class:`~repro.errors.ProtectionKeyViolation` subclass, so the rewind
+protocol above is untouched.
+"""
+
+from __future__ import annotations
+
+from ...errors import SfiViolation
+from .base import GateIdiom, GrantSetGate, IsolationBackend, TagAllocator
+
+
+class SfiMaskGate(GrantSetGate):
+    """The active address-mask set of the running sandbox."""
+
+
+class SfiBackend(IsolationBackend):
+    """Simulated SFI: free gate, taxed accesses, unbounded regions."""
+
+    name = "sfi"
+    num_page_tags = None
+    max_domains = None
+    supports_key_virtualization = False
+    #: Per-access instrumentation dominates: the published SFI overhead
+    #: band on memory-bound code is well above the MPK gate cost.
+    runtime_overhead_hint = 0.08
+    idiom = GateIdiom(
+        register_classes=frozenset({"SfiMaskGate", "GrantSetGate"}),
+        receiver_names=frozenset({"gate", "mask_gate"}),
+        write_calls=frozenset(
+            {"write", "write_prepared", "grant", "revoke", "close_all"}
+        ),
+    )
+
+    def create_gate(self) -> SfiMaskGate:
+        return SfiMaskGate()
+
+    def create_allocator(self) -> TagAllocator:
+        return TagAllocator(max_tags=None)
+
+    def violation(self, address: int, tag: int, access: str) -> Exception:
+        return SfiViolation(address, tag, access=access)
+
+    # entry_cost / exit_cost stay 0.0: there is no gate to pay for.
+
+    def setup_cost(self, cost) -> float:
+        # Install the region mask and bind the instrumented entry points.
+        return cost.sfi_domain_setup
+
+    def access_tax(self, cost) -> float:
+        return cost.sfi_access_check

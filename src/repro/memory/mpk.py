@@ -132,6 +132,18 @@ class PkruRegister:
         _validate_pkey(pkey)
         self.write(self._value | (AD_BIT << (2 * pkey)))
 
+    def close_all(self) -> None:
+        """Deny every key, including the default (two WRPKRUs).
+
+        This is the first half of a domain entry on any substrate; on MPK
+        it is the historical ``write(DENY_ALL_EXCEPT_DEFAULT)`` followed by
+        revoking key 0 (whose AD pattern that constant cannot express), so
+        the write count and every intermediate ``on_write`` value are
+        exactly what the runtime produced before this micro-op existed.
+        """
+        self.write(self.DENY_ALL_EXCEPT_DEFAULT)
+        self.revoke(0)
+
     def snapshot(self) -> int:
         return self._value
 

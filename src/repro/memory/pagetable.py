@@ -35,11 +35,15 @@ class PageEntry:
 class PageTable:
     """Page table over a fixed-size simulated address space."""
 
-    def __init__(self, space_size: int) -> None:
+    def __init__(self, space_size: int, num_keys: "int | None" = NUM_PKEYS) -> None:
         if space_size <= 0 or not is_page_aligned(space_size):
             raise SdradError(
                 f"address-space size must be a positive page multiple, got {space_size}"
             )
+        #: Valid tag ceiling for :meth:`tag_range` — MPK's 16 hardware keys
+        #: by default; ``None`` for substrates with full-width tags (CHERI
+        #: object types, SFI region ids).
+        self.num_keys = num_keys
         self.space_size = space_size
         self.num_pages = space_size // PAGE_SIZE
         self._entries = [PageEntry() for _ in range(self.num_pages)]
@@ -112,7 +116,7 @@ class PageTable:
 
     def tag_range(self, address: int, length: int, pkey: int) -> None:
         """``pkey_mprotect`` analogue: retag pages with a protection key."""
-        if not 0 <= pkey < NUM_PKEYS:
+        if pkey < 0 or (self.num_keys is not None and pkey >= self.num_keys):
             raise SdradError(f"protection key out of range: {pkey}")
         self._check_range(address, length)
         try:

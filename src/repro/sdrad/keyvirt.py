@@ -30,7 +30,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
-from ..errors import SdradError
+from ..errors import SdradError, UnsupportedByBackend
 from ..memory.mpk import NUM_PKEYS, PKEY_DEFAULT
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -52,6 +52,16 @@ class VirtualKeyManager:
     """Binds virtual domain keys onto the physical MPK key pool."""
 
     def __init__(self, runtime: "SdradRuntime") -> None:
+        # Key virtualisation is MPK-backend-private: it exists to stretch
+        # a scarce physical key pool, which other substrates do not have.
+        # Constructing the manager over them must fail loudly, not quietly
+        # manage an infinite pool (see repro.memory.backends).
+        backend = runtime.space.backend
+        if not backend.supports_key_virtualization:
+            raise UnsupportedByBackend(
+                f"VirtualKeyManager requires the MPK backend; "
+                f"backend {backend.name!r} has unbounded domain tags"
+            )
         self.runtime = runtime
         # Reserve the lock key out of the normal allocator so nothing else
         # ever grants it.

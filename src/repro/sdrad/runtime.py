@@ -34,8 +34,10 @@ from ..errors import (
     DomainNotFound,
     DomainStateError,
     SdradError,
+    UnsupportedByBackend,
 )
 from ..memory.address_space import AddressSpace
+from ..memory.backends import resolve_backend
 from ..memory.layout import (
     DEFAULT_DOMAIN_HEAP,
     DEFAULT_DOMAIN_STACK,
@@ -225,6 +227,7 @@ class SdradRuntime:
         scrub_mode: str = "lazy",
         reentry_cache: bool = True,
         obs: Optional["Observability"] = None,
+        backend: object = None,
     ) -> None:
         if scrub_mode not in ("eager", "lazy"):
             raise SdradError(f"unknown scrub mode {scrub_mode!r}")
@@ -234,9 +237,36 @@ class SdradRuntime:
         # E2b ablation, and the mode to pick when stale bytes must not
         # survive the rewind even in unallocated space).
         self.scrub_mode = scrub_mode
-        self.space = space if space is not None else AddressSpace()
+        if space is not None:
+            self.space = space
+            # An explicit backend must agree with the space's: the space
+            # owns the gate, so a conflicting request would be ignored.
+            if backend is not None and (
+                resolve_backend(backend).name != space.backend.name
+            ):
+                raise SdradError(
+                    f"backend {resolve_backend(backend).name!r} conflicts "
+                    f"with the address space's {space.backend.name!r}"
+                )
+        else:
+            self.space = AddressSpace(
+                backend=backend if backend is not None else "mpk"
+            )
+        #: The isolation substrate (see ``repro.memory.backends``).
+        self.backend = self.space.backend
         self.clock = clock if clock is not None else VirtualClock()
         self.cost = cost
+        # Per-operation substrate costs, resolved once: under the MPK
+        # default these are the very same floats the runtime used to read
+        # off the cost model inline, so charges are bit-identical.
+        self._enter_cost = self.backend.entry_cost(cost)
+        self._exit_cost = self.backend.exit_cost(cost)
+        self._setup_cost = self.backend.setup_cost(cost)
+        self._teardown_cost = self.backend.teardown_cost(cost)
+        self._access_tax = self.backend.access_tax(cost)
+        # Checked accesses already charged by an inner (nested) domain exit
+        # — SFI instruments each access once, in the innermost sandbox.
+        self._taxed_accesses = 0
         self.tracer = tracer if tracer is not None else Tracer()
         # Observability is strictly opt-in: with ``obs=None`` (the
         # default) every instrumented site below reduces to one attribute
@@ -289,8 +319,17 @@ class SdradRuntime:
         self._root = self._create_root_domain(root_heap_size)
         # Optional libmpk-style key virtualisation (lifts the 15-domain
         # limit at the cost of rebind retagging; see repro.sdrad.keyvirt).
+        # It is an MPK-private concern: only a substrate with key scarcity
+        # has anything to virtualise, so other backends reject the request
+        # loudly instead of silently not virtualising.
         self.keys: Optional["VirtualKeyManager"] = None
         if key_virtualization:
+            if not self.backend.supports_key_virtualization:
+                raise UnsupportedByBackend(
+                    f"key virtualization requires a key-scarce substrate "
+                    f"(MPK); backend {self.backend.name!r} has unbounded "
+                    f"domain tags and nothing to virtualise"
+                )
             from .keyvirt import VirtualKeyManager
 
             self.keys = VirtualKeyManager(self)
@@ -365,8 +404,9 @@ class SdradRuntime:
             if self.keys is None:
                 self.space.pkeys.free(pkey)
             raise
-        # pkey_alloc + two pkey_mprotect calls + heap arena setup
-        self.charge(3 * self.cost.pkey_syscall + self.cost.domain_heap_init)
+        # Substrate setup syscalls (pkey_alloc + two pkey_mprotect on MPK,
+        # capability derivation on CHERI, mask install on SFI) + heap arena.
+        self.charge(self._setup_cost + self.cost.domain_heap_init)
         domain = Domain(
             udi=udi,
             pkey=pkey,
@@ -406,7 +446,7 @@ class SdradRuntime:
             self.space.pkeys.free(domain.pkey)
         domain.mark_destroyed()
         del self._domains[udi]
-        self.charge(3 * self.cost.pkey_syscall)
+        self.charge(self._teardown_cost)
         self.tracer.record(self.clock.now, "domain.destroy", udi=udi)
         if self.obs is not None:
             self.obs.registry.counter("sdrad_domains_destroyed_total").increment()
@@ -510,44 +550,51 @@ class SdradRuntime:
                 and parent.udi != ROOT_UDI
             ):
                 self.keys.ensure_bound(parent)
-        self.charge(self.cost.domain_enter)
-        pkru = self.space.pkru
-        saved_pkru = pkru.snapshot()
-        context = self.contexts.push(udi, saved_pkru, self.clock.now)
-        # Re-entry fast path: from the same caller PKRU, entering the same
-        # domain always derives the same final PKRU and an equivalent
-        # handle, so replay the prepared ticket instead of re-deriving.
-        # Entries with read grants or a shared parent heap depend on *other*
-        # domains' keys too and stay on the slow path.
+        self.charge(self._enter_cost)
+        gate = self.space.gate
+        saved_gate = gate.snapshot()
+        # SFI's per-access tax anchors: checked accesses between here and
+        # the matching leave are charged at exit (minus any already taxed
+        # by nested entries). Zero-tax substrates never read these.
+        access_mark = taxed_mark = 0
+        if self._access_tax:
+            access_mark = self.space.loads + self.space.stores
+            taxed_mark = self._taxed_accesses
+        context = self.contexts.push(udi, saved_gate, self.clock.now)
+        # Re-entry fast path: from the same caller gate state, entering the
+        # same domain always derives the same final gate value and an
+        # equivalent handle, so replay the prepared ticket instead of
+        # re-deriving. Entries with read grants or a shared parent heap
+        # depend on *other* domains' tags too and stay on the slow path.
         if (
             self.reentry_enabled
             and not granted_domains
             and not domain.nonisolated_heap
         ):
-            ticket = self._entry_tickets.get((saved_pkru, udi))
+            ticket = self._entry_tickets.get((saved_gate, udi))
             if ticket is None:
-                writes_before = pkru.writes
-                self._apply_domain_pkru(domain)
+                writes_before = gate.writes
+                self._apply_domain_gate(domain)
                 ticket = _EntryTicket(
-                    pkru=pkru.value,
-                    modelled_writes=pkru.writes - writes_before,
+                    pkru=gate.value,
+                    modelled_writes=gate.writes - writes_before,
                     handle=DomainHandle(self, domain),
                     domain=domain,
                     check_heap=domain.check_heap_on_exit,
                 )
                 if len(self._entry_tickets) >= 4096:
                     self._entry_tickets.clear()
-                self._entry_tickets[(saved_pkru, udi)] = ticket
+                self._entry_tickets[(saved_gate, udi)] = ticket
                 self.reentry_misses += 1
             else:
-                pkru.write_prepared(ticket.pkru, ticket.modelled_writes)
+                gate.write_prepared(ticket.pkru, ticket.modelled_writes)
                 self.reentry_hits += 1
             handle = ticket.handle
             check_heap = ticket.check_heap
         else:
-            self._apply_domain_pkru(domain)
+            self._apply_domain_gate(domain)
             for granted in granted_domains:
-                pkru.grant(granted.pkey, read=True, write=False)
+                gate.grant(granted.pkey, read=True, write=False)
             handle = DomainHandle(self, domain)
             check_heap = domain.check_heap_on_exit
         self.tracer.record(self.clock.now, "domain.enter", udi=udi)
@@ -568,7 +615,7 @@ class SdradRuntime:
             except BaseException as exc:  # noqa: BLE001 - boundary must see all
                 if not is_recoverable(exc):
                     # Logic error: restore trusted state, propagate.
-                    self._leave(domain, context, saved_pkru, clean=False)
+                    self._leave(domain, context, saved_gate, access_mark, taxed_mark, clean=False)
                     if obs is not None:
                         obs.end_span(span, status="error")
                     raise
@@ -592,7 +639,7 @@ class SdradRuntime:
                     ).increment()
                 decision = policy.decide(report, attempt)
                 if decision.abort:
-                    self._leave(domain, context, saved_pkru, clean=False)
+                    self._leave(domain, context, saved_gate, access_mark, taxed_mark, clean=False)
                     self.tracer.record(self.clock.now, "process.crash", udi=udi)
                     if obs is not None:
                         obs.registry.counter(
@@ -606,7 +653,7 @@ class SdradRuntime:
                 )
                 if decision.retry:
                     continue
-                self._leave(domain, context, saved_pkru, clean=False)
+                self._leave(domain, context, saved_gate, access_mark, taxed_mark, clean=False)
                 if obs is not None:
                     obs.end_span(span, status="fault", retries=attempt - 1)
                 return DomainResult(
@@ -618,7 +665,7 @@ class SdradRuntime:
                 )
             else:
                 domain.mark_exited()
-                self._leave(domain, context, saved_pkru, clean=True)
+                self._leave(domain, context, saved_gate, access_mark, taxed_mark, clean=True)
                 if obs is not None:
                     obs.end_span(span, status="ok")
                 return DomainResult(
@@ -724,30 +771,54 @@ class SdradRuntime:
         return self.clock.now - before
 
     def _leave(
-        self, domain: Domain, context, saved_pkru: int, *, clean: bool
+        self,
+        domain: Domain,
+        context,
+        saved_gate: int,
+        access_mark: int = 0,
+        taxed_mark: int = 0,
+        *,
+        clean: bool,
     ) -> None:
         self.contexts.pop(context)
-        self.space.pkru.write(saved_pkru)
-        self.charge(self.cost.domain_exit)
+        self.space.gate.write(saved_gate)
+        self.charge(self._exit_cost)
+        if self._access_tax:
+            # SFI: charge the instrumentation tax for every checked access
+            # executed inside this entry that an inner entry has not
+            # already paid for (an access is masked exactly once).
+            space = self.space
+            fresh = (space.loads + space.stores - access_mark) - (
+                self._taxed_accesses - taxed_mark
+            )
+            if fresh > 0:
+                self.charge(fresh * self._access_tax)
+                self._taxed_accesses += fresh
         self.tracer.record(
             self.clock.now, "domain.exit", udi=domain.udi, clean=clean
         )
 
-    def _apply_domain_pkru(self, domain: Domain) -> None:
-        """Grant access only to the domain's key (plus shared-heap parents)."""
-        pkru = self.space.pkru
-        pkru.write(pkru.DENY_ALL_EXCEPT_DEFAULT)
-        # Deny the default key too: the root domain's memory must be
-        # unreachable from inside an isolated domain. (Key 0 cannot have its
-        # AD bit pattern expressed via DENY_ALL_EXCEPT_DEFAULT, so revoke.)
-        pkru.revoke(PKEY_DEFAULT)
-        pkru.grant(domain.pkey, read=True, write=True)
+    def _apply_domain_gate(self, domain: Domain) -> None:
+        """Grant access only to the domain's tag (plus shared-heap parents).
+
+        On MPK this is the historical three-WRPKRU entry sequence (deny
+        all, revoke key 0, grant the domain key); ``close_all`` folds the
+        first two so the same code drives a capability install (CHERI) or
+        a mask setup (SFI) through the generic gate protocol.
+        """
+        gate = self.space.gate
+        # Close the gate entirely — the caller's memory (root included)
+        # must be unreachable from inside the domain — then grant only the
+        # domain's own tag.
+        gate.close_all()
+        gate.grant(domain.pkey, read=True, write=True)
         if domain.nonisolated_heap and domain.parent_udi is not None:
             parent = self._domains.get(domain.parent_udi)
             if parent is not None:
-                pkru.grant(parent.pkey, read=True, write=True)
-        # The PKRU writes above are the WRPKRU instructions of a real switch;
-        # their latency is part of cost.domain_enter, not charged per write.
+                gate.grant(parent.pkey, read=True, write=True)
+        # The gate writes above are the switch instructions of a real
+        # entry; their latency is part of the backend's entry cost, not
+        # charged per write.
 
     def map_shared_region(self, size: int, pkey: int = PKEY_DEFAULT) -> int:
         """Map a page-aligned region outside any domain (service state).

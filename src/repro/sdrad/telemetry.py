@@ -49,12 +49,17 @@ def snapshot(runtime: SdradRuntime) -> dict[str, Any]:
     space = runtime.space
     tlb_lookups = space.tlb_hits + space.tlb_misses
     memory = {
+        "backend": space.backend.name,
         "space_bytes": space.size,
         "mapped_bytes": space.page_table.mapped_bytes(),
         "checked_loads": space.loads,
         "checked_stores": space.stores,
         "hardware_faults": space.faults,
-        "wrpkru_writes": space.pkru.writes,
+        # Gate-write count; "wrpkru" is the historical (MPK) name, kept so
+        # dashboards and goldens survive the backend axis. gate_writes is
+        # the substrate-neutral alias.
+        "wrpkru_writes": space.gate.writes,
+        "gate_writes": space.gate.writes,
         "tlb_enabled": space.tlb_enabled,
         "tlb_hits": space.tlb_hits,
         "tlb_misses": space.tlb_misses,

@@ -58,6 +58,25 @@ class CostModel:
     domain_exit: float = 150 * NANOSECONDS
     #: Rewind-and-discard after a detected fault (paper: 3.5 µs).
     rewind: float = 3.5 * MICROSECONDS
+
+    # --- alternative isolation substrates ----------------------------------
+    # (consumed through the backend cost hooks, repro.memory.backends)
+    #: CHERI/Morello compartment entry: install the compartment's
+    #: capabilities (two capability-register writes, no syscall) — sized
+    #: from the Morello compartment-switch measurements of the follow-on
+    #: SDRaD work, slightly under the MPK enter path.
+    cheri_domain_enter: float = 120 * NANOSECONDS
+    #: CHERI compartment exit: reinstall the caller's capability set.
+    cheri_domain_exit: float = 120 * NANOSECONDS
+    #: Derive + seal one region capability (domain setup, not per-request).
+    cheri_cap_derive: float = 500 * NANOSECONDS
+    #: SFI sandbox setup: install the region mask and bind instrumented
+    #: entry points (domain creation only).
+    sfi_domain_setup: float = 400 * NANOSECONDS
+    #: SFI per-access instrumentation: mask/compare on every checked
+    #: load/store executed inside a sandbox (the substrate's whole cost —
+    #: SFI has no gate to pay for).
+    sfi_access_check: float = 2 * NANOSECONDS
     #: Extra per-page cost when discarding with explicit scrubbing (ablation
     #: D2) — a memset of one 4 KiB page.
     scrub_page: float = 250 * NANOSECONDS
@@ -176,6 +195,11 @@ class CostModel:
                 "domain_enter",
                 "domain_exit",
                 "rewind",
+                "cheri_domain_enter",
+                "cheri_domain_exit",
+                "cheri_cap_derive",
+                "sfi_domain_setup",
+                "sfi_access_check",
                 "scrub_page",
                 "domain_heap_init",
                 "domain_alloc",

@@ -1,0 +1,34 @@
+"""R4 near-misses, CHERI backend: capability installs inside the gate.
+
+Mirrors the backend-generic runtime shape — the CHERI substrate's gate is
+a :class:`CapabilityGate` whose installs (``grant``) and seals
+(``close_all``) must sit behind the same contexts.push/pop bracket the
+MPK WRPKRU sequence uses. Parsed, never imported.
+"""
+
+
+class CheriGatedRuntime:
+    def execute(self, domain):
+        saved = self.space.cap_gate.snapshot()
+        context = self.contexts.push(domain.udi, saved, 0.0)
+        # Seal every compartment, then install this domain's capability.
+        self.space.cap_gate.close_all()
+        self.install_domain_capability(domain)
+        # Ticket replay of a previously derived grant set: behind the push.
+        self.space.cap_gate.write_prepared(saved, 2)
+        self.contexts.pop(context)
+        self.space.cap_gate.write(saved)
+
+    def install_domain_capability(self, domain):
+        # Only reachable from the gate above: guarded by closure.
+        self.space.cap_gate.grant(domain.pkey, read=True, write=True)
+
+
+class CapabilityGate:
+    def install_inside_gate(self, tag):
+        # The gate's own micro-op IS the capability install instruction.
+        self._gate.write(tag)
+
+
+def audited_cap_restore(space, saved):  # sdradlint: gate
+    space.cap_gate.write(saved)

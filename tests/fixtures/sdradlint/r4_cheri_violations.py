@@ -1,0 +1,22 @@
+"""Planted R4 violations, CHERI backend: capability installs outside the
+entry gate — the capability-forgery analogue of a stray WRPKRU gadget.
+
+Parsed, never imported.
+"""
+
+
+def forge_capability(runtime, tag):
+    runtime.space.cap_gate.grant(tag, read=True, write=True)  # expect[R4]
+
+
+def sneak_cap_write(space, value):
+    space.cap_gate.write(value)  # expect[R4]
+
+
+class LeakyCheriRuntime:
+    def premature_seal(self, domain):
+        # Sealing before the sigsetjmp analogue: a fault between the two
+        # would rewind into a world with no installed capabilities.
+        self.space.cap_gate.close_all()  # expect[R4]
+        context = self.contexts.push(domain.udi, 0, 0.0)
+        self.contexts.pop(context)

@@ -1,0 +1,34 @@
+"""R4 near-misses, SFI backend: mask setup inside the entry gate.
+
+The SFI substrate has no hardware register switch — its "gate write" is
+the mask/grant-set setup that decides which tags the inlined address
+checks accept. Those writes are exactly as privileged as a WRPKRU and
+must sit behind the same contexts.push/pop bracket. Parsed, never
+imported.
+"""
+
+
+class SfiGatedRuntime:
+    def execute(self, domain):
+        saved = self.space.mask_gate.snapshot()
+        context = self.contexts.push(domain.udi, saved, 0.0)
+        # Reset the mask set, then admit this domain's tag.
+        self.space.mask_gate.close_all()
+        self.setup_domain_mask(domain)
+        self.space.mask_gate.write_prepared(saved, 2)
+        self.contexts.pop(context)
+        self.space.mask_gate.write(saved)
+
+    def setup_domain_mask(self, domain):
+        # Only reachable from the gate above: guarded by closure.
+        self.space.mask_gate.grant(domain.pkey, read=True, write=True)
+
+
+class SfiMaskGate:
+    def admit_inside_gate(self, tag):
+        # The gate's own micro-op IS the mask update, not a call site.
+        self._gate.write(tag)
+
+
+def audited_mask_restore(space, saved):  # sdradlint: gate
+    space.mask_gate.write(saved)

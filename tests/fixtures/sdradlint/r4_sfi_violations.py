@@ -1,0 +1,23 @@
+"""Planted R4 violations, SFI backend: mask setup outside the entry gate.
+
+An unguarded mask write is the SFI equivalent of a WRPKRU gadget: code
+that can widen the set of tags the inlined checks accept without going
+through the sanctioned entry sequence. Parsed, never imported.
+"""
+
+
+def widen_mask(runtime, tag):
+    runtime.space.mask_gate.grant(tag, read=True, write=True)  # expect[R4]
+
+
+def sneak_mask_write(space, value):
+    space.mask_gate.write(value)  # expect[R4]
+
+
+class LeakySfiRuntime:
+    def premature_mask_reset(self, domain):
+        # Mask reset before the sigsetjmp analogue — same hazard as the
+        # MPK premature write: nothing to restore on a fault in between.
+        self.space.mask_gate.close_all()  # expect[R4]
+        context = self.contexts.push(domain.udi, 0, 0.0)
+        self.contexts.pop(context)

@@ -139,6 +139,26 @@ class TestCommands:
         assert main(["obs", "--requests", "40", "--sampling", "0.25"]) == 0
         assert "sampling=0.25" in capsys.readouterr().out
 
+    def test_backends_table(self, capsys):
+        assert main(["backends"]) == 0
+        out = capsys.readouterr().out
+        assert "mpk" in out and "cheri" in out and "sfi" in out
+        assert "unbounded" in out  # cheri/sfi have no domain ceiling
+        assert "15" in out  # mpk does
+
+    @pytest.mark.parametrize("backend", ["mpk", "cheri", "sfi"])
+    def test_backends_demo_contains(self, capsys, backend):
+        assert main(["backends", "--demo", backend]) == 0
+        out = capsys.readouterr().out
+        assert f"containment demo on backend {backend!r}" in out
+        assert "ok=False" in out
+        assert "b'victim secret'" in out
+        assert "alive" in out
+
+    def test_backends_demo_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["backends", "--demo", "segments"])
+
     def test_module_entry_point(self):
         import subprocess
         import sys
