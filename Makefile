@@ -1,6 +1,6 @@
 # Convenience targets for the SDRaD reproduction.
 
-.PHONY: install test bench bench-fast bench-obs bench-plans bench-fleet bench-backends profile tables examples lint lint-domains all
+.PHONY: install test bench bench-fast bench-obs bench-plans bench-fleet bench-backends profile tables examples lint lint-domains lint-fixtures all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -65,11 +65,24 @@ tables:
 examples:
 	@for f in examples/*.py; do echo "== $$f =="; python $$f; done
 
-# sdradlint: static verification of the SDRaD compartment invariants
-# (R1 enter/exit pairing, R2 domain-heap escape, R3 rewind-unsafe side
-# effects, R4 unguarded WRPKRU gadgets). Exit 1 on any new finding.
+# sdradlint: whole-program static verification of the SDRaD compartment
+# invariants (R1 enter/exit pairing, R2 domain-heap escape, R3
+# rewind-unsafe side effects, R4 unguarded WRPKRU gadgets, R5
+# interprocedural heap escape, R6 MPK-only idioms outside capability
+# guards, R7 FFI boundary contract). Exit 1 on any new finding. Uses the
+# incremental summary cache (.sdradlint.cache.json); pass flags through
+# scripts/lint_domains.py for --no-cache / --changed-only / --format sarif.
 lint-domains:
 	python scripts/lint_domains.py
+
+# The linter's own test matrix: planted-violation and near-miss fixtures
+# for every rule (exact rule+line markers), call-graph/SCC-summary unit
+# tests, cache byte-identity tests, and the SARIF golden file.
+lint-fixtures:
+	PYTHONPATH=src python -m pytest -q \
+		tests/test_analysis_fixtures.py \
+		tests/test_analysis_callgraph.py \
+		tests/test_analysis_cache.py
 
 # General hygiene (ruff + mypy, configured in pyproject.toml). Both are
 # optional: the targets skip with a notice when the tool is not in the

@@ -1,4 +1,4 @@
-"""CLI: ``python -m repro.analysis [paths] [--json] [--baseline FILE]``.
+"""CLI: ``python -m repro.analysis [paths] [--json|--format sarif] ...``.
 
 Exit codes: 0 — clean (or everything baselined/suppressed); 1 — new
 findings; 2 — usage or parse errors.
@@ -12,6 +12,8 @@ import os
 import sys
 
 from . import RULES, baseline as baseline_mod
+from . import sarif as sarif_mod
+from .cache import DEFAULT_CACHE
 from .runner import lint_paths
 
 
@@ -27,15 +29,24 @@ def _default_paths() -> list:
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
-        description="sdradlint: static verification of SDRaD compartment "
-        "invariants (R1 pairing, R2 heap escape, R3 rewind-unsafe effects, "
-        "R4 WRPKRU gadgets).",
+        description="sdradlint: whole-program static verification of SDRaD "
+        "compartment invariants (R1 pairing, R2 heap escape, R3 rewind-unsafe "
+        "effects, R4 WRPKRU gadgets, R5 interprocedural escape, R6 backend "
+        "portability, R7 FFI boundary integrity).",
     )
     parser.add_argument(
         "paths", nargs="*", help="files or directories (default: src/repro)"
     )
     parser.add_argument(
-        "--json", action="store_true", help="machine-readable JSON findings"
+        "--json",
+        action="store_true",
+        help="machine-readable JSON findings (alias for --format json)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "sarif"),
+        default=None,
+        help="output format (default: text)",
     )
     parser.add_argument(
         "--rules",
@@ -57,6 +68,22 @@ def main(argv=None) -> int:
         help="accept all current findings into the baseline and exit 0",
     )
     parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the incremental summary cache (full re-analysis)",
+    )
+    parser.add_argument(
+        "--cache",
+        default=DEFAULT_CACHE,
+        help=f"summary cache file (default: {DEFAULT_CACHE})",
+    )
+    parser.add_argument(
+        "--changed-only",
+        action="store_true",
+        help="lint only files changed vs merge-base HEAD origin/main "
+        "(full run when that cannot be computed)",
+    )
+    parser.add_argument(
         "--list-rules", action="store_true", help="describe the rules and exit"
     )
     args = parser.parse_args(argv)
@@ -66,6 +93,8 @@ def main(argv=None) -> int:
             print(f"{rule}  {description}")
         return 0
 
+    fmt = args.format or ("json" if args.json else "text")
+
     rules = None
     if args.rules:
         rules = {part.strip().upper() for part in args.rules.split(",")}
@@ -74,7 +103,13 @@ def main(argv=None) -> int:
             print(f"unknown rule(s): {', '.join(sorted(unknown))}", file=sys.stderr)
             return 2
 
-    result = lint_paths(args.paths or _default_paths(), rules)
+    result = lint_paths(
+        args.paths or _default_paths(),
+        rules,
+        use_cache=not args.no_cache,
+        cache_path=args.cache,
+        changed_only=args.changed_only,
+    )
     for path, message in result.errors:
         print(f"{path}: {message}", file=sys.stderr)
 
@@ -91,7 +126,7 @@ def main(argv=None) -> int:
     entries = {} if args.no_baseline else baseline_mod.load(args.baseline)
     new, baselined = baseline_mod.split(findings, entries)
 
-    if args.json:
+    if fmt == "json":
         print(
             json.dumps(
                 {
@@ -103,6 +138,8 @@ def main(argv=None) -> int:
                 indent=2,
             )
         )
+    elif fmt == "sarif":
+        print(sarif_mod.render(new))
     else:
         for finding in new:
             print(finding.render())

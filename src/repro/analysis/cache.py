@@ -1,0 +1,103 @@
+"""Incremental summary cache: skip re-parsing unchanged files.
+
+Whole-program analysis re-reads every file on every run; most of them
+have not changed.  The per-file layer (parse → :class:`ModuleModel` →
+local R1/R4 findings + :class:`~.summaries.FileFacts` extraction) is a
+pure function of the file's *content*, so it caches under the content's
+SHA-256.  The whole-program layer (call graph, summaries, R2/R3/R5/R6/R7)
+is cheap plain-data work and is **always recomputed** from the facts —
+which is what makes a warm-cache run byte-identical to ``--no-cache``
+by construction: the interprocedural pass never sees whether its inputs
+came from a parse or from disk.
+
+The cache file (:data:`DEFAULT_CACHE`, JSON) lives next to the baseline
+at the repo root.  Entries are keyed by *path* and validated by content
+hash, so an edited file simply misses; :data:`CACHE_VERSION` bumps
+whenever the fact schema or rule tables change shape, invalidating
+everything at once.  A corrupt or version-skewed cache is indistinguishable
+from an absent one — the analyzer silently rebuilds it.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from typing import Optional
+
+from .findings import Finding
+from .summaries import FileFacts
+
+#: Bump when FileFacts / finding shapes or rule tables change.
+CACHE_VERSION = 1
+
+DEFAULT_CACHE = ".sdradlint.cache.json"
+
+
+def content_key(source: str) -> str:
+    return hashlib.sha256(source.encode("utf-8")).hexdigest()
+
+
+class SummaryCache:
+    """Content-hash keyed store of per-file analysis products."""
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path or DEFAULT_CACHE
+        self._entries: dict = {}
+        self.hits = 0
+        self.misses = 0
+        self._dirty = False
+
+    # ------------------------------------------------------------------
+
+    def load(self) -> None:
+        try:
+            with open(self.path, "r", encoding="utf-8") as fh:
+                data = json.load(fh)
+        except (OSError, ValueError):
+            return
+        if not isinstance(data, dict) or data.get("version") != CACHE_VERSION:
+            return
+        entries = data.get("files")
+        if isinstance(entries, dict):
+            self._entries = entries
+
+    def save(self) -> None:
+        if not self._dirty:
+            return
+        payload = {"version": CACHE_VERSION, "files": self._entries}
+        tmp = f"{self.path}.tmp.{os.getpid()}"
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, separators=(",", ":"), sort_keys=True)
+            os.replace(tmp, self.path)
+        except OSError:  # pragma: no cover - read-only checkout
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+    # ------------------------------------------------------------------
+
+    def get(self, path: str, source: str):
+        """``(facts, local_findings)`` for an unchanged file, else ``None``."""
+        entry = self._entries.get(path)
+        if entry is None or entry.get("key") != content_key(source):
+            self.misses += 1
+            return None
+        try:
+            facts = FileFacts.from_json(path, entry["facts"])
+            local = [Finding.from_dict(f) for f in entry["local_findings"]]
+        except (KeyError, TypeError, ValueError, IndexError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return facts, local
+
+    def put(self, path: str, source: str, facts: FileFacts, local) -> None:
+        self._entries[path] = {
+            "key": content_key(source),
+            "facts": facts.to_json(),
+            "local_findings": [f.to_dict() for f in local],
+        }
+        self._dirty = True

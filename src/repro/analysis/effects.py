@@ -8,8 +8,8 @@ spawned process or a mutated module global survives the rewind — the
 half-completed effect is exactly the inconsistency the paper's recovery
 model excludes.
 
-The checker walks each domain body (per the registry in
-:mod:`repro.analysis.model`) and reports:
+Effect *sites* are collected per function (:func:`collect_effect_sites`,
+the cacheable layer shared with :mod:`.summaries`):
 
 * calls to effectful builtins (``open``, ``print``, ``input``, ``exec``,
   ``eval``, ``breakpoint``, ``__import__``);
@@ -22,17 +22,24 @@ The checker walks each domain body (per the registry in
   tracer writes or obs internals reached from a domain body still flag);
 * rebinding or augmenting a module global (``global x; x = ...``);
 * mutating attributes of caller-owned objects (any parameter other than
-  the domain handle) — trusted state the rewind cannot restore.
+  the domain handle) — domain bodies only: a helper mutating its own
+  parameter is the out-param story R5 tells with taint precision.
+
+PR 3 stopped at the domain body's own statements. The whole-program
+version (:func:`check_project`) also follows calls: every function's
+*representative* effect propagates bottom-up through the summary fixpoint
+(:mod:`.summaries`), so an ``open()`` three helpers down reports at the
+domain body's call site with an ``f -> g -> h`` witness pointing at the
+actual write.
 """
 
 from __future__ import annotations
 
 import ast
 
-from .findings import Finding
+from .findings import Finding, Hop
 from .model import (
     FunctionInfo,
-    ModuleModel,
     call_func_name,
     call_receiver_path,
     dotted_name,
@@ -72,30 +79,23 @@ OBS_SAFE_CALLS = {
     "record_request", "record_batch",
 }
 
+_SUFFIX = " inside a rewindable domain body — a rewind cannot undo it"
 
-class _EffectChecker(ast.NodeVisitor):
-    def __init__(self, model: ModuleModel, info: FunctionInfo) -> None:
-        self.model = model
+
+class _EffectCollector(ast.NodeVisitor):
+    """Collect (line, col, message-core) effect sites in one function."""
+
+    def __init__(self, info: FunctionInfo) -> None:
         self.info = info
         self.globals_declared: set[str] = set()
-        self.findings: list[Finding] = []
+        self.sites: list = []
         args = info.node.args
         params = args.posonlyargs + args.args
         self.handle_param = params[0].arg if params else None
         self.param_names = {a.arg for a in params + args.kwonlyargs}
 
     def _flag(self, node: ast.AST, message: str) -> None:
-        self.findings.append(
-            Finding(
-                rule="R3",
-                path=self.model.path,
-                line=node.lineno,
-                col=node.col_offset,
-                qualname=self.info.qualname,
-                message=f"{message} inside a rewindable domain body — "
-                f"a rewind cannot undo it",
-            )
-        )
+        self.sites.append((node.lineno, node.col_offset, message))
 
     # ------------------------------------------------------------------
 
@@ -135,14 +135,16 @@ class _EffectChecker(ast.NodeVisitor):
                     )
         self.generic_visit(node)
 
-    def visit_Global(self, node: ast.Global) -> None:
-        self.globals_declared.update(node.names)
-
     def _check_store(self, target: ast.AST, node: ast.stmt) -> None:
         if isinstance(target, ast.Name):
             if target.id in self.globals_declared:
                 self._flag(node, f"assignment to module global {target.id!r}")
         elif isinstance(target, ast.Attribute):
+            # Caller-owned mutation is a *domain-body* rule: a helper
+            # mutating its parameter is R5's out-param case, judged with
+            # taint rather than flagged wholesale.
+            if not self.info.is_domain_body:
+                return
             base = dotted_name(target.value)
             if base is None:
                 return
@@ -175,19 +177,60 @@ class _EffectChecker(ast.NodeVisitor):
         pass
 
 
-def check(model: ModuleModel) -> list:
-    """Run R3 over every domain body of ``model``."""
-    findings: list[Finding] = []
-    for info in model.functions:
-        if not info.is_domain_body:
-            continue
-        checker = _EffectChecker(model, info)
-        # Collect ``global`` declarations first: they may follow a use
-        # lexically but scope the whole function.
-        for sub in ast.walk(info.node):
-            if isinstance(sub, ast.Global):
-                checker.globals_declared.update(sub.names)
-        for stmt in info.node.body:
-            checker.visit(stmt)
-        findings.extend(checker.findings)
+def collect_effect_sites(info: FunctionInfo) -> list:
+    """Direct rewind-unsafe effect sites of one function."""
+    collector = _EffectCollector(info)
+    # Collect ``global`` declarations first: they may follow a use
+    # lexically but scope the whole function.
+    for sub in ast.walk(info.node):
+        if isinstance(sub, ast.Global):
+            collector.globals_declared.update(sub.names)
+    for stmt in info.node.body:
+        collector.visit(stmt)
+    return collector.sites
+
+
+def check_project(facts_by_path: dict, graph, summaries) -> list:
+    """Run R3 over every domain body, following calls via summaries."""
+    findings: list = []
+    for path in sorted(facts_by_path):
+        facts = facts_by_path[path]
+        for fn in facts.functions:
+            if not fn.is_domain_body:
+                continue
+            # Direct sites: PR 3's findings, byte-for-byte.
+            for line, col, message in fn.effects:
+                findings.append(
+                    Finding(
+                        rule="R3",
+                        path=path,
+                        line=line,
+                        col=col,
+                        qualname=fn.qualname,
+                        message=f"{message}{_SUFFIX}",
+                    )
+                )
+            # Calls whose summary reaches an effect somewhere below.
+            for name, line, col in fn.calls:
+                callee_key = graph.resolve(path, name)
+                if callee_key is None:
+                    continue
+                summary = summaries.get(callee_key)
+                if summary is None or summary.effect is None:
+                    continue
+                message, chain = summary.effect
+                findings.append(
+                    Finding(
+                        rule="R3",
+                        path=path,
+                        line=line,
+                        col=col,
+                        qualname=fn.qualname,
+                        message=(
+                            f"call to {name}() reaches a rewind-unsafe "
+                            f"effect ({message}){_SUFFIX}"
+                        ),
+                        call_path=(Hop(fn.qualname, path, line),) + chain,
+                    )
+                )
     return findings

@@ -1,0 +1,198 @@
+"""R7 — FFI boundary integrity for SDRaD-FFI sandbox entries.
+
+The ROADMAP's SDRaD-FFI front-end (after Gülmez et al.'s "Friend or Foe
+Inside?") turns annotated functions into sandboxed domain entries.  The
+whole point of the annotation contract is that the *boundary* stays
+trustworthy: arguments and results cross as serialized copies, never as
+raw references, and every entry declares what happens when its domain is
+discarded mid-call.  This rule enforces the contract statically for every
+sandbox entry (a function decorated ``@sandboxed`` or passed to a
+``sandboxed(...)`` factory — :mod:`repro.analysis.model` records the
+declaration site and keywords):
+
+* **alternate action** — the declaration must carry ``fallback=`` or a
+  non-zero ``retries=``; otherwise a violation inside the entry
+  escalates straight to the caller, which is exactly the crash the
+  sandbox was supposed to absorb;
+* **no raw boundary crossings** — the entry must not reach
+  ``copy_into``/``copy_out``/``raw_store``/``raw_load`` (directly or
+  through helpers; witnessed via the summary chain): bytes cross the
+  boundary through :mod:`repro.ffi.serialization`-backed marshalling,
+  whose home modules (``ffi/marshal.py``, ``ffi/serialization.py``) are
+  the sanctioned implementation and therefore exempt;
+* **no raw reference leaks** — an entry that requested the live domain
+  handle (``wants_handle=True``) must not return/yield/store it or pass
+  it to a helper that escapes it: the handle outside the call is a live
+  capability into a domain the runtime may already have discarded.
+"""
+
+from __future__ import annotations
+
+from .findings import Finding, Hop
+
+#: The raw boundary-crossing primitives (runtime/address-space surface).
+RAW_BOUNDARY_CALLS = frozenset(
+    {"copy_into", "copy_out", "raw_store", "raw_load"}
+)
+
+#: Module paths that *implement* marshalling — the sanctioned users of
+#: the raw primitives.  Raw-boundary taint neither seeds nor propagates
+#: inside them.
+_MARSHAL_SUFFIXES = (
+    "ffi/marshal.py",
+    "ffi/serialization.py",
+)
+
+
+def is_marshalling_module(path: str) -> bool:
+    return path.replace("\\", "/").endswith(_MARSHAL_SUFFIXES)
+
+
+#: Injected taint for the entry's first parameter when it asked for the
+#: live handle (``wants_handle=True``): :meth:`resolve_atoms` then tracks
+#: the handle through helper param-to-return flows with summary
+#: precision — ``size = measure(handle); return size`` stays clean when
+#: ``measure`` does not return its argument.
+_HANDLE_DESC = "raw domain handle"
+_HANDLE_TAINTS = {0: (_HANDLE_DESC, ())}
+
+
+def _carries_handle(summaries, fn, atoms: tuple) -> bool:
+    taint, _params = summaries.resolve_atoms(fn, atoms, _HANDLE_TAINTS)
+    return taint is not None and taint[0] == _HANDLE_DESC
+
+
+_LEAK_HOW = {
+    "return": "returns the raw domain handle across the FFI boundary",
+    "yield": "yields the raw domain handle across the FFI boundary",
+    "global": "binds the raw domain handle to a module global",
+    "attr": "stores the raw domain handle into an object attribute",
+    "container": "stores the raw domain handle into a caller-owned container",
+}
+
+
+def check_project(facts_by_path: dict, graph, summaries) -> list:
+    """Run R7 over every sandbox entry of the project."""
+    findings: list = []
+    for path in sorted(facts_by_path):
+        facts = facts_by_path[path]
+        for fn in facts.functions:
+            if fn.sandbox is None:
+                continue
+            decl_line, decl_col, has_fallback, has_retries, wants_handle = (
+                fn.sandbox
+            )
+            key = f"{path}::{fn.qualname}"
+
+            # (a) alternate action declared?
+            if not (has_fallback or has_retries):
+                findings.append(
+                    Finding(
+                        rule="R7",
+                        path=path,
+                        line=decl_line,
+                        col=decl_col,
+                        qualname=fn.qualname,
+                        message=(
+                            "sandbox entry declares no alternate action — "
+                            "add fallback= (or retries=) so a domain "
+                            "violation degrades instead of escalating to "
+                            "the caller"
+                        ),
+                    )
+                )
+
+            # (b) raw boundary crossings, direct then through helpers.
+            for line, col, name in fn.r7_raw_calls:
+                findings.append(
+                    Finding(
+                        rule="R7",
+                        path=path,
+                        line=line,
+                        col=col,
+                        qualname=fn.qualname,
+                        message=(
+                            f"sandbox entry crosses the domain boundary "
+                            f"with raw {name}() — marshal through "
+                            f"repro.ffi.serialization instead"
+                        ),
+                    )
+                )
+            raw_seen = {(line, col) for line, col, _ in fn.r7_raw_calls}
+            for name, line, col in fn.calls:
+                callee_key = graph.resolve(path, name)
+                if callee_key is None or (line, col) in raw_seen:
+                    continue
+                summary = summaries.get(callee_key)
+                if summary is None or summary.raw_boundary is None:
+                    continue
+                raw_name, chain = summary.raw_boundary
+                findings.append(
+                    Finding(
+                        rule="R7",
+                        path=path,
+                        line=line,
+                        col=col,
+                        qualname=fn.qualname,
+                        message=(
+                            f"sandbox entry reaches raw {raw_name}() "
+                            f"through {name}() — marshal through "
+                            f"repro.ffi.serialization instead"
+                        ),
+                        call_path=(Hop(fn.qualname, path, line),) + chain,
+                    )
+                )
+
+            # (c) raw handle leaks (only entries that asked for it).
+            if not wants_handle:
+                continue
+            for kind, line, col, atoms, base in fn.flows:
+                if not _carries_handle(summaries, fn, atoms):
+                    continue
+                findings.append(
+                    Finding(
+                        rule="R7",
+                        path=path,
+                        line=line,
+                        col=col,
+                        qualname=fn.qualname,
+                        message=f"sandbox entry {_LEAK_HOW[kind]}",
+                    )
+                )
+            for name, line, col, args in fn.call_args:
+                callee_key = graph.resolve(path, name)
+                if callee_key is None:
+                    continue
+                callee = graph.nodes[callee_key]
+                summary = summaries.get(callee_key)
+                if summary is None:
+                    continue
+                for i, (atoms, arg_kind, kw) in enumerate(args):
+                    if not _carries_handle(summaries, fn, atoms):
+                        continue
+                    if kw is not None:
+                        if kw not in callee.params:
+                            continue
+                        pidx = list(callee.params).index(kw)
+                    else:
+                        pidx = callee.arg_param_index(i)
+                    if pidx not in summary.param_escape:
+                        continue
+                    how, chain = summary.param_escape[pidx]
+                    findings.append(
+                        Finding(
+                            rule="R7",
+                            path=path,
+                            line=line,
+                            col=col,
+                            qualname=fn.qualname,
+                            message=(
+                                f"sandbox entry passes the raw domain "
+                                f"handle to {name}(), where it {how} — "
+                                f"a live capability escapes the FFI "
+                                f"boundary"
+                            ),
+                            call_path=(Hop(fn.qualname, path, line),) + chain,
+                        )
+                    )
+    return findings

@@ -5,6 +5,14 @@ The *fingerprint* identifies a finding across unrelated edits — it hashes
 the rule, the file, the enclosing function's qualified name and the
 message core, but **not** the line number, so reformatting a module does
 not churn the baseline.
+
+Interprocedural findings (the summary-based R2/R3/R5/R6/R7 checks) carry a
+*call-path witness*: the chain of hops ``f -> g -> h`` from the reported
+site down to the function that actually performs the escape or effect,
+each hop pinned to a file and line. The witness lives in ``call_path`` —
+rendered after the message and exported in ``--json``/``--format sarif``
+output — but is deliberately **not** part of the fingerprint: a helper
+moving by a few lines must not churn the baseline.
 """
 
 from __future__ import annotations
@@ -12,7 +20,7 @@ from __future__ import annotations
 import enum
 import hashlib
 from dataclasses import dataclass, field
-from typing import Any
+from typing import Any, Optional
 
 
 class Severity(enum.Enum):
@@ -25,16 +33,39 @@ class Severity(enum.Enum):
 
 
 @dataclass(frozen=True)
+class Hop:
+    """One step of a call-path witness: a function at a file:line."""
+
+    function: str
+    path: str
+    line: int
+
+    def to_dict(self) -> dict[str, Any]:
+        return {"function": self.function, "path": self.path, "line": self.line}
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Hop":
+        return cls(
+            function=data["function"], path=data["path"], line=data["line"]
+        )
+
+    def render(self) -> str:
+        return f"{self.function} ({self.path}:{self.line})"
+
+
+@dataclass(frozen=True)
 class Finding:
     """One rule violation at one site."""
 
-    rule: str  # "R1".."R4"
+    rule: str  # "R1".."R7"
     path: str  # repo-relative path of the offending file
     line: int  # 1-based line of the offending site
     col: int  # 0-based column
     qualname: str  # enclosing function ("<module>" at top level)
     message: str  # human-readable description
     severity: Severity = Severity.ERROR
+    #: Interprocedural witness: reported site first, origin site last.
+    call_path: tuple = ()
     extra: dict[str, Any] = field(default_factory=dict, compare=False)
 
     @property
@@ -53,13 +84,40 @@ class Finding:
             "col": self.col,
             "function": self.qualname,
             "message": self.message,
+            "call_path": [hop.to_dict() for hop in self.call_path],
             "fingerprint": self.fingerprint,
         }
 
+    @classmethod
+    def from_dict(cls, data: dict) -> "Finding":
+        """Rebuild a finding from :meth:`to_dict` output (cache rehydration)."""
+        return cls(
+            rule=data["rule"],
+            path=data["path"],
+            line=data["line"],
+            col=data["col"],
+            qualname=data["function"],
+            message=data["message"],
+            severity=Severity(data["severity"]),
+            call_path=tuple(
+                Hop.from_dict(hop) for hop in data.get("call_path", ())
+            ),
+        )
+
+    def witness(self) -> Optional[str]:
+        """``f (a.py:3) -> g (b.py:7)`` call-path text, or ``None``."""
+        if not self.call_path:
+            return None
+        return " -> ".join(hop.render() for hop in self.call_path)
+
     def render(self) -> str:
         """One-line ``path:line:col: rule message`` diagnostic."""
-        return (
+        text = (
             f"{self.path}:{self.line}:{self.col + 1}: "
             f"{self.rule} [{self.severity.value}] {self.message} "
             f"(in {self.qualname})"
         )
+        witness = self.witness()
+        if witness is not None:
+            text += f" [witness: {witness}]"
+        return text

@@ -73,6 +73,47 @@ def call_receiver_path(call: ast.Call) -> Optional[str]:
     return None
 
 
+def _sandbox_decl(call: ast.Call) -> "SandboxDecl":
+    """Extract the R7-relevant keywords from a ``sandboxed(...)`` call."""
+    has_fallback = False
+    has_retries = False
+    wants_handle = False
+    for kw in call.keywords:
+        if kw.arg == "fallback":
+            has_fallback = True
+        elif kw.arg == "retries":
+            value = kw.value
+            has_retries = not (
+                isinstance(value, ast.Constant) and not value.value
+            )
+        elif kw.arg == "wants_handle":
+            value = kw.value
+            wants_handle = not (
+                isinstance(value, ast.Constant) and not value.value
+            )
+    return SandboxDecl(
+        line=call.lineno,
+        col=call.col_offset,
+        has_fallback=has_fallback,
+        has_retries=has_retries,
+        wants_handle=wants_handle,
+    )
+
+
+@dataclass
+class SandboxDecl:
+    """The ``sandboxed(...)`` declaration site of an FFI sandbox entry."""
+
+    line: int
+    col: int
+    #: Declared an alternate action (``fallback=`` keyword)?
+    has_fallback: bool = False
+    #: Declared transparent re-execution (``retries=`` non-zero)?
+    has_retries: bool = False
+    #: Receives the raw :class:`DomainHandle` (``wants_handle=True``)?
+    wants_handle: bool = False
+
+
 @dataclass
 class FunctionInfo:
     """One function or method with the facts the rules consume."""
@@ -83,6 +124,9 @@ class FunctionInfo:
     is_domain_body: bool = False
     #: Why the registry classified it (for diagnostics/tests).
     domain_body_reason: Optional[str] = None
+    #: Set when this function is an SDRaD-FFI sandbox entry (decorated
+    #: with ``@sandboxed`` or passed to a ``sandboxed(...)`` factory).
+    sandbox_decl: Optional[SandboxDecl] = None
 
 
 @dataclass
@@ -221,7 +265,9 @@ class ModuleModel:
                     )
             elif name in SANDBOX_CALLS:
                 if call.args:
-                    self._mark_callable(call.args[0], "sandboxed function")
+                    self._mark_callable(
+                        call.args[0], "sandboxed function", _sandbox_decl(call)
+                    )
 
         # (c) decorated with @...sandboxed(...)
         for info in self.functions:
@@ -237,10 +283,22 @@ class ModuleModel:
                 if deco_name in SANDBOX_CALLS:
                     info.is_domain_body = True
                     info.domain_body_reason = "decorated @sandboxed"
+                    info.sandbox_decl = (
+                        _sandbox_decl(deco)
+                        if isinstance(deco, ast.Call)
+                        else SandboxDecl(line=deco.lineno, col=deco.col_offset)
+                    )
 
-    def _mark_callable(self, node: ast.AST, reason: str) -> None:
+    def _mark_callable(
+        self,
+        node: ast.AST,
+        reason: str,
+        sandbox_decl: Optional[SandboxDecl] = None,
+    ) -> None:
         if isinstance(node, ast.Name):
             info = self._by_name.get(node.id)
             if info is not None:
                 info.is_domain_body = True
                 info.domain_body_reason = reason
+                if sandbox_decl is not None:
+                    info.sandbox_decl = sandbox_decl

@@ -1,0 +1,339 @@
+"""R6 — backend portability: MPK-only idioms need a capability guard.
+
+PR 8 made the isolation substrate pluggable (:mod:`repro.memory.backends`:
+MPK, simulated-CHERI, SFI), but most of the tree grew up MPK-first.  Code
+that names the MPK surface directly — :class:`PkruRegister`,
+:data:`NUM_PKEYS`, the key-virtualization manager — silently asserts
+"the backend is MPK", and on a CHERI or SFI run it either crashes or,
+worse, mis-simulates the gate cost model the paper's energy argument is
+built on.  The Morello port of SDRaD ("Secure Rewind and Discard on ARM
+Morello") hit exactly this class of bug: pkey-count assumptions baked
+into allocator code.
+
+The rule flags two idiom families inside a function:
+
+* **references to MPK-only symbols** — ``PkruRegister``, ``PkeyAllocator``,
+  ``VirtualKeyManager``, ``KeyVirtStats``, ``NUM_PKEYS``, ``PKEY_DEFAULT``,
+  ``pkru_bits`` as bare names (unless the module defines them itself —
+  the MPK substrate is allowed to be MPK) or as attribute accesses
+  (``memory.NUM_PKEYS``, ``runtime._keyvirt``);
+* **raw gate-state pokes** — assignment to a private attribute of a gate
+  register receiver (``space.pkru._value = …``), bypassing the write API
+  that every :func:`gate_idiom_table` class fronts.
+
+A function is *effectively guarded* when it performs a backend capability
+check itself — reads ``.supports_key_virtualization``, tests
+``isinstance(x, MpkBackend)``, compares a backend name against ``"mpk"``,
+or raises/handles :class:`~repro.errors.UnsupportedByBackend` — or when
+**every** call path into it goes through a guarded function (greatest
+fixpoint over the call graph; an unreachable cycle is vacuously guarded
+because no unguarded root reaches it).  Backend implementation classes
+(subclasses of ``IsolationBackend`` / ``*Backend``) and the gate register
+classes themselves are exempt: they *are* the per-backend code.
+
+Findings are :class:`~.findings.Severity.WARNING` — the fix is either a
+guard or a justified ``# sdradlint: ignore[R6]`` on backend-private code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Optional
+
+from .findings import Finding, Hop, Severity
+from .gadgets import GATE_RECEIVER_NAMES, REGISTER_CLASSES
+from .model import call_func_name, dotted_name
+
+#: Symbols that only exist on (or only make sense for) the MPK backend.
+MPK_ONLY_NAMES = frozenset(
+    {
+        "PkruRegister",
+        "PkeyAllocator",
+        "VirtualKeyManager",
+        "KeyVirtStats",
+        "NUM_PKEYS",
+        "PKEY_DEFAULT",
+        "pkru_bits",
+    }
+)
+
+#: Attribute spellings that reach the key-virtualization manager.
+MPK_ONLY_ATTRS = frozenset({"keyvirt", "_keyvirt"})
+
+#: The guard exception type (raising or handling it *is* the guard).
+_GUARD_EXC = "UnsupportedByBackend"
+
+_RECEIVER_SUFFIXES = tuple(f"_{name}" for name in sorted(GATE_RECEIVER_NAMES))
+
+
+def _is_gate_receiver(path: Optional[str]) -> bool:
+    if path is None:
+        return False
+    return any(
+        seg in GATE_RECEIVER_NAMES or seg.endswith(_RECEIVER_SUFFIXES)
+        for seg in path.split(".")
+    )
+
+
+def _iter_own(node: ast.AST):
+    """Child nodes of a function, excluding nested function/class scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        sub = stack.pop()
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield sub
+        stack.extend(ast.iter_child_nodes(sub))
+
+
+# ----------------------------------------------------------------------
+# Extraction-time helpers (consumed by summaries.extract_file_facts)
+# ----------------------------------------------------------------------
+
+
+def module_defined_names(tree: ast.Module) -> set:
+    """Names a module defines itself (defs, classes, module assigns)."""
+    defined: set = set()
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            defined.add(node.name)
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    defined.add(target.id)
+        elif isinstance(node, ast.AnnAssign) and isinstance(
+            node.target, ast.Name
+        ):
+            defined.add(node.target.id)
+    return defined
+
+
+def class_base_names(tree: ast.Module) -> dict:
+    """class name -> tuple of base-class trailing names."""
+    bases: dict = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            names = []
+            for base in node.bases:
+                name = dotted_name(base)
+                if name is not None:
+                    names.append(name.split(".")[-1])
+            bases[node.name] = tuple(names)
+    return bases
+
+
+def is_exempt(info, class_bases: dict) -> bool:
+    """Backend-implementation code: the per-backend substrate itself."""
+    if info.class_name is None:
+        return False
+    if info.class_name in REGISTER_CLASSES:
+        return True
+    return any(
+        base.endswith("Backend") for base in class_bases.get(info.class_name, ())
+    )
+
+
+def idiom_sites(info, module_defined: set) -> list:
+    """MPK-only idiom sites inside one function: (line, col, description)."""
+    sites: list = []
+    for sub in _iter_own(info.node):
+        if isinstance(sub, ast.Name) and isinstance(sub.ctx, ast.Load):
+            if sub.id in MPK_ONLY_NAMES and sub.id not in module_defined:
+                sites.append(
+                    (
+                        sub.lineno,
+                        sub.col_offset,
+                        f"reference to MPK-only symbol {sub.id}",
+                    )
+                )
+        elif isinstance(sub, ast.Attribute):
+            if sub.attr in MPK_ONLY_ATTRS:
+                sites.append(
+                    (
+                        sub.lineno,
+                        sub.col_offset,
+                        "access to the key-virtualization manager "
+                        f"(.{sub.attr})",
+                    )
+                )
+            elif sub.attr in MPK_ONLY_NAMES:
+                sites.append(
+                    (
+                        sub.lineno,
+                        sub.col_offset,
+                        f"reference to MPK-only symbol .{sub.attr}",
+                    )
+                )
+        elif isinstance(sub, (ast.Assign, ast.AugAssign)):
+            targets = (
+                sub.targets if isinstance(sub, ast.Assign) else [sub.target]
+            )
+            for target in targets:
+                if (
+                    isinstance(target, ast.Attribute)
+                    and target.attr.startswith("_")
+                    and _is_gate_receiver(dotted_name(target.value))
+                ):
+                    sites.append(
+                        (
+                            sub.lineno,
+                            sub.col_offset,
+                            f"raw gate-state poke "
+                            f"{dotted_name(target.value)}.{target.attr} "
+                            f"bypassing the gate write API",
+                        )
+                    )
+    # Deterministic order regardless of the walk's stack discipline.
+    sites.sort()
+    return sites
+
+
+def has_guard(info) -> bool:
+    """Does this function perform a backend capability check?"""
+    for sub in _iter_own(info.node):
+        if isinstance(sub, ast.Attribute):
+            if sub.attr == "supports_key_virtualization":
+                return True
+        elif isinstance(sub, ast.Call):
+            name = call_func_name(sub)
+            if name == "isinstance" and len(sub.args) == 2:
+                target = dotted_name(sub.args[1])
+                if target is not None and target.split(".")[-1].endswith(
+                    "MpkBackend"
+                ):
+                    return True
+        elif isinstance(sub, ast.Compare):
+            operands = [sub.left] + list(sub.comparators)
+            if any(
+                isinstance(op, ast.Constant) and op.value == "mpk"
+                for op in operands
+            ):
+                return True
+        elif isinstance(sub, ast.Raise):
+            exc = sub.exc
+            target = exc.func if isinstance(exc, ast.Call) else exc
+            name = dotted_name(target) if target is not None else None
+            if name is not None and name.split(".")[-1] == _GUARD_EXC:
+                return True
+        elif isinstance(sub, ast.ExceptHandler):
+            handled = sub.type
+            names = (
+                handled.elts
+                if isinstance(handled, ast.Tuple)
+                else [handled]
+                if handled is not None
+                else []
+            )
+            for h in names:
+                name = dotted_name(h)
+                if name is not None and name.split(".")[-1] == _GUARD_EXC:
+                    return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Project-level check
+# ----------------------------------------------------------------------
+
+
+def check_project(facts_by_path: dict, graph, summaries) -> list:
+    """Run R6 over the whole program."""
+    # Greatest fixpoint: everything starts guarded; a function with no
+    # local guard loses the property unless every caller keeps it (and
+    # it has at least one caller — a root must guard itself).
+    locally = {
+        key: fn.r6_guard or fn.r6_exempt for key, fn in graph.nodes.items()
+    }
+    guarded = {key: True for key in graph.nodes}
+    changed = True
+    while changed:
+        changed = False
+        for key in graph.nodes:
+            if locally[key] or not guarded[key]:
+                continue
+            callers = graph.callers[key]
+            ok = bool(callers) and all(guarded[c] for c in callers)
+            if not ok:
+                guarded[key] = False
+                changed = True
+
+    findings: list = []
+    for path in sorted(facts_by_path):
+        facts = facts_by_path[path]
+        for fn in facts.functions:
+            key = f"{path}::{fn.qualname}"
+            if not fn.r6_sites or guarded.get(key, False):
+                continue
+            callers_chain = _unguarded_path(graph, locally, key)
+            for line, col, desc in fn.r6_sites:
+                witness = (
+                    callers_chain + (Hop(fn.qualname, fn.path, line),)
+                    if callers_chain
+                    else ()
+                )
+                findings.append(
+                    Finding(
+                        rule="R6",
+                        path=path,
+                        line=line,
+                        col=col,
+                        qualname=fn.qualname,
+                        message=(
+                            f"{desc} reachable without a backend capability "
+                            f"check — guard with "
+                            f"backend.supports_key_virtualization / a "
+                            f"backend-name check or handle "
+                            f"UnsupportedByBackend"
+                        ),
+                        severity=Severity.WARNING,
+                        call_path=witness,
+                    )
+                )
+    return findings
+
+
+def _unguarded_path(graph, locally: dict, key: str) -> tuple:
+    """Shortest unguarded call chain from an unguarded root down to ``key``.
+
+    Returns hops for the *callers* (the flagged function's own hop is
+    appended by the caller of this helper); empty when ``key`` is itself
+    a root.
+    """
+    # BFS backwards through unguarded callers until a root.
+    parent: dict = {key: None}
+    queue = [key]
+    root = None
+    while queue:
+        node = queue.pop(0)
+        callers = sorted(c for c in graph.callers[node] if not locally[c])
+        if not graph.callers[node]:
+            root = node
+            break
+        advanced = False
+        for caller in callers:
+            if caller not in parent:
+                parent[caller] = node
+                queue.append(caller)
+                advanced = True
+        if not advanced and not queue:
+            root = node
+            break
+    if root is None or root == key:
+        return ()
+    # Walk root -> ... -> key, emitting each caller at its call-site line.
+    chain = []
+    node = root
+    while node is not None and node != key:
+        child = parent[node]
+        fn = graph.nodes[node]
+        line = fn.line
+        if child is not None:
+            child_fn = graph.nodes[child]
+            for name, call_line, _col in fn.calls:
+                if graph.resolve(fn.path, name) == child:
+                    line = call_line
+                    break
+        chain.append(Hop(fn.qualname, fn.path, line))
+        node = child
+    return tuple(chain)

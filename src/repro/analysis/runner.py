@@ -1,25 +1,51 @@
-"""Orchestration: discover files, run the rules, apply suppressions.
+"""Orchestration: discover files, run the two analysis layers, report.
+
+The analyzer is split into a cacheable per-file layer and a cheap
+whole-program layer:
+
+* **Layer A** (per file, content-addressed via :mod:`.cache`): parse to a
+  :class:`~.model.ModuleModel`, run the local rules (R1 pairing, R4
+  gadget scan), extract the :class:`~.summaries.FileFacts` every
+  interprocedural rule consumes.
+* **Layer B** (whole program, always recomputed): build the call graph,
+  run the summary fixpoint, then the summary-based rules — R2/R5
+  (:mod:`.taint`), R3 (:mod:`.effects`), R6 (:mod:`.portability`), R7
+  (:mod:`.ffi_boundary`).  Because Layer B only ever sees facts — never
+  ASTs — a warm-cache run is byte-identical to ``--no-cache`` by
+  construction.
 
 ``lint_source`` is the unit the self-tests drive directly (one source
-string in, findings out); ``lint_paths`` is what the CLI and CI use.
+string in, findings out — the file is its own whole program);
+``lint_paths`` is what the CLI and CI use.
 """
 
 from __future__ import annotations
 
 import os
+import subprocess
 from dataclasses import dataclass, field
 from typing import Callable, Iterable, Optional
 
-from . import effects, gadgets, pairing, taint
+from . import effects, ffi_boundary, gadgets, pairing, portability, taint
+from .cache import SummaryCache
+from .callgraph import CallGraph
 from .model import ModuleModel
+from .summaries import compute_summaries, extract_file_facts
 
-#: rule id -> checker entry point. Order fixes report ordering.
+#: rule id -> local (per-file) checker. Order fixes report ordering.
 CHECKERS: dict[str, Callable[[ModuleModel], list]] = {
     "R1": pairing.check,
-    "R2": taint.check,
-    "R3": effects.check,
     "R4": gadgets.check,
 }
+
+#: Whole-program checkers; each may emit several rule ids (R2+R5 share
+#: the taint substrate).
+PROJECT_CHECKERS: tuple = (
+    taint.check_project,  # R2 + R5
+    effects.check_project,  # R3
+    portability.check_project,  # R6
+    ffi_boundary.check_project,  # R7
+)
 
 
 @dataclass
@@ -30,6 +56,8 @@ class LintResult:
     suppressed: list = field(default_factory=list)
     errors: list = field(default_factory=list)  # (path, message) parse failures
     files: int = 0
+    cache_hits: int = 0
+    cache_misses: int = 0
 
     def sorted_findings(self) -> list:
         return sorted(
@@ -37,26 +65,69 @@ class LintResult:
         )
 
 
+def analyze_sources(
+    sources: dict,
+    rules: Optional[Iterable[str]] = None,
+    cache: Optional[SummaryCache] = None,
+) -> LintResult:
+    """Run both layers over ``{path: source}`` as one whole program."""
+    from . import RULES
+
+    selected = set(rules) if rules is not None else set(RULES)
+    result = LintResult()
+    facts_by_path: dict = {}
+    raw_findings: list = []
+
+    # Layer A: per-file, cache-addressed.
+    for path in sorted(sources):
+        source = sources[path]
+        result.files += 1
+        cached = cache.get(path, source) if cache is not None else None
+        if cached is not None:
+            facts, local = cached
+        else:
+            try:
+                model = ModuleModel.parse(path, source)
+            except SyntaxError as exc:
+                result.errors.append((path, f"syntax error: {exc}"))
+                continue
+            local = []
+            for checker in CHECKERS.values():
+                local.extend(checker(model))
+            facts = extract_file_facts(model)
+            if cache is not None:
+                cache.put(path, source, facts, local)
+        facts_by_path[path] = facts
+        raw_findings.extend(local)
+
+    # Layer B: whole-program, always recomputed from facts.
+    graph = CallGraph(facts_by_path)
+    summaries = compute_summaries(graph)
+    for project_checker in PROJECT_CHECKERS:
+        raw_findings.extend(project_checker(facts_by_path, graph, summaries))
+
+    if cache is not None:
+        result.cache_hits = cache.hits
+        result.cache_misses = cache.misses
+
+    # Rule selection + suppression filtering happen at report time so
+    # cache entries stay rule-independent.
+    for finding in raw_findings:
+        if finding.rule not in selected:
+            continue
+        facts = facts_by_path.get(finding.path)
+        if facts is not None and facts.is_suppressed(finding.rule, finding.line):
+            result.suppressed.append(finding)
+        else:
+            result.findings.append(finding)
+    return result
+
+
 def lint_source(
     path: str, source: str, rules: Optional[Iterable[str]] = None
 ) -> LintResult:
-    """Lint one in-memory source file."""
-    result = LintResult(files=1)
-    try:
-        model = ModuleModel.parse(path, source)
-    except SyntaxError as exc:
-        result.errors.append((path, f"syntax error: {exc}"))
-        return result
-    selected = set(rules) if rules is not None else set(CHECKERS)
-    for rule, checker in CHECKERS.items():
-        if rule not in selected:
-            continue
-        for finding in checker(model):
-            if model.is_suppressed(finding.rule, finding.line):
-                result.suppressed.append(finding)
-            else:
-                result.findings.append(finding)
-    return result
+    """Lint one in-memory source file (it is its own whole program)."""
+    return analyze_sources({path: source}, rules)
 
 
 def discover(paths: Iterable[str]) -> list:
@@ -76,21 +147,72 @@ def discover(paths: Iterable[str]) -> list:
     return out
 
 
+def changed_files() -> Optional[set]:
+    """Repo-relative paths changed vs ``merge-base HEAD origin/main``.
+
+    Returns ``None`` when the answer cannot be computed (not a git
+    checkout, no ``origin/main``, git missing) — callers fall back to a
+    full run.
+    """
+    def _git(*args) -> str:
+        return subprocess.run(
+            ["git", *args],
+            capture_output=True,
+            text=True,
+            check=True,
+            timeout=30,
+        ).stdout
+
+    try:
+        base = _git("merge-base", "HEAD", "origin/main").strip()
+        diff = _git("diff", "--name-only", base)
+        untracked = _git("ls-files", "--others", "--exclude-standard")
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return {
+        line.strip()
+        for line in (diff + untracked).splitlines()
+        if line.strip()
+    }
+
+
 def lint_paths(
-    paths: Iterable[str], rules: Optional[Iterable[str]] = None
+    paths: Iterable[str],
+    rules: Optional[Iterable[str]] = None,
+    use_cache: bool = False,
+    cache_path: Optional[str] = None,
+    changed_only: bool = False,
 ) -> LintResult:
-    """Lint every ``.py`` file under ``paths``."""
+    """Lint every ``.py`` file under ``paths`` as one whole program."""
     result = LintResult()
+    changed: Optional[set] = None
+    if changed_only:
+        changed = changed_files()  # None -> full run
+
+    sources: dict = {}
     for filename in discover(paths):
+        rel = os.path.relpath(filename).replace("\\", "/")
+        if changed is not None and rel not in changed:
+            continue
         try:
             with open(filename, "r", encoding="utf-8") as fh:
-                source = fh.read()
+                sources[rel] = fh.read()
         except OSError as exc:
-            result.errors.append((filename, str(exc)))
-            continue
-        sub = lint_source(os.path.relpath(filename), source, rules)
-        result.findings.extend(sub.findings)
-        result.suppressed.extend(sub.suppressed)
-        result.errors.extend(sub.errors)
-        result.files += 1
+            result.errors.append((rel, str(exc)))
+
+    cache: Optional[SummaryCache] = None
+    if use_cache:
+        cache = SummaryCache(cache_path)
+        cache.load()
+
+    analyzed = analyze_sources(sources, rules, cache)
+    result.findings = analyzed.findings
+    result.suppressed = analyzed.suppressed
+    result.errors.extend(analyzed.errors)
+    result.files = analyzed.files
+    result.cache_hits = analyzed.cache_hits
+    result.cache_misses = analyzed.cache_misses
+
+    if cache is not None:
+        cache.save()
     return result

@@ -1,0 +1,89 @@
+"""Minimal SARIF 2.1.0 export for CI code-scanning upload.
+
+One run, one tool (``sdradlint``), one result per finding.  The mapping
+is deliberately small — rule id, message, physical location — plus the
+call-path witness as ``relatedLocations`` (reported site first, origin
+last), which is how SARIF viewers render interprocedural traces without
+a full ``codeFlows`` graph.  Output is deterministic: findings arrive
+already sorted from the runner and the serializer sorts keys.
+"""
+
+from __future__ import annotations
+
+import json
+
+from . import RULES
+from .findings import Severity
+
+SARIF_VERSION = "2.1.0"
+SARIF_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+_LEVELS = {Severity.ERROR: "error", Severity.WARNING: "warning"}
+
+
+def _location(path: str, line: int, col: int, message=None) -> dict:
+    loc = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path.replace("\\", "/")},
+            "region": {"startLine": line, "startColumn": col + 1},
+        }
+    }
+    if message is not None:
+        loc["message"] = {"text": message}
+    return loc
+
+
+def to_sarif(findings) -> dict:
+    """Build the SARIF log object for a list of findings."""
+    results = []
+    for finding in findings:
+        result = {
+            "ruleId": finding.rule,
+            "level": _LEVELS[finding.severity],
+            "message": {"text": f"{finding.message} (in {finding.qualname})"},
+            "locations": [
+                _location(finding.path, finding.line, finding.col)
+            ],
+            "partialFingerprints": {
+                "sdradlint/v1": finding.fingerprint,
+            },
+        }
+        if finding.call_path:
+            result["relatedLocations"] = [
+                _location(hop.path, hop.line, 0, message=hop.function)
+                for hop in finding.call_path
+            ]
+        results.append(result)
+    return {
+        "$schema": SARIF_SCHEMA,
+        "version": SARIF_VERSION,
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "sdradlint",
+                        "informationUri": (
+                            "https://github.com/secure-rewind-and-discard/"
+                            "secure-rewind-and-discard"
+                        ),
+                        "rules": [
+                            {
+                                "id": rule,
+                                "shortDescription": {"text": description},
+                            }
+                            for rule, description in sorted(RULES.items())
+                        ],
+                    }
+                },
+                "results": results,
+            }
+        ],
+    }
+
+
+def render(findings) -> str:
+    """Serialized SARIF log, stable across runs for identical findings."""
+    return json.dumps(to_sarif(findings), indent=2, sort_keys=True)

@@ -1,0 +1,805 @@
+"""Per-function effect/escape summaries — the whole-program substrate.
+
+PR 3's rules each walked one function body; nothing connected what a
+*helper* does to the domain body that calls it.  This module closes that
+gap in two stages:
+
+1. **Fact extraction** (:func:`extract_file_facts`) — one AST pass per
+   file produces a :class:`FileFacts`: for every function, its taint
+   *flows* (where values carrying domain-memory aliases go), its call
+   sites with per-argument taint atoms, its direct rewind-unsafe effect
+   sites, and the R6/R7 raw facts.  Facts are plain JSON-serializable
+   data — this is what the incremental cache (:mod:`.cache`) stores, so
+   a warm run never re-parses an unchanged file.
+
+2. **Summary computation** (:func:`compute_summaries`) — bottom-up over
+   the call graph's SCCs (:mod:`.callgraph`), a fixpoint derives one
+   :class:`FunctionSummary` per function: does it *return* a domain-memory
+   alias, which parameters flow to its return value, which parameter
+   values escape inside it, which rewind-unsafe effect it (transitively)
+   performs, and whether it crosses the FFI boundary raw.  Every derived
+   fact carries a *witness chain* of :class:`~.findings.Hop` entries so
+   interprocedural findings can print ``f -> g -> h`` with file:line per
+   hop.
+
+Taint is tracked as **atoms** rather than bare descriptions:
+
+* ``("param", i)`` — the value derives from parameter *i* (symbolic until
+  a caller is known);
+* ``("source", desc, line)`` — a fresh domain-memory alias created here
+  (``load_view``/``malloc``/plan acquisition — the R2 source table);
+* ``("call", name, line, (arg_atoms, ...))`` — the result of a call whose
+  taint depends on the callee's summary (or, for unresolved callees, on
+  the embedded argument atoms — PR 3's conservative propagation).
+
+The flow walk itself is flow-*sensitive* exactly like PR 3's R2 checker:
+sanitizers (``bytes()``, the copying readers, the ``ffi.marshal``
+surface) stop taint, rebinding clears it, and the near-miss fixtures that
+keep the rules honest still lint clean.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Optional
+
+from .findings import Hop
+from .model import FunctionInfo, ModuleModel, call_func_name
+from .taint import CONSUMER_CALLS, SANITIZER_CALLS, SOURCE_ATTRS, SOURCE_CALLS
+from .effects import collect_effect_sites
+from . import portability as _r6
+from . import ffi_boundary as _r7
+
+#: Flow kinds a sink record may carry.
+SINK_KINDS = ("return", "yield", "global", "attr", "container")
+
+#: How a call argument is owned, for out-param escalation.
+ARG_PARAM = "param"  # a parameter of the calling function (caller-owned)
+ARG_LOCAL = "local"  # a function-local name
+ARG_OWNED = "owned"  # a global or attribute expression (caller-owned)
+ARG_EXPR = "expr"  # anything else
+
+
+# ----------------------------------------------------------------------
+# Facts: the cacheable, JSON-serializable per-file analysis product
+# ----------------------------------------------------------------------
+
+
+def _atoms_to_json(atoms: tuple) -> list:
+    out = []
+    for atom in atoms:
+        if atom[0] == "call":
+            out.append(
+                [
+                    "call",
+                    atom[1],
+                    atom[2],
+                    [_atoms_to_json(arg) for arg in atom[3]],
+                ]
+            )
+        else:
+            out.append(list(atom))
+    return out
+
+
+def _atoms_from_json(data: list) -> tuple:
+    out = []
+    for atom in data:
+        if atom[0] == "call":
+            out.append(
+                (
+                    "call",
+                    atom[1],
+                    atom[2],
+                    tuple(_atoms_from_json(arg) for arg in atom[3]),
+                )
+            )
+        else:
+            out.append(tuple(atom))
+    return tuple(out)
+
+
+@dataclass
+class FunctionFacts:
+    """Everything later passes need to know about one function."""
+
+    qualname: str
+    name: str
+    path: str
+    line: int
+    class_name: Optional[str] = None
+    params: tuple = ()
+    is_domain_body: bool = False
+    #: Sink flows: (kind, line, col, atoms, base) — ``base`` describes the
+    #: store target's ownership for attr/container sinks, else ``None``.
+    flows: list = field(default_factory=list)
+    #: Every call site: (name, line, col) — the call-graph edges.
+    calls: list = field(default_factory=list)
+    #: Taint-relevant call sites: (name, line, col, args) where each arg
+    #: is (atoms, kind) and kind is (ARG_*,) or (ARG_PARAM, i) etc.
+    call_args: list = field(default_factory=list)
+    #: Direct rewind-unsafe effect sites: (line, col, message core).
+    effects: list = field(default_factory=list)
+    #: R6: MPK-only idiom sites (line, col, description).
+    r6_sites: list = field(default_factory=list)
+    #: R6: does this function perform a backend capability check?
+    r6_guard: bool = False
+    #: R6: substrate-implementation code (backend classes, gate registers).
+    r6_exempt: bool = False
+    #: R7: raw boundary-crossing calls (line, col, name).
+    r7_raw_calls: list = field(default_factory=list)
+    #: R7: sandbox-entry declaration, when this is an FFI sandbox entry:
+    #: (line, col, has_fallback, has_retries, wants_handle).
+    sandbox: Optional[tuple] = None
+
+    @property
+    def skip_self(self) -> bool:
+        return bool(
+            self.class_name is not None
+            and self.params
+            and self.params[0] in ("self", "cls")
+        )
+
+    def arg_param_index(self, arg_index: int) -> int:
+        """Map a call-site argument position to my parameter index."""
+        return arg_index + (1 if self.skip_self else 0)
+
+    def to_json(self) -> dict:
+        return {
+            "qualname": self.qualname,
+            "name": self.name,
+            "line": self.line,
+            "class_name": self.class_name,
+            "params": list(self.params),
+            "is_domain_body": self.is_domain_body,
+            "flows": [
+                [kind, line, col, _atoms_to_json(atoms), list(base) if base else None]
+                for kind, line, col, atoms, base in self.flows
+            ],
+            "calls": [list(c) for c in self.calls],
+            "call_args": [
+                [
+                    name,
+                    line,
+                    col,
+                    [
+                        [_atoms_to_json(atoms), list(kind), kw]
+                        for atoms, kind, kw in args
+                    ],
+                ]
+                for name, line, col, args in self.call_args
+            ],
+            "effects": [list(e) for e in self.effects],
+            "r6_sites": [list(s) for s in self.r6_sites],
+            "r6_guard": self.r6_guard,
+            "r6_exempt": self.r6_exempt,
+            "r7_raw_calls": [list(c) for c in self.r7_raw_calls],
+            "sandbox": list(self.sandbox) if self.sandbox else None,
+        }
+
+    @classmethod
+    def from_json(cls, path: str, data: dict) -> "FunctionFacts":
+        return cls(
+            qualname=data["qualname"],
+            name=data["name"],
+            path=path,
+            line=data["line"],
+            class_name=data["class_name"],
+            params=tuple(data["params"]),
+            is_domain_body=data["is_domain_body"],
+            flows=[
+                (
+                    kind,
+                    line,
+                    col,
+                    _atoms_from_json(atoms),
+                    tuple(base) if base else None,
+                )
+                for kind, line, col, atoms, base in data["flows"]
+            ],
+            calls=[tuple(c) for c in data["calls"]],
+            call_args=[
+                (
+                    name,
+                    line,
+                    col,
+                    tuple(
+                        (_atoms_from_json(atoms), tuple(kind), kw)
+                        for atoms, kind, kw in args
+                    ),
+                )
+                for name, line, col, args in data["call_args"]
+            ],
+            effects=[tuple(e) for e in data["effects"]],
+            r6_sites=[tuple(s) for s in data["r6_sites"]],
+            r6_guard=data["r6_guard"],
+            r6_exempt=data["r6_exempt"],
+            r7_raw_calls=[tuple(c) for c in data["r7_raw_calls"]],
+            sandbox=tuple(data["sandbox"]) if data["sandbox"] else None,
+        )
+
+
+@dataclass
+class FileFacts:
+    """One file's functions plus the report-time metadata."""
+
+    path: str
+    functions: list = field(default_factory=list)
+    #: line -> set of suppressed rule ids (def-line extension applied).
+    suppressions: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "functions": [fn.to_json() for fn in self.functions],
+            "suppressions": {
+                str(line): sorted(rules)
+                for line, rules in sorted(self.suppressions.items())
+            },
+        }
+
+    @classmethod
+    def from_json(cls, path: str, data: dict) -> "FileFacts":
+        return cls(
+            path=path,
+            functions=[
+                FunctionFacts.from_json(path, fn) for fn in data["functions"]
+            ],
+            suppressions={
+                int(line): set(rules)
+                for line, rules in data["suppressions"].items()
+            },
+        )
+
+    def is_suppressed(self, rule: str, line: int) -> bool:
+        rules = self.suppressions.get(line)
+        return rules is not None and (rule in rules or "ALL" in rules)
+
+
+# ----------------------------------------------------------------------
+# Extraction: ModuleModel -> FileFacts
+# ----------------------------------------------------------------------
+
+
+class _FlowWalker(ast.NodeVisitor):
+    """Flow-sensitive taint-atom propagation over one function body.
+
+    Same statement discipline as PR 3's R2 checker — sequential visit,
+    rebinding clears, sanitizers stop taint — but values carry *atom
+    sets* so param- and call-derived taint stays symbolic for the
+    summary fixpoint to resolve.
+    """
+
+    def __init__(self, info: FunctionInfo, facts: FunctionFacts) -> None:
+        self.facts = facts
+        self.vals: dict[str, tuple] = {}
+        self.globals_declared: set = set()
+        self.local_names: set = set()
+        args = info.node.args
+        params = [
+            a.arg
+            for a in (
+                args.posonlyargs
+                + args.args
+                + args.kwonlyargs
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            )
+        ]
+        self.param_names = set(params)
+        for i, name in enumerate(params):
+            self.vals[name] = (("param", i),)
+        for sub in ast.walk(info.node):
+            if isinstance(sub, ast.Global):
+                self.globals_declared.update(sub.names)
+
+    # -- atoms ---------------------------------------------------------
+
+    @staticmethod
+    def _merge(*atom_groups) -> tuple:
+        seen: dict = {}
+        for group in atom_groups:
+            for atom in group:
+                seen.setdefault(atom, None)
+        return tuple(seen)
+
+    def atoms_of(self, node: Optional[ast.AST]) -> tuple:
+        if node is None:
+            return ()
+        if isinstance(node, ast.Name):
+            return self.vals.get(node.id, ())
+        if isinstance(node, ast.Call):
+            name = call_func_name(node)
+            if name in SOURCE_CALLS:
+                return (("source", SOURCE_CALLS[name], node.lineno),)
+            if name in SANITIZER_CALLS or name in CONSUMER_CALLS:
+                return ()
+            arg_atoms = tuple(
+                self.atoms_of(arg)
+                for arg in list(node.args) + [kw.value for kw in node.keywords]
+            )
+            if name is None:
+                # Call of an arbitrary expression: propagate argument
+                # taint directly (no summary could resolve it).
+                return self._merge(*arg_atoms)
+            return (("call", name, node.lineno, arg_atoms),)
+        if isinstance(node, ast.BinOp):
+            return self._merge(self.atoms_of(node.left), self.atoms_of(node.right))
+        if isinstance(node, ast.BoolOp):
+            return self._merge(*(self.atoms_of(v) for v in node.values))
+        if isinstance(node, ast.UnaryOp):
+            return self.atoms_of(node.operand)
+        if isinstance(node, ast.IfExp):
+            return self._merge(self.atoms_of(node.body), self.atoms_of(node.orelse))
+        if isinstance(node, ast.Subscript):
+            return self.atoms_of(node.value)  # a slice of a view is a view
+        if isinstance(node, ast.Attribute):
+            if node.attr in SOURCE_ATTRS:
+                return (("source", SOURCE_ATTRS[node.attr], node.lineno),)
+            return self.atoms_of(node.value)
+        if isinstance(node, ast.Starred):
+            return self.atoms_of(node.value)
+        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+            return self._merge(*(self.atoms_of(e) for e in node.elts))
+        if isinstance(node, ast.Dict):
+            return self._merge(*(self.atoms_of(v) for v in node.values))
+        if isinstance(node, ast.NamedExpr):
+            return self.atoms_of(node.value)
+        if isinstance(node, ast.Compare):
+            return ()  # booleans are values, not aliases
+        return ()
+
+    # -- sinks ---------------------------------------------------------
+
+    def _flow(
+        self, kind: str, site: ast.AST, atoms: tuple, base: Optional[tuple] = None
+    ) -> None:
+        if atoms:
+            self.facts.flows.append(
+                (kind, site.lineno, site.col_offset, atoms, base)
+            )
+
+    def _base_kind(self, node: ast.AST) -> tuple:
+        """Ownership of a store-target base / call argument."""
+        if isinstance(node, ast.Name):
+            if node.id in self.param_names:
+                params = list(self.facts.params)
+                return (ARG_PARAM, params.index(node.id))
+            if node.id in self.local_names:
+                return (ARG_LOCAL, node.id)
+            return (ARG_OWNED,)
+        if isinstance(node, ast.Attribute):
+            return (ARG_OWNED,)
+        return (ARG_EXPR,)
+
+    def _bind(self, target: ast.AST, atoms: tuple, site: ast.AST) -> None:
+        if isinstance(target, ast.Name):
+            name = target.id
+            self.local_names.add(name)
+            if not atoms:
+                self.vals.pop(name, None)
+                return
+            if name in self.globals_declared:
+                self._flow("global", site, atoms)
+                return
+            self.vals[name] = atoms
+        elif isinstance(target, ast.Attribute):
+            if atoms:
+                self._flow("attr", site, atoms, self._base_kind(target.value))
+        elif isinstance(target, ast.Subscript):
+            base = target.value
+            if not atoms:
+                return
+            if isinstance(base, ast.Name) and base.id in self.local_names:
+                self.vals[base.id] = self._merge(
+                    self.vals.get(base.id, ()), atoms
+                )
+            else:
+                self._flow("container", site, atoms, self._base_kind(base))
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for elt in target.elts:
+                self._bind(elt, atoms, site)
+
+    # -- statements ----------------------------------------------------
+
+    def visit_Assign(self, node: ast.Assign) -> None:
+        atoms = self.atoms_of(node.value)
+        for target in node.targets:
+            self._bind(target, atoms, node)
+        self.generic_visit(node.value)
+
+    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
+        if node.value is not None:
+            self._bind(node.target, self.atoms_of(node.value), node)
+            self.generic_visit(node.value)
+
+    def visit_AugAssign(self, node: ast.AugAssign) -> None:
+        atoms = self._merge(
+            self.atoms_of(node.value), self.atoms_of(node.target)
+        )
+        self._bind(node.target, atoms, node)
+        self.generic_visit(node.value)
+
+    def visit_Return(self, node: ast.Return) -> None:
+        self._flow("return", node, self.atoms_of(node.value))
+        if node.value is not None:
+            self.generic_visit(node.value)
+
+    def visit_Yield(self, node: ast.Yield) -> None:
+        self._flow("yield", node, self.atoms_of(node.value))
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = call_func_name(node)
+        if name in CONSUMER_CALLS:
+            for arg in node.args:
+                if isinstance(arg, ast.Name):
+                    self.vals.pop(arg.id, None)
+        elif (
+            name is not None
+            and name not in SANITIZER_CALLS
+            and name not in SOURCE_CALLS
+        ):
+            args = []
+            interesting = False
+            for arg in node.args:
+                atoms = self.atoms_of(arg)
+                kind = self._base_kind(arg)
+                if atoms or kind[0] in (ARG_PARAM, ARG_OWNED):
+                    interesting = True
+                args.append((atoms, kind, None))
+            for kw in node.keywords:
+                if kw.arg is None:
+                    continue
+                atoms = self.atoms_of(kw.value)
+                kind = self._base_kind(kw.value)
+                if atoms or kind[0] in (ARG_PARAM, ARG_OWNED):
+                    interesting = True
+                args.append((atoms, kind, kw.arg))
+            if interesting:
+                self.facts.call_args.append(
+                    (name, node.lineno, node.col_offset, tuple(args))
+                )
+        self.generic_visit(node)
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        pass  # nested scopes are analyzed on their own
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Lambda(self, node: ast.Lambda) -> None:
+        pass
+
+
+def _iter_own_statements(node: ast.AST):
+    """Walk a function body, *excluding* nested function/class scopes."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        sub = stack.pop()
+        if isinstance(sub, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield sub
+        stack.extend(ast.iter_child_nodes(sub))
+
+
+def extract_file_facts(model: ModuleModel) -> FileFacts:
+    """Extract the whole-program facts for one parsed module."""
+    facts = FileFacts(path=model.path, suppressions=dict(model.suppressions))
+    module_defined = _r6.module_defined_names(model.tree)
+    class_bases = _r6.class_base_names(model.tree)
+    for info in model.functions:
+        args = info.node.args
+        params = tuple(
+            a.arg
+            for a in (
+                args.posonlyargs
+                + args.args
+                + args.kwonlyargs
+                + ([args.vararg] if args.vararg else [])
+                + ([args.kwarg] if args.kwarg else [])
+            )
+        )
+        fn = FunctionFacts(
+            qualname=info.qualname,
+            name=info.node.name,
+            path=model.path,
+            line=info.node.lineno,
+            class_name=info.class_name,
+            params=params,
+            is_domain_body=info.is_domain_body,
+        )
+        if info.sandbox_decl is not None:
+            decl = info.sandbox_decl
+            fn.sandbox = (
+                decl.line,
+                decl.col,
+                decl.has_fallback,
+                decl.has_retries,
+                decl.wants_handle,
+            )
+        # Taint flows + call-argument atoms (flow-sensitive walk).
+        walker = _FlowWalker(info, fn)
+        for stmt in info.node.body:
+            walker.visit(stmt)
+        # Call edges + R7 raw boundary calls (own statements only:
+        # nested functions are their own nodes).
+        for sub in _iter_own_statements(info.node):
+            if isinstance(sub, ast.Call):
+                name = call_func_name(sub)
+                if name is not None:
+                    fn.calls.append((name, sub.lineno, sub.col_offset))
+                    if name in _r7.RAW_BOUNDARY_CALLS:
+                        fn.r7_raw_calls.append(
+                            (sub.lineno, sub.col_offset, name)
+                        )
+        # Direct rewind-unsafe effect sites (R3's local component).
+        fn.effects = collect_effect_sites(info)
+        # R6 portability facts.
+        fn.r6_exempt = _r6.is_exempt(info, class_bases)
+        if not fn.r6_exempt:
+            fn.r6_sites = _r6.idiom_sites(info, module_defined)
+        fn.r6_guard = _r6.has_guard(info)
+        facts.functions.append(fn)
+    return facts
+
+
+# ----------------------------------------------------------------------
+# Summaries: the bottom-up fixpoint
+# ----------------------------------------------------------------------
+
+
+@dataclass
+class FunctionSummary:
+    """What callers may assume about one function."""
+
+    #: (description, witness chain) when the return value may alias
+    #: domain memory; the chain's first hop is this function itself.
+    returns_taint: Optional[tuple] = None
+    #: Parameter indices whose taint may reach the return value.
+    param_to_return: set = field(default_factory=set)
+    #: param index -> (how, chain): the parameter's value escapes inside.
+    param_escape: dict = field(default_factory=dict)
+    #: param index -> (desc, chain): a fresh domain-memory alias is
+    #: stored into the parameter's object (the out-param shape).
+    taints_param: dict = field(default_factory=dict)
+    #: (desc, how, chain) when a fresh alias escapes *inside* this
+    #: function (global/attribute/container — not via the return value).
+    alias_leak: Optional[tuple] = None
+    #: (message core, chain) for the representative rewind-unsafe effect.
+    effect: Optional[tuple] = None
+    #: (call name, chain) for the representative raw FFI boundary call.
+    raw_boundary: Optional[tuple] = None
+
+
+_SINK_HOW = {
+    "return": "is returned",
+    "yield": "is yielded",
+    "global": "is bound to a module global",
+    "attr": "is stored into an object attribute",
+    "container": "is stored into a caller-owned container",
+}
+
+
+class ProjectSummaries:
+    """Summary table plus the atom-resolution helpers the rules share."""
+
+    def __init__(self, graph) -> None:
+        self.graph = graph
+        self.summaries: dict[str, FunctionSummary] = {
+            key: FunctionSummary() for key in graph.nodes
+        }
+
+    def __getitem__(self, key: str) -> FunctionSummary:
+        return self.summaries[key]
+
+    def get(self, key: str) -> Optional[FunctionSummary]:
+        return self.summaries.get(key)
+
+    # -- atom resolution ----------------------------------------------
+
+    def resolve_atoms(
+        self,
+        fn,
+        atoms: tuple,
+        param_taints: Optional[dict] = None,
+    ) -> tuple:
+        """Resolve ``atoms`` in the frame of ``fn``.
+
+        Returns ``(taint, params)``: ``taint`` is ``(desc, chain)`` with
+        the chain ready to become a finding's call path (first hop =
+        ``fn`` at the acquiring call), or ``None``; ``params`` is the set
+        of parameter indices the value derives from (symbolic).
+        ``param_taints`` maps a parameter index to a concrete taint for
+        call-site evaluation.
+        """
+        params: set = set()
+        for atom in atoms:
+            if atom[0] == "param":
+                params.add(atom[1])
+                if param_taints and atom[1] in param_taints:
+                    return param_taints[atom[1]], params
+            elif atom[0] == "source":
+                return (atom[1], ()), params
+            elif atom[0] == "call":
+                taint, sub_params = self._resolve_call_atom(
+                    fn, atom, param_taints
+                )
+                params |= sub_params
+                if taint is not None:
+                    return taint, params
+        return None, params
+
+    def _resolve_call_atom(self, fn, atom, param_taints):
+        _, name, line, arg_atom_lists = atom
+        callee_key = self.graph.resolve(fn.path, name)
+        params: set = set()
+        if callee_key is None:
+            # Unknown callee: PR 3's conservatism — a tainted argument
+            # taints the result.
+            for arg_atoms in arg_atom_lists:
+                taint, sub_params = self.resolve_atoms(
+                    fn, arg_atoms, param_taints
+                )
+                params |= sub_params
+                if taint is not None:
+                    return taint, params
+            return None, params
+        callee = self.graph.nodes[callee_key]
+        summary = self.summaries[callee_key]
+        if summary.returns_taint is not None:
+            desc, chain = summary.returns_taint
+            return (desc, (Hop(fn.qualname, fn.path, line),) + chain), params
+        for i, arg_atoms in enumerate(arg_atom_lists):
+            taint, sub_params = self.resolve_atoms(fn, arg_atoms, param_taints)
+            if callee.arg_param_index(i) in summary.param_to_return:
+                params |= sub_params
+                if taint is not None:
+                    return taint, params
+        return None, params
+
+
+def compute_summaries(graph) -> ProjectSummaries:
+    """Bottom-up fixpoint over the call graph's SCC condensation."""
+    table = ProjectSummaries(graph)
+    for scc in graph.sccs():
+        # Iterate the component until nothing changes; all summary fields
+        # only ever go from absent to present (chains freeze on first
+        # derivation, which the deterministic member order keeps stable).
+        for _ in range(2 * len(scc) + 2):
+            changed = False
+            for key in scc:
+                if _update_summary(table, key):
+                    changed = True
+            if not changed:
+                break
+    return table
+
+
+def _update_summary(table: ProjectSummaries, key: str) -> bool:
+    fn = table.graph.nodes[key]
+    summary = table.summaries[key]
+    changed = False
+
+    # Flows: returns, escapes, out-params.
+    for kind, line, col, atoms, base in fn.flows:
+        taint, params = table.resolve_atoms(fn, atoms)
+        if kind in ("return", "yield"):
+            if taint is not None and summary.returns_taint is None:
+                summary.returns_taint = _own_chain(fn, taint, line)
+                changed = True
+            new_params = params - summary.param_to_return
+            if new_params:
+                summary.param_to_return |= new_params
+                changed = True
+        else:
+            how = _SINK_HOW[kind]
+            if taint is not None and base is not None and base[0] == ARG_PARAM:
+                if base[1] not in summary.taints_param:
+                    summary.taints_param[base[1]] = _own_chain(fn, taint, line)
+                    changed = True
+            elif taint is not None:
+                if summary.alias_leak is None:
+                    desc, chain = _own_chain(fn, taint, line)
+                    summary.alias_leak = (desc, how, chain)
+                    changed = True
+            for i in params:
+                if i not in summary.param_escape:
+                    summary.param_escape[i] = (
+                        how,
+                        (Hop(fn.qualname, fn.path, line),),
+                    )
+                    changed = True
+
+    # Call sites: parameter forwarding and out-param transitivity.
+    for name, line, col, args in fn.call_args:
+        callee_key = table.graph.resolve(fn.path, name)
+        if callee_key is None:
+            continue
+        callee = table.graph.nodes[callee_key]
+        callee_summary = table.summaries[callee_key]
+        for i, (atoms, kind, kw) in enumerate(args):
+            pidx = _callee_param_index(callee, i, kw)
+            if pidx is None:
+                continue
+            # My parameter forwarded into a callee that escapes it.
+            if pidx in callee_summary.param_escape:
+                how, chain = callee_summary.param_escape[pidx]
+                _, params = table.resolve_atoms(fn, atoms)
+                for p in params:
+                    if p not in summary.param_escape:
+                        summary.param_escape[p] = (
+                            how,
+                            (Hop(fn.qualname, fn.path, line),) + chain,
+                        )
+                        changed = True
+            # The callee writes a fresh alias into my argument's object.
+            if pidx in callee_summary.taints_param and kind[0] == ARG_PARAM:
+                if kind[1] not in summary.taints_param:
+                    desc, chain = callee_summary.taints_param[pidx]
+                    summary.taints_param[kind[1]] = (
+                        desc,
+                        (Hop(fn.qualname, fn.path, line),) + chain,
+                    )
+                    changed = True
+
+    # Transitive alias leaks / effects / raw boundary via plain calls.
+    for name, line, col in fn.calls:
+        callee_key = table.graph.resolve(fn.path, name)
+        if callee_key is None:
+            continue
+        callee_summary = table.summaries[callee_key]
+        hop = (Hop(fn.qualname, fn.path, line),)
+        if callee_summary.alias_leak is not None and summary.alias_leak is None:
+            desc, how, chain = callee_summary.alias_leak
+            summary.alias_leak = (desc, how, hop + chain)
+            changed = True
+        if callee_summary.effect is not None and summary.effect is None and not fn.effects:
+            msg, chain = callee_summary.effect
+            summary.effect = (msg, hop + chain)
+            changed = True
+        if (
+            callee_summary.raw_boundary is not None
+            and summary.raw_boundary is None
+            and not _r7.is_marshalling_module(fn.path)
+        ):
+            raw_name, chain = callee_summary.raw_boundary
+            summary.raw_boundary = (raw_name, hop + chain)
+            changed = True
+
+    # Direct effects and raw boundary calls seed the transitive fields.
+    if fn.effects and summary.effect is None:
+        line, col, msg = fn.effects[0]
+        summary.effect = (msg, (Hop(fn.qualname, fn.path, line),))
+        changed = True
+    if (
+        fn.r7_raw_calls
+        and summary.raw_boundary is None
+        and not _r7.is_marshalling_module(fn.path)
+    ):
+        line, col, raw_name = fn.r7_raw_calls[0]
+        summary.raw_boundary = (raw_name, (Hop(fn.qualname, fn.path, line),))
+        changed = True
+
+    return changed
+
+
+def _own_chain(fn, taint: tuple, line: int) -> tuple:
+    """Prefix ``taint``'s chain with this function's own hop.
+
+    A local source has an empty chain — the hop anchors at the sink line;
+    a call-derived taint already starts with ``fn``'s acquiring-call hop
+    (``resolve_atoms`` adds it), so nothing is prepended.
+    """
+    desc, chain = taint
+    if chain and chain[0].function == fn.qualname:
+        return (desc, chain)
+    return (desc, (Hop(fn.qualname, fn.path, line),) + chain)
+
+
+def _callee_param_index(callee, arg_index: int, kw: Optional[str]) -> Optional[int]:
+    """Parameter index of a call-site argument, or ``None`` if unmappable."""
+    if kw is not None:
+        if kw in callee.params:
+            return list(callee.params).index(kw)
+        return None
+    return callee.arg_param_index(arg_index)

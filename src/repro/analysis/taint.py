@@ -1,4 +1,4 @@
-"""R2 — domain-heap values must not escape a domain body unmarshalled.
+"""R2/R5 — domain-heap values must not escape a domain body unmarshalled.
 
 Inside a domain body, ``handle.malloc``/``frame.alloca`` return raw
 addresses into the domain's heap/stack and ``handle.load_view`` returns a
@@ -10,13 +10,19 @@ are materialisation (``bytes(...)`` and the copying readers ``load``/
 ``read_buffer``/``copy_out``) and the ``ffi.marshal``/``ffi.serialization``
 API, whose signatures seed the sanitizer set below.
 
-The pass is intraprocedural taint propagation over each *domain body*
-(functions the registry in :mod:`repro.analysis.model` identified):
-sources taint names, unknown calls propagate taint from arguments (a
-tainted constructor argument taints the constructed object), sanitizers
-stop it, and three sink classes report an escape — returning/yielding a
-tainted value, binding one to a module global, and storing one into an
-attribute or a caller-owned container.
+PR 3 checked this *intraprocedurally*; this version is summary-based
+whole-program analysis over :mod:`.summaries` + :mod:`.callgraph`:
+
+* **R2** — the classic escape (source and sink both visible from the
+  domain body), now including sinks reached *through a helper*: passing
+  a live view to a helper whose summary says the corresponding parameter
+  escapes is the same defect as returning it, and the finding carries
+  the ``f -> g -> h`` call-path witness.
+* **R5** — the purely interprocedural escapes PR 3 could not see: a
+  helper *returns* a domain-memory alias which the body then leaks, a
+  helper stores a fresh alias into a caller-owned argument (out-param
+  escape), or a helper reached from the body leaks an alias to trusted
+  state outright.
 
 Compiled access plans (:mod:`repro.memory.plans`) extend the surface: a
 plan object captures raw memoryviews of the run it was compiled over, so
@@ -30,11 +36,7 @@ zero-copy ``view`` accessor is a source exactly like ``load_view``.
 
 from __future__ import annotations
 
-import ast
-from typing import Optional
-
-from .findings import Finding
-from .model import FunctionInfo, ModuleModel, call_func_name
+from .findings import Finding, Hop
 
 #: Calls whose result aliases domain memory (the taint sources).
 SOURCE_CALLS = {
@@ -72,188 +74,156 @@ SANITIZER_CALLS = {
 #: Calls that consume an address (the alias is dead afterwards).
 CONSUMER_CALLS = {"free", "sdrad_free", "pop_frame"}
 
+_SINK_HOW = {
+    "return": "is returned from the domain body",
+    "yield": "is yielded from the domain body",
+    "global": "is bound to a module global",
+    "attr": "is stored into an object attribute",
+    "container": "is stored into a caller-owned container",
+}
 
-class _TaintChecker(ast.NodeVisitor):
-    def __init__(self, model: ModuleModel, info: FunctionInfo) -> None:
-        self.model = model
-        self.info = info
-        #: tainted name -> description of its source
-        self.tainted: dict[str, str] = {}
-        self.globals_declared: set[str] = set()
-        self.local_names: set[str] = set()
-        self.findings: list[Finding] = []
-        args = info.node.args
-        self.param_names = {
-            a.arg
-            for a in (
-                args.posonlyargs + args.args + args.kwonlyargs
-                + ([args.vararg] if args.vararg else [])
-                + ([args.kwarg] if args.kwarg else [])
+_MARSHAL_HINT = (
+    "without passing through ffi.marshal/serialization "
+    "(materialise with bytes() or marshal it)"
+)
+
+
+def check_project(facts_by_path: dict, graph, summaries) -> list:
+    """Run R2 + R5 over every domain body of the project."""
+    findings: list = []
+    for path in sorted(facts_by_path):
+        facts = facts_by_path[path]
+        for fn in facts.functions:
+            if not fn.is_domain_body:
+                continue
+            _check_body(fn, graph, summaries, findings)
+    return findings
+
+
+def _check_body(fn, graph, summaries, findings: list) -> None:
+    path = fn.path
+
+    # Sinks visible in the body itself. A local source keeps PR 3's R2
+    # message byte-for-byte (fingerprint/baseline continuity); a taint
+    # that arrived through a helper return is R5 with a witness.
+    for kind, line, col, atoms, base in fn.flows:
+        taint, _params = summaries.resolve_atoms(fn, atoms)
+        if taint is None:
+            continue
+        desc, chain = taint
+        how = _SINK_HOW[kind]
+        if not chain:
+            findings.append(
+                Finding(
+                    rule="R2",
+                    path=path,
+                    line=line,
+                    col=col,
+                    qualname=fn.qualname,
+                    message=f"{desc} {how} {_MARSHAL_HINT}",
+                )
             )
-        }
+        else:
+            helper = chain[-1].function
+            findings.append(
+                Finding(
+                    rule="R5",
+                    path=path,
+                    line=line,
+                    col=col,
+                    qualname=fn.qualname,
+                    message=(
+                        f"{desc} obtained through helper {helper}() "
+                        f"{how} {_MARSHAL_HINT}"
+                    ),
+                    call_path=chain,
+                )
+            )
 
-    # ------------------------------------------------------------------
-    # Expression-level taint
-    # ------------------------------------------------------------------
+    # Sinks inside helpers the body hands values to.
+    for name, line, col, args in fn.call_args:
+        callee_key = graph.resolve(path, name)
+        if callee_key is None:
+            continue
+        callee = graph.nodes[callee_key]
+        summary = summaries.get(callee_key)
+        if summary is None:
+            continue
+        for i, (atoms, arg_kind, kw) in enumerate(args):
+            pidx = _param_index(callee, i, kw)
+            if pidx is None:
+                continue
+            # A live alias passed into a helper that escapes it.
+            escape = summary.param_escape.get(pidx)
+            if escape is not None:
+                taint, _params = summaries.resolve_atoms(fn, atoms)
+                if taint is not None:
+                    desc, tchain = taint
+                    how, echain = escape
+                    witness = (Hop(fn.qualname, path, line),) + echain
+                    findings.append(
+                        Finding(
+                            rule="R2" if not tchain else "R5",
+                            path=path,
+                            line=line,
+                            col=col,
+                            qualname=fn.qualname,
+                            message=(
+                                f"{desc} passed to {name}(), where it "
+                                f"{how} {_MARSHAL_HINT}"
+                            ),
+                            call_path=witness,
+                        )
+                    )
+            # A helper that plants a fresh alias into a caller-owned
+            # argument (the out-param escape PR 3 could not see).
+            planted = summary.taints_param.get(pidx)
+            if planted is not None and arg_kind[0] in ("param", "owned"):
+                desc, tchain = planted
+                findings.append(
+                    Finding(
+                        rule="R5",
+                        path=path,
+                        line=line,
+                        col=col,
+                        qualname=fn.qualname,
+                        message=(
+                            f"helper {name}() stores {desc} into its "
+                            f"argument — the alias outlives the domain "
+                            f"body (out-param escape)"
+                        ),
+                        call_path=(Hop(fn.qualname, path, line),) + tchain,
+                    )
+                )
 
-    def taint_of(self, node: Optional[ast.AST]) -> Optional[str]:
-        """Description of the taint carried by ``node``, or ``None``."""
-        if node is None:
-            return None
-        if isinstance(node, ast.Name):
-            return self.tainted.get(node.id)
-        if isinstance(node, ast.Call):
-            name = call_func_name(node)
-            if name in SOURCE_CALLS:
-                return SOURCE_CALLS[name]
-            if name in SANITIZER_CALLS or name in CONSUMER_CALLS:
-                return None
-            # Unknown call: a tainted argument taints the result (e.g.
-            # a record constructed around a live view).
-            for arg in list(node.args) + [kw.value for kw in node.keywords]:
-                sub = self.taint_of(arg)
-                if sub is not None:
-                    return sub
-            return None
-        if isinstance(node, (ast.BinOp,)):
-            return self.taint_of(node.left) or self.taint_of(node.right)
-        if isinstance(node, ast.BoolOp):
-            for value in node.values:
-                sub = self.taint_of(value)
-                if sub is not None:
-                    return sub
-            return None
-        if isinstance(node, ast.UnaryOp):
-            return self.taint_of(node.operand)
-        if isinstance(node, ast.IfExp):
-            return self.taint_of(node.body) or self.taint_of(node.orelse)
-        if isinstance(node, ast.Subscript):
-            return self.taint_of(node.value)  # a slice of a view is a view
-        if isinstance(node, ast.Attribute):
-            if node.attr in SOURCE_ATTRS:
-                return SOURCE_ATTRS[node.attr]
-            return self.taint_of(node.value)
-        if isinstance(node, ast.Starred):
-            return self.taint_of(node.value)
-        if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
-            for elt in node.elts:
-                sub = self.taint_of(elt)
-                if sub is not None:
-                    return sub
-            return None
-        if isinstance(node, ast.Dict):
-            for value in node.values:
-                sub = self.taint_of(value)
-                if sub is not None:
-                    return sub
-            return None
-        if isinstance(node, ast.NamedExpr):
-            return self.taint_of(node.value)
-        if isinstance(node, ast.Compare):
-            return None  # booleans are values, not aliases
-        return None
-
-    # ------------------------------------------------------------------
-    # Statements
-    # ------------------------------------------------------------------
-
-    def _escape(self, node: ast.AST, what: str, how: str) -> None:
-        self.findings.append(
+    # Helpers that leak an alias outright, any number of calls deep.
+    for name, line, col in fn.calls:
+        callee_key = graph.resolve(path, name)
+        if callee_key is None:
+            continue
+        summary = summaries.get(callee_key)
+        if summary is None or summary.alias_leak is None:
+            continue
+        desc, how, chain = summary.alias_leak
+        findings.append(
             Finding(
-                rule="R2",
-                path=self.model.path,
-                line=node.lineno,
-                col=node.col_offset,
-                qualname=self.info.qualname,
+                rule="R5",
+                path=path,
+                line=line,
+                col=col,
+                qualname=fn.qualname,
                 message=(
-                    f"{what} {how} without passing through "
-                    f"ffi.marshal/serialization (materialise with bytes() "
-                    f"or marshal it)"
+                    f"call to {name}() leaks {desc} ({how}) outside the "
+                    f"domain body {_MARSHAL_HINT}"
                 ),
+                call_path=(Hop(fn.qualname, path, line),) + chain,
             )
         )
 
-    def _bind(self, target: ast.AST, taint: Optional[str], site: ast.AST) -> None:
-        if isinstance(target, ast.Name):
-            name = target.id
-            self.local_names.add(name)
-            if taint is None:
-                self.tainted.pop(name, None)
-                return
-            if name in self.globals_declared:
-                self._escape(site, taint, "is bound to a module global")
-                return
-            self.tainted[name] = taint
-        elif isinstance(target, ast.Attribute):
-            if taint is not None:
-                self._escape(site, taint, "is stored into an object attribute")
-        elif isinstance(target, ast.Subscript):
-            base = target.value
-            if taint is None:
-                return
-            if isinstance(base, ast.Name) and base.id in self.local_names:
-                self.tainted[base.id] = taint  # local container now carries it
-            else:
-                self._escape(
-                    site, taint, "is stored into a caller-owned container"
-                )
-        elif isinstance(target, (ast.Tuple, ast.List)):
-            for elt in target.elts:
-                self._bind(elt, taint, site)
 
-    def visit_Global(self, node: ast.Global) -> None:
-        self.globals_declared.update(node.names)
-
-    def visit_Assign(self, node: ast.Assign) -> None:
-        taint = self.taint_of(node.value)
-        for target in node.targets:
-            self._bind(target, taint, node)
-        self.generic_visit(node.value)
-
-    def visit_AnnAssign(self, node: ast.AnnAssign) -> None:
-        if node.value is not None:
-            self._bind(node.target, self.taint_of(node.value), node)
-
-    def visit_AugAssign(self, node: ast.AugAssign) -> None:
-        taint = self.taint_of(node.value) or self.taint_of(node.target)
-        self._bind(node.target, taint, node)
-
-    def visit_Return(self, node: ast.Return) -> None:
-        taint = self.taint_of(node.value)
-        if taint is not None:
-            self._escape(node, taint, "is returned from the domain body")
-
-    def visit_Yield(self, node: ast.Yield) -> None:
-        taint = self.taint_of(node.value)
-        if taint is not None:
-            self._escape(node, taint, "is yielded from the domain body")
-        self.generic_visit(node)
-
-    def visit_Call(self, node: ast.Call) -> None:
-        name = call_func_name(node)
-        if name in CONSUMER_CALLS:
-            for arg in node.args:
-                if isinstance(arg, ast.Name):
-                    self.tainted.pop(arg.id, None)
-        self.generic_visit(node)
-
-    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
-        pass  # nested scopes are analyzed on their own
-
-    visit_AsyncFunctionDef = visit_FunctionDef
-
-    def visit_Lambda(self, node: ast.Lambda) -> None:
-        pass
-
-
-def check(model: ModuleModel) -> list:
-    """Run R2 over every domain body of ``model``."""
-    findings: list[Finding] = []
-    for info in model.functions:
-        if not info.is_domain_body:
-            continue
-        checker = _TaintChecker(model, info)
-        for stmt in info.node.body:
-            checker.visit(stmt)
-        findings.extend(checker.findings)
-    return findings
+def _param_index(callee, arg_index: int, kw):
+    if kw is not None:
+        if kw in callee.params:
+            return list(callee.params).index(kw)
+        return None
+    return callee.arg_param_index(arg_index)

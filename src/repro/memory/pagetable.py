@@ -35,7 +35,9 @@ class PageEntry:
 class PageTable:
     """Page table over a fixed-size simulated address space."""
 
-    def __init__(self, space_size: int, num_keys: "int | None" = NUM_PKEYS) -> None:
+    # The page table *is* the simulated tag substrate: MPK's key count is
+    # its documented default and every other backend overrides num_keys.
+    def __init__(self, space_size: int, num_keys: "int | None" = NUM_PKEYS) -> None:  # sdradlint: ignore[R6]
         if space_size <= 0 or not is_page_aligned(space_size):
             raise SdradError(
                 f"address-space size must be a positive page multiple, got {space_size}"
@@ -67,7 +69,7 @@ class PageTable:
         *,
         readable: bool = True,
         writable: bool = True,
-        pkey: int = PKEY_DEFAULT,
+        pkey: int = PKEY_DEFAULT,  # sdradlint: ignore[R6] tag 0 is every backend's root tag
     ) -> None:
         """``mmap`` analogue: mark pages present with given perms and key."""
         self._check_range(address, length)

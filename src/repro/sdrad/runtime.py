@@ -820,7 +820,9 @@ class SdradRuntime:
         # entry; their latency is part of the backend's entry cost, not
         # charged per write.
 
-    def map_shared_region(self, size: int, pkey: int = PKEY_DEFAULT) -> int:
+    # Shared service state lives in the root compartment whose tag is 0 on
+    # every backend (MPK pkey 0, CHERI/SFI root tag) — backend-neutral.
+    def map_shared_region(self, size: int, pkey: int = PKEY_DEFAULT) -> int:  # sdradlint: ignore[R6]
         """Map a page-aligned region outside any domain (service state).
 
         Applications use this for long-lived state that survives domain

@@ -1,0 +1,45 @@
+"""R5 near-misses: helpers that handle domain memory correctly.
+
+Same shapes as the planted violations — helper returns, out-params,
+helper sinks — but every boundary crossing materialises or copies, so
+nothing may be reported. Parsed, never imported.
+"""
+
+
+def materialise(handle, offset):
+    # The helper sanitizes before returning: callers get a trusted copy.
+    return bytes(handle.load_view(offset, 64))
+
+
+def read_copy(handle, offset):
+    # Copying reader: never an alias in the first place.
+    return handle.load(offset, 64)
+
+
+def plant_copy(record, handle):
+    # Out-param shape, but the planted value is materialised.
+    record.cached = bytes(handle.load_view(0, 16))
+
+
+def summarise_internally(handle):
+    # The alias never leaves this frame: consumed by a sanitizer.
+    view = handle.load_view(0, 128)
+    return sum(view)
+
+
+def safe_helper_return(handle: DomainHandle, request):  # noqa: F821
+    data = materialise(handle, 0)
+    return data
+
+
+def safe_copy_return(handle: DomainHandle):  # noqa: F821
+    return read_copy(handle, 8)
+
+
+def safe_out_param(handle: DomainHandle, record):  # noqa: F821
+    plant_copy(record, handle)
+    return record.size
+
+
+def safe_helper_use(handle: DomainHandle):  # noqa: F821
+    return summarise_internally(handle)

@@ -1,0 +1,48 @@
+"""Planted R5 violations: interprocedural domain-heap escapes.
+
+Every ``leak_*`` function is a domain body (DomainHandle first
+parameter); the helpers above them are plain functions whose summaries
+carry the escape. Parsed, never imported.
+"""
+
+GLOBAL_STASH = {}
+
+
+def fetch_view(handle, offset):
+    # The source lives here: callers receive a live alias.
+    return handle.load_view(offset, 64)
+
+
+def fetch_view_indirect(handle):
+    # One more hop: the alias crosses two helper frames.
+    return fetch_view(handle, 8)
+
+
+def plant_alias(record, handle):
+    # Out-param escape: a fresh alias planted into the caller's object.
+    record.view = handle.load_view(0, 16)
+
+
+def stash_alias(handle):
+    # The sink lives here: a helper leaking straight to trusted state.
+    GLOBAL_STASH["view"] = handle.load_view(0, 8)
+
+
+def leak_helper_return(handle: DomainHandle, request):  # noqa: F821
+    view = fetch_view(handle, 0)
+    return view  # expect[R5]
+
+
+def leak_deep_helper_return(handle: DomainHandle):  # noqa: F821
+    data = fetch_view_indirect(handle)
+    return data  # expect[R5]
+
+
+def leak_out_param(handle: DomainHandle, record):  # noqa: F821
+    plant_alias(record, handle)  # expect[R5]
+    return record.size
+
+
+def leak_via_helper_sink(handle: DomainHandle):  # noqa: F821
+    stash_alias(handle)  # expect[R5]
+    return None

@@ -1,0 +1,31 @@
+"""Planted R6 violations: MPK-only idioms without a capability guard.
+
+None of these functions (or their callers) check what backend is active,
+so a CHERI/SFI run would crash or mis-simulate. Parsed, never imported.
+"""
+
+
+def assume_sixteen_keys(limits):
+    # Pkey-count assumption from an unguarded root.
+    return NUM_PKEYS - limits.reserved  # noqa: F821  # expect[R6]
+
+
+def build_mpk_register(space):
+    # Direct construction of the MPK write surface.
+    return PkruRegister(space)  # noqa: F821  # expect[R6]
+
+
+def read_keyvirt_stats(runtime):
+    # Key-virtualization is an MPK-backend capability.
+    return runtime._keyvirt.stats()  # expect[R6]
+
+
+def unguarded_root(space, mask):
+    # Not a guard in sight: the poke below is reachable from here.
+    return poke_gate(space, mask)
+
+
+def poke_gate(space, mask):
+    # Raw gate-state poke bypassing the write API.
+    space.pkru._value = mask  # expect[R6]
+    return mask

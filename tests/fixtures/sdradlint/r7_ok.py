@@ -1,0 +1,48 @@
+"""R7 near-misses: sandbox entries that honour the boundary contract.
+
+Fallbacks or retries declared, marshalling through the sanctioned
+helpers, and handles that never escape — none of this may be reported.
+Parsed, never imported.
+"""
+
+
+@sandboxed(fallback="cached-thumbnail")  # noqa: F821
+def entry_with_fallback(payload):
+    return transform(payload)  # noqa: F821
+
+
+@sandboxed(retries=2)  # noqa: F821
+def entry_with_retries(payload):
+    return payload * 2
+
+
+@sandboxed(fallback="degraded")  # noqa: F821
+def entry_marshals(payload):
+    # The sanctioned carrier, not the raw copy primitives.
+    return marshal_result(runtime, udi, serializer, payload, None)  # noqa: F821
+
+
+def _measure(h):
+    # Receives the handle but returns a plain number.
+    return int(h.frame_count) * 2
+
+
+def handle_used_safely(handle, payload):
+    buf = handle.malloc(len(payload))
+    handle.store(buf, payload)
+    out = bytes(handle.load(buf, len(payload)))
+    handle.free(buf)
+    return out
+
+
+def handle_measured_safely(handle, payload):
+    size = _measure(handle)
+    return size
+
+
+sandbox.sandboxed(  # noqa: F821
+    handle_used_safely, wants_handle=True, fallback="degraded"
+)
+sandbox.sandboxed(  # noqa: F821
+    handle_measured_safely, wants_handle=True, retries=3
+)

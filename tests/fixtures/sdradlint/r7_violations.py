@@ -1,0 +1,48 @@
+"""Planted R7 violations: FFI sandbox entries breaking the boundary contract.
+
+Entries are declared both ways the registry understands — ``@sandboxed``
+decorators and ``sandboxed(...)`` factory calls. Parsed, never imported.
+"""
+
+LAST_HANDLE = {}
+
+
+@sandboxed  # noqa: F821  # expect[R7]
+def no_alternate_action(payload):
+    # No fallback=, no retries=: a violation escalates to the caller.
+    return payload
+
+
+@sandboxed(retries=0)  # noqa: F821  # expect[R7]
+def zero_retries_is_no_action(payload):
+    return payload
+
+
+@sandboxed(fallback="cached-result")  # noqa: F821
+def raw_boundary_entry(payload):
+    addr = runtime.copy_into(udi, payload)  # noqa: F821  # expect[R7]
+    return addr
+
+
+@sandboxed(fallback="cached-result")  # noqa: F821
+def raw_through_helper(payload):
+    return _push_raw(payload)  # expect[R7]
+
+
+def _push_raw(payload):
+    return runtime.copy_into(udi, payload)  # noqa: F821
+
+
+def _stash_handle(h):
+    registry.last_handle = h  # noqa: F821
+
+
+def leaky_handle_entry(handle, payload):
+    LAST_HANDLE["h"] = handle  # expect[R7]
+    _stash_handle(handle)  # expect[R7]
+    return handle  # expect[R7]
+
+
+sandbox.sandboxed(  # noqa: F821
+    leaky_handle_entry, wants_handle=True, fallback="degraded"
+)

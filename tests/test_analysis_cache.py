@@ -1,0 +1,143 @@
+"""Incremental-cache tests: correctness must be invariant to cache state.
+
+The headline property is byte-identity — a warm-cache run must render
+exactly the same findings, in the same order, as ``--no-cache``.  The
+rest covers the plumbing that keeps that invariant honest: content-hash
+invalidation, version skew, and corrupt-file resilience.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.cache import CACHE_VERSION, SummaryCache, content_key
+from repro.analysis.__main__ import main as lint_main
+from repro.analysis.runner import lint_paths
+
+FIXTURES = Path(__file__).resolve().parent / "fixtures" / "sdradlint"
+
+LEAKY = (
+    "def body(handle: DomainHandle, raw):\n"
+    "    return handle.load_view(0, 8)\n"
+)
+CLEAN = (
+    "def body(handle: DomainHandle, raw):\n"
+    "    return bytes(handle.load_view(0, 8))\n"
+)
+
+
+def _render_all(result) -> list:
+    return [f.render() for f in result.sorted_findings()]
+
+
+class TestByteIdentity:
+    def test_warm_cache_matches_no_cache_over_fixtures(self, tmp_path):
+        cache_file = str(tmp_path / "cache.json")
+        target = [str(FIXTURES)]
+        baseline = lint_paths(target, use_cache=False)
+        cold = lint_paths(target, use_cache=True, cache_path=cache_file)
+        warm = lint_paths(target, use_cache=True, cache_path=cache_file)
+        assert _render_all(cold) == _render_all(baseline)
+        assert _render_all(warm) == _render_all(baseline)
+        assert [f.to_dict() for f in warm.sorted_findings()] == [
+            f.to_dict() for f in baseline.sorted_findings()
+        ]
+        assert warm.cache_hits == warm.files
+        assert warm.cache_misses == 0
+        assert cold.cache_hits == 0
+
+    def test_cli_json_output_is_byte_identical(self, tmp_path, capsys):
+        cache_file = str(tmp_path / "cache.json")
+        args = [str(FIXTURES / "r5_violations.py"), "--no-baseline", "--json"]
+        lint_main(args + ["--no-cache"])
+        no_cache_out = capsys.readouterr().out
+        lint_main(args + ["--cache", cache_file])
+        cold_out = capsys.readouterr().out
+        lint_main(args + ["--cache", cache_file])
+        warm_out = capsys.readouterr().out
+        assert cold_out == no_cache_out
+        assert warm_out == no_cache_out
+
+
+class TestInvalidation:
+    def test_edited_file_misses_and_reanalyzes(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "m.py"
+        cache_file = str(tmp_path / "cache.json")
+
+        target.write_text(LEAKY, encoding="utf-8")
+        first = lint_paths([str(target)], use_cache=True, cache_path=cache_file)
+        assert [f.rule for f in first.findings] == ["R2"]
+        assert first.cache_misses == 1
+
+        target.write_text(CLEAN, encoding="utf-8")
+        second = lint_paths(
+            [str(target)], use_cache=True, cache_path=cache_file
+        )
+        assert second.findings == []
+        assert second.cache_misses == 1
+        assert second.cache_hits == 0
+
+    def test_version_skew_invalidates_everything(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "m.py"
+        target.write_text(LEAKY, encoding="utf-8")
+        cache_file = tmp_path / "cache.json"
+
+        lint_paths([str(target)], use_cache=True, cache_path=str(cache_file))
+        stale = json.loads(cache_file.read_text(encoding="utf-8"))
+        stale["version"] = CACHE_VERSION + 1
+        cache_file.write_text(json.dumps(stale), encoding="utf-8")
+
+        result = lint_paths(
+            [str(target)], use_cache=True, cache_path=str(cache_file)
+        )
+        assert [f.rule for f in result.findings] == ["R2"]
+        assert result.cache_hits == 0
+        assert result.cache_misses == 1
+
+    def test_corrupt_cache_is_silently_rebuilt(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        target = tmp_path / "m.py"
+        target.write_text(LEAKY, encoding="utf-8")
+        cache_file = tmp_path / "cache.json"
+        cache_file.write_text("{not json", encoding="utf-8")
+
+        result = lint_paths(
+            [str(target)], use_cache=True, cache_path=str(cache_file)
+        )
+        assert [f.rule for f in result.findings] == ["R2"]
+        # The run rewrote a valid cache over the corrupt one.
+        rebuilt = json.loads(cache_file.read_text(encoding="utf-8"))
+        assert rebuilt["version"] == CACHE_VERSION
+
+
+class TestStoreMechanics:
+    def test_content_key_is_content_addressed(self):
+        assert content_key(LEAKY) == content_key(LEAKY)
+        assert content_key(LEAKY) != content_key(CLEAN)
+
+    def test_get_rejects_mangled_entry(self, tmp_path):
+        cache = SummaryCache(str(tmp_path / "cache.json"))
+        cache._entries["m.py"] = {"key": content_key(LEAKY), "facts": 42}
+        assert cache.get("m.py", LEAKY) is None
+        assert cache.misses == 1
+
+    def test_save_is_a_noop_when_clean(self, tmp_path):
+        path = tmp_path / "cache.json"
+        cache = SummaryCache(str(path))
+        cache.load()
+        cache.save()
+        assert not path.exists()
+
+
+class TestChangedOnly:
+    def test_falls_back_to_full_run_outside_git(self, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        monkeypatch.setenv("GIT_DIR", str(tmp_path / "nope"))
+        target = tmp_path / "m.py"
+        target.write_text(LEAKY, encoding="utf-8")
+        result = lint_paths([str(target)], changed_only=True)
+        assert result.files == 1
+        assert [f.rule for f in result.findings] == ["R2"]

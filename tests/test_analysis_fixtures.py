@@ -95,6 +95,119 @@ class TestRepoIsClean:
         assert result.files > 50
 
 
+class TestWitnesses:
+    """Interprocedural findings carry the ``f -> g -> h`` call path."""
+
+    def test_r5_findings_have_two_hop_witnesses(self):
+        _, result = _lint_fixture("r5_violations.py")
+        r5 = [f for f in result.findings if f.rule == "R5"]
+        assert r5
+        for finding in r5:
+            assert len(finding.call_path) >= 2, finding.render()
+            # The chain starts at the reporting domain body.
+            assert finding.call_path[0].function == finding.qualname
+            for hop in finding.call_path:
+                assert hop.path.endswith("r5_violations.py")
+                assert hop.line > 0
+
+    def test_deep_chain_has_three_hops(self):
+        _, result = _lint_fixture("r5_violations.py")
+        deep = [
+            f
+            for f in result.findings
+            if f.qualname == "leak_deep_helper_return"
+        ]
+        assert len(deep) == 1
+        functions = [hop.function for hop in deep[0].call_path]
+        assert functions == [
+            "leak_deep_helper_return", "fetch_view_indirect", "fetch_view",
+        ]
+
+    def test_witness_rendered_in_human_output(self):
+        _, result = _lint_fixture("r5_violations.py")
+        rendered = [f.render() for f in result.findings if f.call_path]
+        assert rendered
+        for text in rendered:
+            assert "[witness: " in text
+            assert " -> " in text
+
+    def test_witness_in_json_output(self, capsys):
+        code = lint_main(
+            [
+                str(FIXTURES / "r5_violations.py"),
+                "--no-baseline", "--no-cache", "--json",
+            ]
+        )
+        assert code == 1
+        payload = json.loads(capsys.readouterr().out)
+        witnessed = [f for f in payload["findings"] if f["call_path"]]
+        assert witnessed
+        for record in witnessed:
+            assert len(record["call_path"]) >= 2
+            for hop in record["call_path"]:
+                assert set(hop) == {"function", "path", "line"}
+
+    def test_r6_unguarded_path_witness(self):
+        _, result = _lint_fixture("r6_violations.py")
+        poked = [f for f in result.findings if f.qualname == "poke_gate"]
+        assert len(poked) == 1
+        functions = [hop.function for hop in poked[0].call_path]
+        assert functions == ["unguarded_root", "poke_gate"]
+
+    def test_r7_raw_helper_witness(self):
+        _, result = _lint_fixture("r7_violations.py")
+        routed = [
+            f for f in result.findings if f.qualname == "raw_through_helper"
+        ]
+        assert len(routed) == 1
+        functions = [hop.function for hop in routed[0].call_path]
+        assert functions == ["raw_through_helper", "_push_raw"]
+
+
+class TestSarif:
+    GOLDEN = FIXTURES / "golden_sarif.json"
+
+    def _render(self) -> str:
+        from repro.analysis import sarif as sarif_mod
+
+        path = "tests/fixtures/sdradlint/r5_violations.py"
+        source = (FIXTURES / "r5_violations.py").read_text(encoding="utf-8")
+        result = lint_source(path, source)
+        return sarif_mod.render(result.sorted_findings()) + "\n"
+
+    def test_matches_golden_file(self):
+        assert self._render() == self.GOLDEN.read_text(encoding="utf-8")
+
+    def test_shape_and_witness_locations(self):
+        log = json.loads(self._render())
+        assert log["version"] == "2.1.0"
+        run = log["runs"][0]
+        assert run["tool"]["driver"]["name"] == "sdradlint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert rule_ids == set(RULES)
+        assert run["results"]
+        for res in run["results"]:
+            assert res["ruleId"] == "R5"
+            loc = res["locations"][0]["physicalLocation"]
+            assert loc["artifactLocation"]["uri"].endswith(
+                "r5_violations.py"
+            )
+            assert loc["region"]["startLine"] > 0
+            assert len(res["relatedLocations"]) >= 2
+
+    def test_cli_format_sarif(self, capsys):
+        code = lint_main(
+            [
+                str(FIXTURES / "r5_violations.py"),
+                "--no-baseline", "--no-cache", "--format", "sarif",
+            ]
+        )
+        assert code == 1
+        log = json.loads(capsys.readouterr().out)
+        assert log["version"] == "2.1.0"
+        assert log["runs"][0]["results"]
+
+
 class TestFingerprints:
     SOURCE = (
         "def leaky(handle: DomainHandle, raw):\n"
@@ -152,7 +265,7 @@ class TestCli:
         record = payload["findings"][0]
         assert set(record) == {
             "rule", "severity", "path", "line", "col",
-            "function", "message", "fingerprint",
+            "function", "message", "fingerprint", "call_path",
         }
         assert record["rule"] == "R4"
 
