@@ -1,6 +1,6 @@
 # Convenience targets for the SDRaD reproduction.
 
-.PHONY: install test bench bench-fast bench-obs bench-plans bench-fleet bench-backends profile tables examples lint lint-domains lint-fixtures all
+.PHONY: install test bench bench-fast bench-obs bench-plans bench-fleet bench-backends bench-campaign campaign profile tables examples lint lint-domains lint-fixtures all
 
 install:
 	pip install -e . --no-build-isolation || python setup.py develop
@@ -14,28 +14,28 @@ bench:
 # Wall-clock harness for the simulation itself (TLB fast path, access
 # plans, re-entry cache, request batching, kvstore/memcached end-to-end,
 # observability overhead, fleet scatter-gather scaling, isolation-backend
-# substrates). Writes BENCH_PR8.json; fails on >25% drop in a within-file
+# substrates). Writes BENCH_PR10.json; fails on >25% drop in a within-file
 # speedup ratio vs. the previous BENCH_*.json (ordered by schema, then PR
 # number) — ratios, because each file is recorded on a different VM — and
 # on a miss of the absolute targets (plans >= 10x, batched pipeline >= 3x
 # baseline, obs overhead <= 1.05x, 8-shard multiget >= 3x single-shard,
 # mpk backend >= 0.75x the default spelling).
 bench-fast:
-	PYTHONPATH=src python scripts/bench.py --out BENCH_PR8.json
+	PYTHONPATH=src python scripts/bench.py --out BENCH_PR10.json
 	python scripts/check_bench_regression.py
 
 # Just the observability-overhead bench plus the regression gate: proves
 # the obs=None fast path keeps memcached_e2e throughput (the acceptance
 # criterion for the obs subsystem) without re-running the full harness.
 bench-obs:
-	PYTHONPATH=src python scripts/bench.py --out BENCH_PR8.json \
+	PYTHONPATH=src python scripts/bench.py --out BENCH_PR10.json \
 		--only memcached_e2e,memcached_obs
 	python scripts/check_bench_regression.py
 
 # Just the access-plan tentpole benches: the compiled-plan speedup and the
 # end-to-end pipeline it feeds, with the absolute targets enforced.
 bench-plans:
-	PYTHONPATH=src python scripts/bench.py --out BENCH_PR8.json \
+	PYTHONPATH=src python scripts/bench.py --out BENCH_PR10.json \
 		--only raw_access,access_plans,memcached_e2e
 	python scripts/check_bench_regression.py
 
@@ -43,7 +43,7 @@ bench-plans:
 # plus the seeded end-to-end fleet run (arrivals, failover, ledger), with
 # the >= 3x absolute gate enforced.
 bench-fleet:
-	PYTHONPATH=src python scripts/bench.py --out BENCH_PR8.json \
+	PYTHONPATH=src python scripts/bench.py --out BENCH_PR10.json \
 		--only fleet
 	python scripts/check_bench_regression.py
 
@@ -51,9 +51,23 @@ bench-fleet:
 # substrate (default/mpk/cheri/sfi), with the mpk-vs-default parity gate
 # (>= 0.75x) enforced.
 bench-backends:
-	PYTHONPATH=src python scripts/bench.py --out BENCH_PR8.json \
+	PYTHONPATH=src python scripts/bench.py --out BENCH_PR10.json \
 		--only backends
 	python scripts/check_bench_regression.py
+
+# The PR 10 campaign bench: stratified sampling throughput plus one tiny
+# seeded closed loop — informational (no absolute gate; correctness is
+# pinned by the campaign-smoke golden fixture in CI).
+bench-campaign:
+	PYTHONPATH=src python scripts/bench.py --out BENCH_PR10.json \
+		--only campaign
+	python scripts/check_bench_regression.py
+
+# The PR 10 closed loop at defaults: stratified Clopper–Pearson sampling
+# over fault class x domain x phase x backend, factorial model fit,
+# carbon-aware policy recommendation, and re-measured validation.
+campaign:
+	PYTHONPATH=src python -m repro campaign
 
 # cProfile the hot request paths; prints the top-20 cumulative hotspots.
 profile:

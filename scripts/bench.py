@@ -50,17 +50,23 @@ and are unchanged by any of this). Four benches:
                        MPK (explicit and default spelling), simulated
                        CHERI, and SFI — with the mpk-vs-default parity
                        ratio gated (the backend axis must not tax the
-                       default path).
+                       default path);
+* ``campaign``       — the PR 10 subsystem: the stratified sampling
+                       loop's injection throughput (fresh runtime per
+                       round, severity draws, ledger fold) plus the
+                       wall-clock of one tiny seeded closed loop
+                       (sample -> fit -> decide -> validate) —
+                       informational, not gated.
 
 Writes machine-readable results (ops/sec plus on/off speedups) to a JSON
-file — ``BENCH_PR8.json`` by default — which ``check_bench_regression.py``
+file — ``BENCH_PR10.json`` by default — which ``check_bench_regression.py``
 compares across PRs and gates with the absolute targets (plan speedup
 >= 10x, batched-vs-baseline >= 3x, obs overhead <= 1.05x, 8-shard
 multiget >= 3x 1-shard, mpk backend >= 0.75x the default spelling).
 
 Usage::
 
-    PYTHONPATH=src python scripts/bench.py [--out BENCH_PR8.json] [--quick]
+    PYTHONPATH=src python scripts/bench.py [--out BENCH_PR10.json] [--quick]
         [--only memcached_obs,...] [--repeat 3]
 """
 
@@ -878,14 +884,59 @@ def bench_backends(min_time: float) -> dict:
 
 
 # ----------------------------------------------------------------------
+# Bench 10: statistical fault-load campaign (PR 10)
+# ----------------------------------------------------------------------
+
+def bench_campaign(min_time: float) -> dict:
+    """The PR 10 campaign loop — informational, never gated.
+
+    ``sampling`` measures the stratified sampler's injection throughput:
+    each call builds a fresh two-stratum sampler and runs one round per
+    stratum (fresh runtime, arrival plan, severity draws, background
+    requests, ledger fold) — the unit of work the sequential stopping rule
+    repeats. ``closed_loop_seconds`` times one tiny seeded campaign end to
+    end (sample -> fit -> decide -> validate, fleet application skipped)
+    so a cost blow-up anywhere in the loop shows in the recorded file."""
+    from repro.campaigns import CampaignConfig, CampaignSampler, run_campaign
+    from repro.campaigns.strata import InjectionPhase
+    from repro.faultinj.models import FaultKind
+
+    cfg = CampaignConfig(
+        kinds=(FaultKind.STACK_SMASH, FaultKind.HEAP_OVERFLOW),
+        domains=("shard-0",),
+        phases=(InjectionPhase.ENTRY,),
+        backends=("mpk",),
+        max_per_stratum=16,
+        max_rounds=2,
+        validation_injections=8,
+    )
+    per_step = cfg.batch * len(cfg.strata())
+
+    def loop(n: int) -> None:
+        for _ in range(max(1, n // per_step)):
+            sampler = CampaignSampler(cfg)
+            sampler.step()
+
+    sampling = _measure(loop, min_time=min_time, batch=per_step)
+    start = time.perf_counter()
+    report = run_campaign(cfg, run_fleet=False)
+    closed_loop = time.perf_counter() - start
+    return {
+        "sampling": sampling,
+        "closed_loop_seconds": round(closed_loop, 3),
+        "closed_loop_rounds": report.rounds,
+    }
+
+
+# ----------------------------------------------------------------------
 
 
 def main() -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--out",
-        default="BENCH_PR8.json",
-        help="output JSON path (default: BENCH_PR8.json)",
+        default="BENCH_PR10.json",
+        help="output JSON path (default: BENCH_PR10.json)",
     )
     parser.add_argument(
         "--quick",
@@ -918,6 +969,7 @@ def main() -> int:
         ("memcached_obs", bench_memcached_obs),
         ("fleet", bench_fleet),
         ("backends", bench_backends),
+        ("campaign", bench_campaign),
     )
     selected = dict(all_benches)
     if args.only:
@@ -932,7 +984,7 @@ def main() -> int:
 
     out = Path(args.out)
     results = {
-        "schema": 6,
+        "schema": 7,
         "python": platform.python_version(),
         "platform": platform.platform(),
         "repeat": _REPEAT,
@@ -1039,6 +1091,13 @@ def main() -> int:
             f" cheri {k['cheri']['ops_per_sec']:,.0f},"
             f" sfi {k['sfi']['ops_per_sec']:,.0f},"
             f" mpk/default {k['mpk_vs_default']}x)"
+        )
+    if "campaign" in b:
+        c = b["campaign"]
+        print(
+            f"  campaign      : {c['sampling']['ops_per_sec']:>12,.0f} inj/s"
+            f"  (closed loop {c['closed_loop_seconds']}s,"
+            f" {c['closed_loop_rounds']} round(s))"
         )
     return 0
 

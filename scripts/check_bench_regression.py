@@ -100,6 +100,10 @@ TRACKED_INFO = [
     ("backends", ("mpk", "ops_per_sec")),
     ("backends", ("cheri", "ops_per_sec")),
     ("backends", ("sfi", "ops_per_sec")),
+    # PR 10: stratified campaign sampling throughput — informational only;
+    # the campaign's correctness is gated by the seeded golden fixture in
+    # CI (campaign-smoke), not by wall clock.
+    ("campaign", ("sampling", "ops_per_sec")),
 ]
 
 

@@ -66,17 +66,24 @@ TELEMETRY_SEGMENTS = {"tracer", "telemetry"}
 SANCTIONED_CALLS = {"charge"}
 
 #: Receiver path segments that mark the :mod:`repro.obs` surface.
-OBS_SEGMENTS = {"obs", "registry", "metrics", "hub"}
+OBS_SEGMENTS = {"obs", "registry", "metrics", "hub", "ledger"}
 
 #: Obs calls that are rewind-safe by design: spans are sampled trusted-side
 #: buffers and metric counters are monotone aggregates — neither leaves the
-#: half-completed state a rewind cannot undo. Anything else reached through
-#: an obs receiver (buffer surgery, exporter writes, clock rebinding) is
-#: still a telemetry write and flags.
+#: half-completed state a rewind cannot undo. Reads are sanctioned too: the
+#: campaign subsystem folds per-round energy/carbon off the live ledger and
+#: registry (``entries``, ``request_rate``, ...), and a read cannot leave
+#: state a rewind would need to undo. Anything else reached through an obs
+#: receiver (buffer surgery, exporter writes, clock rebinding) is still a
+#: telemetry write and flags.
 OBS_SAFE_CALLS = {
     "event", "start_span", "end_span", "span", "set_attrs",
     "counter", "gauge", "histogram", "increment", "observe", "add", "set",
     "record_request", "record_batch",
+    # ledger/registry reads (PR 10 campaigns)
+    "entries", "entry_for", "format_entries", "default_strategies",
+    "requests_served", "faults_observed", "request_rate",
+    "value", "count", "sum", "mean", "quantile",
 }
 
 _SUFFIX = " inside a rewindable domain body — a rewind cannot undo it"

@@ -1,0 +1,50 @@
+"""Statistical fault-injection campaigns with carbon-aware policy decisions.
+
+The DAVOS-style loop the ROADMAP north-star asks for, closed end to end:
+
+1. :mod:`repro.campaigns.sampler` — stratified, sequential fault-load
+   sampling over fault class × target domain × injection phase × isolation
+   backend, stopping when every stratum's Clopper–Pearson interval on the
+   containment probability is narrow enough;
+2. :mod:`repro.campaigns.model` — pure-python factorial regression (IRLS
+   logistic for containment, normal-equations least squares for recovery
+   latency and per-recovery joules/gCO₂e read off the live ledger);
+3. :mod:`repro.campaigns.decision` — MCDM scoring of per-domain recovery
+   policies (rewind / retry-with-backoff / quarantine / restart) against an
+   availability SLO and a carbon budget, with a Pareto front and a single
+   recommended :class:`~repro.campaigns.decision.PolicyAssignment`;
+4. :mod:`repro.campaigns.closure` — applies the assignment to live
+   :class:`~repro.sdrad.runtime.SdradRuntime` instances and the fleet
+   driver, then re-measures availability and per-recovery carbon to prove
+   the predictions hold within their own confidence intervals.
+
+Everything is seeded and deterministic: the same
+:class:`~repro.campaigns.strata.CampaignConfig` always produces the same
+plan, counts, coefficients and recommendation, and a campaign can be
+checkpointed and resumed mid-flight without changing any of them.
+"""
+
+from .closure import ValidationReport, apply_assignment, validate_assignment
+from .decision import PolicyAssignment, recommend
+from .model import CampaignModel, fit_campaign_model
+from .runner import CampaignReport, run_campaign
+from .sampler import CampaignSampler
+from .stats import clopper_pearson
+from .strata import CampaignConfig, InjectionPhase, Stratum
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignModel",
+    "CampaignReport",
+    "CampaignSampler",
+    "InjectionPhase",
+    "PolicyAssignment",
+    "Stratum",
+    "ValidationReport",
+    "apply_assignment",
+    "clopper_pearson",
+    "fit_campaign_model",
+    "recommend",
+    "run_campaign",
+    "validate_assignment",
+]

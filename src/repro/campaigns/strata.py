@@ -1,0 +1,222 @@
+"""The campaign factor space: strata, phases and the campaign config.
+
+A *stratum* is one cell of the full factorial fault class × target domain ×
+injection phase × isolation backend. The sampler keeps an independent
+Clopper–Pearson interval per stratum and stops sampling a cell once its
+containment interval is narrow enough, so cheap certain cells (null derefs
+are always caught) stop early while genuinely random cells (mid-sized
+over-reads) keep drawing.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..faultinj.models import FaultKind
+from ..memory.backends import available_backends
+from ..sim.cost import DEFAULT_COST_MODEL, GIB, CostModel
+
+
+class InjectionPhase(enum.Enum):
+    """When in a domain's serving life the fault strikes.
+
+    The phase is realised as a prelude run inside the same domain entry
+    before the fault model: a warm domain's heap has live allocations (so
+    e.g. an over-read of a given length sits closer to the region boundary
+    and crosses it more often), a draining domain has churned and freed
+    (exercising the lazy-scrub path under rewind).
+    """
+
+    ENTRY = "entry"
+    WARM = "warm"
+    DRAIN = "drain"
+
+
+@dataclass(frozen=True)
+class Stratum:
+    """One cell of the campaign's factorial design."""
+
+    kind: FaultKind
+    domain: str
+    phase: InjectionPhase
+    backend: str
+
+    @property
+    def key(self) -> str:
+        """Stable identity used for rng derivation, sorting and resume."""
+        return "|".join(
+            (self.kind.value, self.domain, self.phase.value, self.backend)
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "kind": self.kind.value,
+            "domain": self.domain,
+            "phase": self.phase.value,
+            "backend": self.backend,
+        }
+
+
+#: Default fault classes: a mix whose containment probabilities genuinely
+#: vary (canary smashes depend on overflow depth, over-reads on length and
+#: heap state) rather than degenerate always-caught classes only.
+DEFAULT_KINDS: Tuple[FaultKind, ...] = (
+    FaultKind.STACK_SMASH,
+    FaultKind.HEAP_OVERFLOW,
+    FaultKind.OVER_READ,
+)
+
+DEFAULT_DOMAINS: Tuple[str, ...] = ("shard-0", "shard-1")
+DEFAULT_PHASES: Tuple[InjectionPhase, ...] = (
+    InjectionPhase.ENTRY,
+    InjectionPhase.WARM,
+)
+DEFAULT_BACKENDS: Tuple[str, ...] = ("mpk", "cheri")
+
+
+@dataclass
+class CampaignConfig:
+    """Everything a campaign needs; two configs that compare equal always
+    produce byte-identical campaigns."""
+
+    kinds: Tuple[FaultKind, ...] = DEFAULT_KINDS
+    domains: Tuple[str, ...] = DEFAULT_DOMAINS
+    phases: Tuple[InjectionPhase, ...] = DEFAULT_PHASES
+    backends: Tuple[str, ...] = DEFAULT_BACKENDS
+    seed: int = 0
+
+    # --- sequential sampling -----------------------------------------
+    #: Stop sampling a stratum when its Clopper–Pearson half-width on the
+    #: containment probability is at or below this.
+    ci_halfwidth: float = 0.12
+    confidence: float = 0.95
+    #: Injections per stratum per round (one fresh runtime per round).
+    batch: int = 8
+    min_per_stratum: int = 8
+    max_per_stratum: int = 256
+    max_rounds: int = 64
+    #: Arrival process spreading a round's injections over its horizon:
+    #: "periodic" (exact count) or "poisson" (memoryless, random count).
+    arrival: str = "periodic"
+    round_horizon: float = 1.0
+    #: Modelled app requests served between consecutive injections — they
+    #: feed the ledger's request rate and the latency regression baseline.
+    background_requests: int = 2
+
+    # --- deployment being decided for --------------------------------
+    cost: CostModel = DEFAULT_COST_MODEL
+    dataset_bytes: int = 10 * GIB
+    #: Threat rate the availability SLO is evaluated against.
+    faults_per_year: float = 52.0
+    #: Fraction of faults that are transient (a backoff-retry succeeds).
+    transient_fraction: float = 0.25
+    retry_budget: int = 1
+    #: First retry's backoff delay; doubles per further retry. Charged as
+    #: recovery time by the runtime, so it must appear in the decision
+    #: formulas too or closure would compare mismatched quantities.
+    retry_backoff: float = 100e-6
+    quarantine_window: float = 0.05
+    #: Fraction of would-be faults that still strike a quarantining domain
+    #: (the rest hit the quarantine window and are shed).
+    quarantine_suppression: float = 0.35
+
+    # --- decision constraints ----------------------------------------
+    slo: float = 0.9999
+    carbon_budget_g_per_year: float = 50.0
+    #: Backend the recommendation is made for (default: first listed).
+    decision_backend: Optional[str] = None
+    score_weights: Tuple[float, float, float] = (0.5, 0.35, 0.15)
+
+    # --- model + closure ---------------------------------------------
+    ridge: float = 1e-4
+    #: Floor on every prediction interval's relative half-width. The
+    #: simulator's cost models are deterministic, so a regression can fit
+    #: them with near-zero residuals and emit absurdly tight intervals;
+    #: the floor encodes irreducible model-form uncertainty.
+    min_relative_halfwidth: float = 0.05
+    validation_injections: int = 32
+
+    def __post_init__(self) -> None:
+        if not self.kinds:
+            raise ValueError("campaign needs at least one fault kind")
+        if not self.domains:
+            raise ValueError("campaign needs at least one target domain")
+        if not self.phases:
+            raise ValueError("campaign needs at least one injection phase")
+        if not self.backends:
+            raise ValueError("campaign needs at least one backend")
+        known = set(available_backends())
+        for backend in self.backends:
+            if backend not in known:
+                raise ValueError(
+                    f"unknown backend {backend!r}; available: {sorted(known)}"
+                )
+        if len(set(self.domains)) != len(self.domains):
+            raise ValueError("duplicate domain labels")
+        if not 0.0 < self.ci_halfwidth < 0.5:
+            raise ValueError(f"ci_halfwidth must be in (0, 0.5), got {self.ci_halfwidth}")
+        if not 0.5 < self.confidence < 1.0:
+            raise ValueError(f"confidence must be in (0.5, 1), got {self.confidence}")
+        # One fresh MPK runtime per round hosts root + victim + app domain +
+        # one target domain per injection: 15 keys bound the batch.
+        if not 1 <= self.batch <= 8:
+            raise ValueError(f"batch must be in [1, 8], got {self.batch}")
+        if self.arrival not in ("periodic", "poisson"):
+            raise ValueError(f"unknown arrival process {self.arrival!r}")
+        if self.min_per_stratum < 1 or self.max_per_stratum < self.min_per_stratum:
+            raise ValueError("need 1 <= min_per_stratum <= max_per_stratum")
+        if self.round_horizon <= 0:
+            raise ValueError("round_horizon must be positive")
+        if self.background_requests < 1:
+            raise ValueError("background_requests must be >= 1 (ledger rate)")
+        if not 0.0 < self.slo < 1.0:
+            raise ValueError(f"slo must be in (0, 1), got {self.slo}")
+        if self.carbon_budget_g_per_year <= 0:
+            raise ValueError("carbon budget must be positive")
+        if self.decision_backend is None:
+            self.decision_backend = self.backends[0]
+        if self.decision_backend not in self.backends:
+            raise ValueError(
+                f"decision backend {self.decision_backend!r} is not sampled"
+            )
+        if self.retry_budget < 0:
+            raise ValueError("retry_budget must be >= 0")
+        if self.retry_backoff < 0:
+            raise ValueError("retry_backoff must be >= 0")
+        if not 0.0 <= self.transient_fraction <= 1.0:
+            raise ValueError("transient_fraction must be in [0, 1]")
+        if not 0.0 <= self.quarantine_suppression <= 1.0:
+            raise ValueError("quarantine_suppression must be in [0, 1]")
+        if abs(sum(self.score_weights) - 1.0) > 1e-9:
+            raise ValueError("score_weights must sum to 1")
+
+    def strata(self) -> "list[Stratum]":
+        """The full factorial, in deterministic (config) order."""
+        return [
+            Stratum(kind=k, domain=d, phase=p, backend=b)
+            for b in self.backends
+            for d in self.domains
+            for p in self.phases
+            for k in self.kinds
+        ]
+
+    def domain_index(self, domain: str) -> int:
+        return self.domains.index(domain)
+
+    def summary(self) -> dict:
+        return {
+            "kinds": [k.value for k in self.kinds],
+            "domains": list(self.domains),
+            "phases": [p.value for p in self.phases],
+            "backends": list(self.backends),
+            "seed": self.seed,
+            "ci_halfwidth": self.ci_halfwidth,
+            "confidence": self.confidence,
+            "slo": self.slo,
+            "carbon_budget_g_per_year": self.carbon_budget_g_per_year,
+            "faults_per_year": self.faults_per_year,
+            "decision_backend": self.decision_backend,
+            "strata": len(self.strata()),
+        }

@@ -11,6 +11,9 @@ Gives downstream users the paper's headline analyses without writing code:
   percentiles, availability, sustainability ledger); ``--scenarios``
   prints the §IV case-study table instead;
 * ``inject``        — run a fault-injection campaign and report containment;
+* ``campaign``      — stratified statistical campaign: Clopper–Pearson
+  sampling, factorial model fit, carbon-aware policy recommendation and
+  closed-loop validation;
 * ``obs``           — observed memcached demo: spans, metrics, live
   sustainability ledger (joules / gCO2e per request, rewind vs restart);
 * ``backends``      — list the pluggable isolation substrates (MPK,
@@ -176,7 +179,7 @@ def _cmd_fleet(args: argparse.Namespace) -> int:
 
 
 def _cmd_inject(args: argparse.Namespace) -> int:
-    runtime = SdradRuntime()
+    runtime = SdradRuntime(backend=args.backend)
     domain = runtime.domain_init(flags=DomainFlags.RETURN_TO_PARENT)
     injector = FaultInjector(runtime)
     kinds = (
@@ -194,10 +197,153 @@ def _cmd_inject(args: argparse.Namespace) -> int:
     rows = [(k, v) for k, v in sorted(summary.by_mechanism.items())]
     if rows:
         print(format_table(("detection mechanism", "count"), rows))
+    rows = [(k, v) for k, v in sorted(summary.by_violation.items())]
+    if rows:
+        print(format_table(("violation", "count"), rows))
     print(
         f"total recovery time: {format_seconds(summary.total_recovery_time)}"
     )
     return 0
+
+
+def _parse_strata(spec: str) -> dict:
+    """Parse ``kinds=a,b;domains=2;phases=entry,warm;backends=mpk,cheri``."""
+    from .campaigns.strata import InjectionPhase
+
+    out: dict = {}
+    for part in spec.split(";"):
+        part = part.strip()
+        if not part:
+            continue
+        key, sep, value = part.partition("=")
+        if not sep or not value:
+            raise argparse.ArgumentTypeError(
+                f"bad strata clause {part!r}; expected key=value"
+            )
+        if key == "kinds":
+            out["kinds"] = tuple(FaultKind(v) for v in value.split(","))
+        elif key == "domains":
+            if value.isdigit():
+                out["domains"] = tuple(
+                    f"shard-{i}" for i in range(int(value))
+                )
+            else:
+                out["domains"] = tuple(value.split(","))
+        elif key == "phases":
+            out["phases"] = tuple(InjectionPhase(v) for v in value.split(","))
+        elif key == "backends":
+            out["backends"] = tuple(value.split(","))
+        else:
+            raise argparse.ArgumentTypeError(
+                f"unknown strata key {key!r}; "
+                "expected kinds/domains/phases/backends"
+            )
+    return out
+
+
+def _cmd_campaign(args: argparse.Namespace) -> int:
+    # Imported here, not at module top: the campaign loop pulls in the
+    # model-fitting and decision stack no other subcommand needs.
+    import json
+
+    from .campaigns import CampaignConfig, run_campaign
+
+    overrides = args.strata or {}
+    config = CampaignConfig(
+        seed=args.seed,
+        ci_halfwidth=args.ci_halfwidth,
+        confidence=args.confidence,
+        slo=args.slo,
+        carbon_budget_g_per_year=args.carbon_budget,
+        max_rounds=args.max_rounds,
+        **overrides,
+    )
+    report = run_campaign(config, validate=not args.no_validate)
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2, sort_keys=True))
+        return 0 if report.ok else 1
+
+    d = report.as_dict()
+    print(
+        f"campaign: {len(d['strata'])} strata, {d['rounds']} round(s), "
+        f"seed {config.seed} (target half-width {config.ci_halfwidth:g})"
+    )
+    rows = [
+        (
+            r["kind"],
+            r["domain"],
+            r["phase"],
+            r["backend"],
+            r["trials"],
+            f"{r['containment']['mid']:.2f} "
+            f"[{r['containment']['lo']:.2f}, {r['containment']['hi']:.2f}]",
+        )
+        for r in d["strata"]
+    ]
+    print(
+        format_table(
+            ("kind", "domain", "phase", "backend", "n", "containment"), rows
+        )
+    )
+    assignment = d["assignment"]
+    print(
+        f"\nrecommendation (backend {assignment['backend']}, "
+        f"SLO {config.slo:g}, budget {config.carbon_budget_g_per_year:g} "
+        f"gCO2e/yr):"
+    )
+    rows = []
+    for score in assignment["scores"]:
+        chosen = assignment["policies"][score["domain"]] == score["policy"]
+        rows.append(
+            (
+                score["domain"],
+                ("*" if chosen else " ") + score["policy"],
+                f"{score['availability']['mid']:.6f}",
+                f"{score['carbon_g_per_year']['mid']:.1f}",
+                "yes" if score["feasible"] else "no",
+                "yes" if score["pareto"] else "no",
+                f"{score['score']:.3f}",
+            )
+        )
+    print(
+        format_table(
+            (
+                "domain",
+                "policy",
+                "availability",
+                "gCO2e/yr",
+                "feasible",
+                "pareto",
+                "score",
+            ),
+            rows,
+        )
+    )
+    if d["validation"] is not None:
+        print("\nclosed-loop validation:")
+        for dom in d["validation"]["domains"]:
+            print(
+                f"  {dom['domain']} under {dom['policy']}: availability "
+                f"{dom['measured_availability']:.6f} vs predicted "
+                f"[{dom['predicted_availability']['lo']:.6f}, "
+                f"{dom['predicted_availability']['hi']:.6f}] -> "
+                f"{'ok' if dom['availability_ok'] else 'MISS'}; "
+                f"carbon {'ok' if dom['gco2e_ok'] else 'MISS'}"
+            )
+        if d["validation"]["fleet"]:
+            print(
+                "  fleet applied: "
+                + ", ".join(
+                    f"{k}={v}"
+                    for k, v in sorted(
+                        d["validation"]["fleet"]["applied"].items()
+                    )
+                )
+            )
+    for warning in d["warnings"]:
+        print(f"warning: {warning}")
+    print(f"\nresult: {'ok' if d['ok'] else 'NOT ok'}")
+    return 0 if d["ok"] else 1
 
 
 def _cmd_obs(args: argparse.Namespace) -> int:
@@ -344,7 +490,46 @@ def build_parser() -> argparse.ArgumentParser:
         default="all",
     )
     inject.add_argument("--count", type=int, default=5)
+    inject.add_argument(
+        "--backend",
+        choices=["mpk", "cheri", "sfi"],
+        default="mpk",
+        help="isolation substrate to inject against",
+    )
     inject.set_defaults(func=_cmd_inject)
+
+    campaign = sub.add_parser(
+        "campaign",
+        help="statistical fault-load campaign + carbon-aware policy decision",
+    )
+    campaign.add_argument(
+        "--strata",
+        type=_parse_strata,
+        default=None,
+        help=(
+            "factor spec, e.g. "
+            "'kinds=stack-smash,over-read;domains=2;phases=entry,warm;"
+            "backends=mpk,cheri' (defaults per factor when omitted)"
+        ),
+    )
+    campaign.add_argument("--ci-halfwidth", type=float, default=0.12)
+    campaign.add_argument("--confidence", type=float, default=0.95)
+    campaign.add_argument("--slo", type=float, default=0.9999)
+    campaign.add_argument(
+        "--carbon-budget",
+        type=float,
+        default=50.0,
+        help="recovery carbon budget in gCO2e per year",
+    )
+    campaign.add_argument("--seed", type=int, default=0)
+    campaign.add_argument("--max-rounds", type=int, default=64)
+    campaign.add_argument(
+        "--no-validate",
+        action="store_true",
+        help="skip the closed-loop re-measurement",
+    )
+    campaign.add_argument("--json", action="store_true")
+    campaign.set_defaults(func=_cmd_campaign)
 
     obs = sub.add_parser(
         "obs", help="observed demo workload + sustainability ledger"

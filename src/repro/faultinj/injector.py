@@ -10,7 +10,7 @@ aggregate :class:`InjectionResult` records.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import Callable, Optional
 
 from ..sdrad.detect import DetectionMechanism
 from ..sdrad.policy import ProcessCrashed, RecoveryPolicy
@@ -28,6 +28,13 @@ class InjectionResult:
     survived: bool
     recovery_time: float
     timestamp: float
+    #: Backend-specific violation class name (``CapabilityViolation`` under
+    #: CHERI, ``SfiViolation`` under SFI, ``ProtectionKeyViolation`` under
+    #: MPK, canary/heap classes for in-domain detections); None when the
+    #: fault went undetected.
+    violation: Optional[str] = None
+    #: Virtual wall time the faulted call occupied (entry to exit).
+    elapsed: float = 0.0
 
     @property
     def contained(self) -> bool:
@@ -46,6 +53,7 @@ class InjectionSummary:
     total_recovery_time: float = 0.0
     by_kind: dict[str, int] = field(default_factory=dict)
     by_mechanism: dict[str, int] = field(default_factory=dict)
+    by_violation: dict[str, int] = field(default_factory=dict)
 
     def add(self, result: InjectionResult) -> None:
         self.total += 1
@@ -57,6 +65,10 @@ class InjectionSummary:
         if result.mechanism is not None:
             key = result.mechanism.value
             self.by_mechanism[key] = self.by_mechanism.get(key, 0) + 1
+        if result.violation is not None:
+            self.by_violation[result.violation] = (
+                self.by_violation.get(result.violation, 0) + 1
+            )
 
     @property
     def containment_rate(self) -> float:
@@ -76,12 +88,22 @@ class FaultInjector:
         kind: FaultKind,
         victim_addr: Optional[int] = None,
         policy: Optional[RecoveryPolicy] = None,
+        prelude: Optional[Callable[[DomainHandle], None]] = None,
         **model_kwargs: object,
     ) -> InjectionResult:
         """Run one fault model inside domain ``udi`` and classify the outcome.
 
         ``victim_addr`` is required for cross-domain/wild-write kinds; by
         default it targets the root domain's heap (the most damaging victim).
+        Historically that default assumed the MPK substrate; it now works on
+        every backend because the root's region carries whatever tag the
+        active substrate hands out, and the raised violation class records
+        which substrate refused the access (:attr:`InjectionResult.violation`).
+
+        ``prelude`` runs inside the domain *before* the fault model — the
+        campaign sampler's injection-phase hook (warm-up allocations, drain
+        churn) so the same bug class can strike domains in different heap
+        states within one entry/exit pair.
         """
         model = FAULT_LIBRARY[kind]
         if kind in NEEDS_ADDRESS:
@@ -92,6 +114,8 @@ class FaultInjector:
             args = ()
 
         def run(handle: DomainHandle) -> object:
+            if prelude is not None:
+                prelude(handle)
             return model(handle, *args, **model_kwargs)
 
         timestamp = self.runtime.clock.now
@@ -105,6 +129,7 @@ class FaultInjector:
                 survived=False,
                 recovery_time=0.0,
                 timestamp=timestamp,
+                violation=crash.report.violation,
             )
             self.summary.add(result)
             raise
@@ -117,6 +142,7 @@ class FaultInjector:
                 survived=True,
                 recovery_time=0.0,
                 timestamp=timestamp,
+                elapsed=outcome.elapsed,
             )
         else:
             result = InjectionResult(
@@ -126,6 +152,8 @@ class FaultInjector:
                 survived=True,
                 recovery_time=outcome.recovery_time,
                 timestamp=timestamp,
+                violation=outcome.fault.violation if outcome.fault else None,
+                elapsed=outcome.elapsed,
             )
         self.summary.add(result)
         return result

@@ -43,6 +43,7 @@ class FaultKind(enum.Enum):
     USE_AFTER_FREE = "use-after-free"
     DOUBLE_FREE = "double-free"
     OVER_READ = "over-read"
+    CROSS_DOMAIN_READ = "cross-domain-read"
 
 
 def stack_smash(handle: DomainHandle, overflow: int = 16) -> None:
@@ -76,6 +77,19 @@ def cross_domain_write(handle: DomainHandle, victim_addr: int) -> None:
     the protection key of the victim's page.
     """
     handle.store(victim_addr, b"PWNED!!!")
+
+
+def cross_domain_read(handle: DomainHandle, victim_addr: int) -> bytes:
+    """Confidentiality breach: read another domain's memory directly.
+
+    The dual of :func:`cross_domain_write` — an info-leak primitive aimed
+    straight at a victim domain rather than walking off an own-domain
+    buffer. Every substrate must refuse it, each with its own taxonomy:
+    MPK raises ``ProtectionKeyViolation``, simulated CHERI a
+    ``CapabilityViolation`` (no capability for the victim's tag), SFI an
+    ``SfiViolation`` (address outside the sandbox mask).
+    """
+    return handle.load(victim_addr, 16)
 
 
 def wild_write(handle: DomainHandle, address: int) -> None:
@@ -138,7 +152,23 @@ FAULT_LIBRARY: dict[FaultKind, Callable[..., object]] = {
     FaultKind.USE_AFTER_FREE: use_after_free,
     FaultKind.DOUBLE_FREE: double_free,
     FaultKind.OVER_READ: over_read,
+    FaultKind.CROSS_DOMAIN_READ: cross_domain_read,
 }
 
 #: Kinds that need a victim/target address argument.
-NEEDS_ADDRESS = {FaultKind.CROSS_DOMAIN_WRITE, FaultKind.WILD_WRITE}
+NEEDS_ADDRESS = {
+    FaultKind.CROSS_DOMAIN_WRITE,
+    FaultKind.WILD_WRITE,
+    FaultKind.CROSS_DOMAIN_READ,
+}
+
+#: Backend-specific fault taxonomy: the exception class each substrate
+#: raises for an isolation breach. Campaign strata assert the observed
+#: :attr:`FaultReport.violation` against this mask — all three classify to
+#: the same PKEY_VIOLATION mechanism, so the class name is the only place
+#: the substrate's own detection story survives to.
+BACKEND_VIOLATION_MASKS: dict[str, str] = {
+    "mpk": "ProtectionKeyViolation",
+    "cheri": "CapabilityViolation",
+    "sfi": "SfiViolation",
+}

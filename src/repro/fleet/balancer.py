@@ -83,6 +83,7 @@ class Fleet:
         arena_size: int = 4 * 1024 * 1024,
         watchdog_config: Optional[WatchdogConfig] = None,
         track_host_time: bool = False,
+        recovery_policies: "Optional[dict[str, str]]" = None,
     ) -> None:
         if shards < 1:
             raise SdradError(f"fleet needs at least one shard, got {shards}")
@@ -91,6 +92,10 @@ class Fleet:
         self.obs = obs
         if obs is not None:
             obs.bind_clock(self.clock)
+        # Per-shard recovery-policy names from a campaign assignment; the
+        # "default" key covers shards without their own entry (including
+        # autoscaled ones created later).
+        self._recovery_policies = dict(recovery_policies or {})
         self.ring = HashRing(vnodes=vnodes, seed=seed)
         # Route cache: key -> owning shard name, a memoised ``shard_for``.
         # Real proxies compile the ring into a route table and invalidate
@@ -132,7 +137,17 @@ class Fleet:
     # ------------------------------------------------------------------
 
     def _add_shard(self, name: str, **kwargs: object) -> Shard:
-        shard = Shard(name, self.clock, cost=self.cost, obs=self.obs, **kwargs)
+        policy = self._recovery_policies.get(
+            name, self._recovery_policies.get("default")
+        )
+        shard = Shard(
+            name,
+            self.clock,
+            cost=self.cost,
+            obs=self.obs,
+            recovery_policy=policy,
+            **kwargs,
+        )
         self.shards[name] = shard
         self.ring.add_shard(name)
         self._route_cache.clear()

@@ -81,6 +81,10 @@ class FleetRunConfig:
     kill_shard: str = "shard-0"
     outage: float = 0.5
     cost: CostModel = DEFAULT_COST_MODEL
+    #: Per-shard recovery-policy names from a campaign
+    #: :class:`~repro.campaigns.decision.PolicyAssignment` (key "default"
+    #: covers unlisted shards); None keeps the runtime's rewind default.
+    recovery_policies: "Optional[dict[str, str]]" = None
 
     def __post_init__(self) -> None:
         if self.shards < 1:
@@ -133,6 +137,8 @@ class FleetRunReport:
     #: Rewind vs process-restart sustainability figures.
     ledger: "list[dict]"
     fleet: Fleet = field(repr=False, compare=False)
+    #: The recovery policy each shard's runtime actually booted with.
+    recovery_policies: "dict[str, str]" = field(default_factory=dict)
 
     def as_dict(self) -> dict:
         return {
@@ -157,6 +163,7 @@ class FleetRunReport:
                 list(decision) for decision in self.autoscale_decisions
             ],
             "ledger": self.ledger,
+            "recovery_policies": dict(self.recovery_policies),
         }
 
     def format(self) -> str:
@@ -201,6 +208,7 @@ def run_fleet(config: "FleetRunConfig" = None) -> FleetRunReport:  # type: ignor
         clock=clock,
         cost=cfg.cost,
         obs=obs,
+        recovery_policies=cfg.recovery_policies,
     )
     HealthMonitor(fleet, cfg.health_config)
     scaler = Autoscaler(cfg.autoscaler_config) if cfg.autoscale else None
@@ -311,4 +319,8 @@ def run_fleet(config: "FleetRunConfig" = None) -> FleetRunReport:  # type: ignor
         autoscale_decisions=list(scaler.decisions) if scaler else [],
         ledger=[entry.as_dict() for entry in ledger.entries()],
         fleet=fleet,
+        recovery_policies={
+            name: shard.runtime.default_policy.name
+            for name, shard in fleet.shards.items()
+        },
     )

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING, Optional
 
 from ..apps.kvstore import KVStore
 from ..apps.memcached_server import IsolationMode, MemcachedServer
+from ..sdrad.policy import make_policy
 from ..sdrad.runtime import SdradRuntime
 from ..sdrad.watchdog import FaultWatchdog, WatchdogConfig
 from ..sim.clock import VirtualClock
@@ -54,6 +55,7 @@ class Shard:
         isolation: IsolationMode = IsolationMode.PER_CONNECTION,
         arena_size: int = 4 * 1024 * 1024,
         watchdog_config: Optional[WatchdogConfig] = None,
+        recovery_policy: Optional[str] = None,
     ) -> None:
         self.name = name
         self.clock = clock
@@ -62,6 +64,10 @@ class Shard:
         self.isolation = isolation
         self.arena_size = arena_size
         self.watchdog_config = watchdog_config
+        #: Campaign-assigned recovery policy name (None = runtime default,
+        #: i.e. plain rewind); every domain the shard's runtime executes
+        #: without an explicit policy recovers under it.
+        self.recovery_policy = recovery_policy
         self.state = ShardState.UP
         self.down_until = 0.0
         self.restarts = 0
@@ -71,7 +77,14 @@ class Shard:
         self._boot()
 
     def _boot(self) -> None:
-        self.runtime = SdradRuntime(clock=self.clock, cost=self.cost, obs=self.obs)
+        policy = (
+            make_policy(self.recovery_policy)
+            if self.recovery_policy is not None
+            else None
+        )
+        self.runtime = SdradRuntime(
+            clock=self.clock, cost=self.cost, obs=self.obs, default_policy=policy
+        )
         self.store = KVStore(self.runtime, arena_size=self.arena_size)
         self.watchdog = FaultWatchdog(
             self.clock, self.watchdog_config, obs=self.obs

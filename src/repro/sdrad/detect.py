@@ -55,6 +55,13 @@ class FaultReport:
     address: Optional[int] = None
     domain_udi: Optional[int] = None
     timestamp: Optional[float] = None
+    #: Exception class name of the raising violation — the backend-specific
+    #: fault taxonomy (``ProtectionKeyViolation`` under MPK,
+    #: ``CapabilityViolation`` under simulated CHERI, ``SfiViolation`` under
+    #: SFI). All three classify to PKEY_VIOLATION, so campaigns stratifying
+    #: by substrate need the finer label. Deliberately excluded from
+    #: :meth:`span_attrs` to keep exporter golden files stable.
+    violation: Optional[str] = None
 
     def __str__(self) -> str:
         where = f" at {self.address:#x}" if self.address is not None else ""
@@ -126,4 +133,5 @@ def classify(
         address=address,
         domain_udi=domain_udi,
         timestamp=timestamp,
+        violation=type(exc).__name__,
     )

@@ -74,6 +74,9 @@ class Domain:
         )
         self.stack = CallStack(space, stack_base, stack_size, rng=self._stack_rng)
         self.stats = DomainStats()
+        #: Virtual timestamp before which a quarantine policy asked callers
+        #: not to re-enter this domain (0.0 = never quarantined).
+        self.quarantined_until = 0.0
 
     # ------------------------------------------------------------------
     # Flags (policy bits), with derived booleans cached

@@ -41,6 +41,13 @@ class PolicyDecision:
     retry: bool = False
     #: Terminate the whole process (propagates ProcessCrashed).
     abort: bool = False
+    #: Virtual seconds to wait (charged to the clock) before a retry —
+    #: exponential backoff for transient faults. Ignored unless ``retry``.
+    backoff: float = 0.0
+    #: Virtual seconds the domain should refuse re-entry after the fault
+    #: (recorded on the domain as ``quarantined_until``; enforcement is the
+    #: caller's concern, mirroring the fleet watchdog's quarantine).
+    quarantine: float = 0.0
 
 
 class RecoveryPolicy:
@@ -90,6 +97,81 @@ class RetryPolicy(RecoveryPolicy):
 
     def decide(self, report: FaultReport, attempt: int) -> PolicyDecision:
         return PolicyDecision(rewind=True, retry=attempt <= self.max_retries)
+
+
+class BackoffRetryPolicy(RecoveryPolicy):
+    """Rewind, wait an exponentially growing backoff, then re-execute.
+
+    Plain :class:`RetryPolicy` re-executes immediately, which against a
+    persistent trigger just burns rewinds back to back. The backoff variant
+    charges ``base_backoff * multiplier**(attempt-1)`` virtual seconds to
+    the clock before each retry — the campaign decision layer's
+    "retry-with-backoff" candidate.
+    """
+
+    name = "retry-backoff"
+
+    def __init__(
+        self,
+        max_retries: int = 1,
+        base_backoff: float = 100e-6,
+        multiplier: float = 2.0,
+    ) -> None:
+        if max_retries < 0:
+            raise ValueError(f"max_retries must be >= 0, got {max_retries}")
+        if base_backoff < 0:
+            raise ValueError(f"base_backoff must be >= 0, got {base_backoff}")
+        self.max_retries = max_retries
+        self.base_backoff = base_backoff
+        self.multiplier = multiplier
+
+    def decide(self, report: FaultReport, attempt: int) -> PolicyDecision:
+        if attempt <= self.max_retries:
+            return PolicyDecision(
+                rewind=True,
+                retry=True,
+                backoff=self.base_backoff * self.multiplier ** (attempt - 1),
+            )
+        return PolicyDecision(rewind=True)
+
+
+class QuarantinePolicy(RecoveryPolicy):
+    """Rewind, then quarantine the domain for a fixed window.
+
+    Models the fleet watchdog's per-shard quarantine at domain granularity:
+    a faulted domain still rewinds (the process survives) but is marked
+    unavailable for ``window`` virtual seconds, shedding a repeat-offender
+    trigger instead of absorbing a rewind per hit.
+    """
+
+    name = "quarantine"
+
+    def __init__(self, window: float = 0.05) -> None:
+        if window <= 0:
+            raise ValueError(f"window must be > 0, got {window}")
+        self.window = window
+
+    def decide(self, report: FaultReport, attempt: int) -> PolicyDecision:
+        return PolicyDecision(rewind=True, quarantine=self.window)
+
+
+#: Policy names the campaign decision layer chooses between. ``restart``
+#: maps to the abort policy: detection kills the process and the resilience
+#: layer models the process restart that follows.
+POLICY_CHOICES = ("rewind", "retry", "quarantine", "restart")
+
+
+def make_policy(name: str, **kwargs: float) -> RecoveryPolicy:
+    """Build a recovery policy from its campaign/CLI name."""
+    if name == "rewind":
+        return RewindPolicy()
+    if name in ("retry", "retry-backoff"):
+        return BackoffRetryPolicy(**kwargs)
+    if name == "quarantine":
+        return QuarantinePolicy(**kwargs)
+    if name in ("restart", "abort"):
+        return AbortPolicy()
+    raise ValueError(f"unknown recovery policy {name!r}")
 
 
 def default_policy() -> RecoveryPolicy:

@@ -228,6 +228,7 @@ class SdradRuntime:
         reentry_cache: bool = True,
         obs: Optional["Observability"] = None,
         backend: object = None,
+        default_policy: Optional[RecoveryPolicy] = None,
     ) -> None:
         if scrub_mode not in ("eager", "lazy"):
             raise SdradError(f"unknown scrub mode {scrub_mode!r}")
@@ -282,6 +283,13 @@ class SdradRuntime:
                 "sdrad_domain_entries_total"
             )
         self.rng = rng if rng is not None else RngFactory(0)
+        # What ``execute(policy=None)`` falls back to. The shared stateless
+        # rewind singleton keeps the default path allocation-free and bit-
+        # identical to the pre-policy-plumbing runtime; campaign closures
+        # and the fleet driver swap in per-domain assignments here.
+        self.default_policy = (
+            default_policy if default_policy is not None else _DEFAULT_REWIND_POLICY
+        )
         self.contexts = ContextStack()
         self._domains: dict[int, Domain] = {}
         self._udi_counter = itertools.count(1)
@@ -529,7 +537,7 @@ class SdradRuntime:
         if self.contexts.contains_udi(udi):
             raise DomainStateError(f"domain {udi} re-entered while active")
         if policy is None:
-            policy = _DEFAULT_REWIND_POLICY
+            policy = self.default_policy
 
         granted_domains: list[Domain] = []
         if read_grants:
@@ -651,7 +659,26 @@ class SdradRuntime:
                 recovery_time += self._rewind(
                     domain, cause=report.mechanism.value
                 )
+                if decision.quarantine > 0.0:
+                    # Quarantine is advisory: the domain records when it may
+                    # be re-entered and callers (campaign closure, serving
+                    # layers) decide whether to honour it — enforcement here
+                    # would turn every later entry into a hard error.
+                    domain.quarantined_until = self.clock.now + decision.quarantine
+                    self.tracer.record(
+                        self.clock.now,
+                        "domain.quarantine",
+                        udi=udi,
+                        until=domain.quarantined_until,
+                    )
+                    if obs is not None:
+                        obs.registry.counter(
+                            "sdrad_quarantines_total"
+                        ).increment()
                 if decision.retry:
+                    if decision.backoff > 0.0:
+                        self.charge(decision.backoff)
+                        recovery_time += decision.backoff
                     continue
                 self._leave(domain, context, saved_gate, access_mark, taxed_mark, clean=False)
                 if obs is not None:

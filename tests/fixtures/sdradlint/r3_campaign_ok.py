@@ -1,0 +1,39 @@
+"""R3 near-misses: campaign ledger/registry *reads* are rewind-safe.
+
+The PR 10 campaign loop folds per-round energy and carbon off the live
+:class:`SustainabilityLedger` and reads metric values back out of the
+registry. A read leaves no half-completed state behind a rewind, so the
+whole read surface (``entries``, ``request_rate``, ``value``, ...) is
+sanctioned alongside the span/metric write calls. Parsed, never imported.
+"""
+
+
+def folds_ledger_round(handle: DomainHandle, ledger):  # noqa: F821
+    handle.charge(1e-6)
+    if ledger.faults_observed() > 0 and ledger.requests_served() > 0:
+        rewind_entry, restart_entry = ledger.entries()
+        return rewind_entry.recovery_gco2e + restart_entry.recovery_gco2e
+    return 0.0
+
+
+def reads_request_rate(handle: DomainHandle, ledger, obs):  # noqa: F821
+    rate = ledger.request_rate()
+    obs.registry.gauge("campaign_request_rate").set(rate)
+    return rate
+
+
+def reads_metric_values(handle: DomainHandle, obs):  # noqa: F821
+    served = obs.registry.counter("app_requests_total").value()
+    latency = obs.registry.histogram("request_latency").mean()
+    obs.record_request("campaign", latency, status="ok")
+    return served
+
+
+def mixes_reads_and_spans(handle: DomainHandle, raw, obs, ledger):  # noqa: F821
+    span = obs.start_span("campaign.round", size=len(raw))
+    buf = handle.malloc(max(len(raw), 1))
+    handle.store(buf, raw)
+    faults = ledger.faults_observed()
+    span.set_attrs(faults=faults)
+    obs.end_span(span, status="ok")
+    return handle.load(buf, len(raw))

@@ -1,0 +1,23 @@
+"""Planted R3 violations: ledger reads don't launder ledger mutation.
+
+Reading the sustainability ledger from a domain body is sanctioned; any
+call that *changes* it — rebinding its clock, resetting accumulators,
+surgery on the entries list — is still telemetry-surface mutation a
+rewind cannot undo. Parsed, never imported.
+"""
+
+
+def resets_ledger_state(handle: DomainHandle, ledger):  # noqa: F821
+    ledger.reset()  # expect[R3]
+
+
+def rebinds_ledger_clock(handle: DomainHandle, ledger, clock):  # noqa: F821
+    ledger.bind_clock(clock)  # expect[R3]
+
+
+def mutates_entries_cache(handle: DomainHandle, ledger):  # noqa: F821
+    ledger.cache.clear()  # expect[R3]
+
+
+def writes_through_registry(handle: DomainHandle, obs):  # noqa: F821
+    obs.registry.unregister("app_requests_total")  # expect[R3]

@@ -114,7 +114,15 @@ class TestCommands:
     def test_inject_all_kinds(self, capsys):
         assert main(["inject", "--kind", "all", "--count", "1"]) == 0
         out = capsys.readouterr().out
-        assert "injected 8 fault(s)" in out
+        assert "injected 9 fault(s)" in out
+
+    def test_inject_backend(self, capsys):
+        assert main(
+            ["inject", "--kind", "cross-domain-read", "--backend", "cheri"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "containment 100%" in out
+        assert "CapabilityViolation" in out
 
     def test_obs(self, capsys, tmp_path):
         trace = tmp_path / "trace.jsonl"
@@ -171,3 +179,60 @@ class TestCommands:
         )
         assert completed.returncode == 0
         assert "sdrad-rewind" in completed.stdout
+
+
+class TestCampaignCommand:
+    """The campaign subcommand end to end (small smoke-sized factor space)."""
+
+    SMOKE = (
+        "kinds=stack-smash,heap-overflow;domains=1;"
+        "phases=entry;backends=mpk,cheri"
+    )
+
+    def test_campaign_json(self, capsys):
+        import json
+
+        code = main(
+            [
+                "campaign",
+                "--strata",
+                self.SMOKE,
+                "--max-rounds",
+                "8",
+                "--no-validate",
+                "--json",
+            ]
+        )
+        assert code == 0
+        report = json.loads(capsys.readouterr().out)
+        assert report["ok"] is True
+        assert report["validation"] is None
+        assert report["assignment"]["policies"] == {"shard-0": "rewind"}
+        assert len(report["strata"]) == 4
+
+    def test_campaign_human_output(self, capsys):
+        code = main(
+            ["campaign", "--strata", self.SMOKE, "--max-rounds", "8",
+             "--no-validate"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "recommendation" in out
+        assert "*rewind" in out
+        assert "result: ok" in out
+
+    def test_campaign_strata_parsing(self):
+        args = build_parser().parse_args(
+            ["campaign", "--strata", "domains=3;backends=sfi"]
+        )
+        assert args.strata == {
+            "domains": ("shard-0", "shard-1", "shard-2"),
+            "backends": ("sfi",),
+        }
+
+    @pytest.mark.parametrize(
+        "spec", ["bogus", "colors=red", "kinds=flux-capacitor"]
+    )
+    def test_campaign_bad_strata_rejected_at_parse_time(self, spec):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["campaign", "--strata", spec])

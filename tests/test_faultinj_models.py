@@ -20,6 +20,7 @@ EXPECTED_MECHANISM = {
     FaultKind.STACK_SMASH: DetectionMechanism.STACK_CANARY,
     FaultKind.HEAP_OVERFLOW: DetectionMechanism.HEAP_INTEGRITY,
     FaultKind.CROSS_DOMAIN_WRITE: DetectionMechanism.PKEY_VIOLATION,
+    FaultKind.CROSS_DOMAIN_READ: DetectionMechanism.PKEY_VIOLATION,
     FaultKind.WILD_WRITE: DetectionMechanism.PKEY_VIOLATION,
     FaultKind.NULL_DEREF: DetectionMechanism.PAGE_FAULT,
     FaultKind.USE_AFTER_FREE: DetectionMechanism.HEAP_INTEGRITY,
